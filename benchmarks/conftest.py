@@ -1,0 +1,35 @@
+"""Shared benchmark plumbing.
+
+Each benchmark module regenerates one table or figure of the paper.
+The interesting output is *simulated* metrics (GB/s, cycles/tuple,
+perf/watt gains), not host wall-clock, so every benchmark runs its
+simulation once inside ``benchmark.pedantic`` and reports the paper's
+quantities through ``extra_info`` and a printed table.
+"""
+
+import pytest
+
+
+def run_once(benchmark, fn):
+    """Run ``fn`` once under pytest-benchmark and return its result."""
+    box = {}
+
+    def wrapper():
+        box["result"] = fn()
+
+    benchmark.pedantic(wrapper, rounds=1, iterations=1, warmup_rounds=0)
+    return box["result"]
+
+
+@pytest.fixture
+def report(capsys):
+    """Print a paper-style results table, bypassing capture."""
+
+    def _print(title, header, rows):
+        with capsys.disabled():
+            print(f"\n=== {title} ===")
+            print(header)
+            for row in rows:
+                print(row)
+
+    return _print

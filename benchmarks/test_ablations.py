@@ -1,0 +1,250 @@
+"""Ablations of the DPU's design choices (DESIGN.md's ablation index).
+
+Each ablation disables one mechanism the paper argues for and
+measures what it costs, closing the loop on the architecture story:
+
+* **DMS vs cached path** — stream a scan through the DMS double
+  buffer vs through the L1/L2 hierarchy (the §2.1 motivation for
+  software-managed DMEM).
+* **dual issue** — the dpCore's second pipe, on the Figure 15 filter
+  loop (§2.2).
+* **hardware partitioner** — the free 32-way round vs forcing a
+  software round for a mid-NDV group-by (§5.3's "no extra round-trip
+  through DRAM").
+* **DDR bank parallelism** — 8 open rows vs 1 under the partition
+  engine's four interleaved column streams.
+* **posted-write coalescing** — the write buffer's row-miss hiding
+  under 1024-way software partitioning traffic.
+* **ATE vs mailbox barrier** — the §5.6 synchronization primitive.
+"""
+
+import numpy as np
+from conftest import run_once
+
+from repro.apps.sql import (
+    AggSpec,
+    Between,
+    DmemBudget,
+    Table,
+    dpu_filter,
+    dpu_groupby,
+)
+from repro.apps.sql.costs import measure_filter_loop
+from repro.core import DPU, DPU_40NM, DpCoreInterpreter, assemble
+from repro.memory.dmem import Scratchpad
+from repro.runtime.parallel import AteBarrier
+
+
+def test_ablation_dms_vs_cached_path(benchmark, report):
+    """Scan 1 MB per core: DMS streaming vs cached loads."""
+
+    def run():
+        n = 256 * 1024
+        table = Table("t", {"a": np.arange(n, dtype=np.int32)})
+        dpu = DPU()
+        dms = dpu_filter(dpu, table.to_dpu(dpu), Between("a", 0, 100),
+                         cores=[0])
+
+        # Cached path: same scan, but every 64 B line comes through
+        # L1 -> L2 -> DDR with no prefetch (the dpCore has none).
+        dpu2 = DPU()
+        dtable2 = table.to_dpu(dpu2)
+        address = dtable2.addresses["a"]
+
+        def cached_kernel(ctx):
+            lines = n * 4 // 64
+            cycles = 0.0
+            hierarchy = dpu2.caches[0]
+            for line in range(lines):
+                cycles += hierarchy.access(0, address + line * 64)
+            cycles += n * 1.6  # same FILT compute
+            yield from ctx.compute(cycles)
+
+        cached = dpu2.launch(cached_kernel, cores=[0])
+        return n / dms.seconds / 1e6, n / (cached.cycles / 800e6) / 1e6
+
+    dms_rate, cached_rate = run_once(benchmark, run)
+    report(
+        "Ablation: DMS vs cached path (1-core filter)",
+        "path    Mtuples/s",
+        [f"DMS     {dms_rate:8.1f}", f"cached  {cached_rate:8.1f}",
+         f"speedup {dms_rate / cached_rate:.1f}x"],
+    )
+    benchmark.extra_info["speedup"] = dms_rate / cached_rate
+    assert dms_rate > 2.5 * cached_rate
+
+
+def test_ablation_dual_issue(benchmark, report):
+    """A paired LW+ADDI loop with the second pipe fused off."""
+
+    def run2():
+        loop_source = """
+            li   r3, 0
+            li   r4, 4096
+        loop:
+            lw   r10, 0(r3)
+            addi r11, r11, 1
+            lw   r12, 4(r3)
+            addi r13, r13, 1
+            addi r3, r3, 8
+            bne  r3, r4, loop
+            halt
+        """
+        results = {}
+        for mode in (True, False):
+            interpreter = DpCoreInterpreter(
+                assemble(loop_source), Scratchpad(0), dual_issue=mode
+            )
+            results[mode] = interpreter.run().cycles
+        return results[True], results[False]
+
+    dual_cycles, single_cycles = run_once(benchmark, run2)
+    report(
+        "Ablation: dual issue (paired LW+ADDI loop)",
+        "mode         cycles",
+        [f"dual issue   {dual_cycles}",
+         f"single issue {single_cycles}",
+         f"saved        {(1 - dual_cycles / single_cycles) * 100:.0f}%"],
+    )
+    benchmark.extra_info["dual"] = dual_cycles
+    benchmark.extra_info["single"] = single_cycles
+    assert dual_cycles < single_cycles
+
+
+def test_ablation_hardware_partitioner(benchmark, report):
+    """Mid-NDV group-by: hardware path vs forced software round."""
+
+    def run():
+        rng = np.random.default_rng(6)
+        n = 128 * 1024
+        ndv = 20000  # ~320 KB of groups: hardware path suffices
+        table = Table("t", {
+            "g": rng.integers(0, ndv, n).astype(np.int32),
+            "v": rng.integers(0, 100, n).astype(np.int32),
+        })
+        aggs = [AggSpec("sum", "v")]
+        dpu_hw = DPU()
+        hw = dpu_groupby(dpu_hw, table.to_dpu(dpu_hw), "g", aggs)
+        # Shrink the DMEM hash budget so the planner must take the
+        # software round — the machine an engine without the DMS
+        # partitioner would effectively be.
+        dpu_sw = DPU()
+        budget = DmemBudget(total=32 * 1024, io_buffers=29 * 1024,
+                            metadata=1536)
+        sw = dpu_groupby(dpu_sw, table.to_dpu(dpu_sw), "g", aggs,
+                         budget=budget)
+        assert hw.detail["sw_rounds"] == 0
+        assert sw.detail["sw_rounds"] == 1
+        assert hw.value == sw.value
+        return hw.seconds, sw.seconds
+
+    hw_seconds, sw_seconds = run_once(benchmark, run)
+    report(
+        "Ablation: hardware partitioner (mid-NDV group-by)",
+        "path               time",
+        [f"hardware 32-way    {hw_seconds * 1e3:7.3f} ms",
+         f"forced sw round    {sw_seconds * 1e3:7.3f} ms",
+         f"DMS advantage      {sw_seconds / hw_seconds:.2f}x"],
+    )
+    benchmark.extra_info["advantage"] = sw_seconds / hw_seconds
+    assert sw_seconds > 1.4 * hw_seconds
+
+
+def test_ablation_ddr_banks(benchmark, report):
+    """Partition-engine column streams with 8 vs 1 open rows."""
+    from test_fig13_partition import partition_bandwidth
+    from repro.dms import PartitionMode
+
+    def run():
+        banked = partition_bandwidth(PartitionMode.HASH, rows=24 * 1024)
+        single = partition_bandwidth(
+            PartitionMode.HASH, rows=24 * 1024,
+            config=DPU_40NM.with_updates(ddr_num_banks=1),
+        )
+        return banked, single
+
+    banked, single = run_once(benchmark, run)
+    report(
+        "Ablation: DDR bank open-row parallelism (partitioning)",
+        "banks GB/s",
+        [f"8     {banked:5.2f}", f"1     {single:5.2f}"],
+    )
+    benchmark.extra_info["banked"] = banked
+    benchmark.extra_info["single"] = single
+    assert banked > single
+
+
+def test_ablation_write_coalescing(benchmark, report):
+    """High-NDV software partitioning with posted writes on/off."""
+
+    def run():
+        rng = np.random.default_rng(8)
+        n = 256 * 1024
+        ndv = 60000
+        table = Table("t", {
+            "g": rng.integers(0, ndv, n).astype(np.int32),
+            "v": rng.integers(0, 100, n).astype(np.int32),
+        })
+        aggs = [AggSpec("sum", "v")]
+        budget = DmemBudget(total=32 * 1024, io_buffers=29 * 1024,
+                            metadata=1536)
+        dpu_on = DPU()
+        on = dpu_groupby(dpu_on, table.to_dpu(dpu_on), "g", aggs,
+                         budget=budget)
+        dpu_off = DPU(DPU_40NM.with_updates(ddr_write_row_miss_factor=1.0))
+        off = dpu_groupby(dpu_off, table.to_dpu(dpu_off), "g", aggs,
+                          budget=budget)
+        assert on.value == off.value
+        return on.seconds, off.seconds
+
+    on_seconds, off_seconds = run_once(benchmark, run)
+    report(
+        "Ablation: posted-write coalescing (sw partition round)",
+        "write buffer  time",
+        [f"on            {on_seconds * 1e3:7.3f} ms",
+         f"off           {off_seconds * 1e3:7.3f} ms"],
+    )
+    assert off_seconds >= on_seconds
+
+
+def test_ablation_ate_vs_mailbox_barrier(benchmark, report):
+    """§5.6's barrier: ATE sense-reversing vs a mailbox collective."""
+
+    def run():
+        rounds = 16
+        dpu_ate = DPU()
+        barrier = AteBarrier(dpu_ate, range(32), counter_offset=0,
+                             flag_offset=16)
+
+        def ate_kernel(ctx):
+            for _ in range(rounds):
+                yield from barrier.wait(ctx)
+
+        ate_time = dpu_ate.launch(ate_kernel).cycles / rounds
+
+        dpu_mbox = DPU()
+
+        def mbox_kernel(ctx):
+            for _ in range(rounds):
+                if ctx.core_id == 0:
+                    for _ in range(31):
+                        yield from ctx.mbox_receive()
+                    for core in range(1, 32):
+                        yield from ctx.mbox_send(core, "go")
+                else:
+                    yield from ctx.mbox_send(0, "here")
+                    yield from ctx.mbox_receive()
+
+        mbox_time = dpu_mbox.launch(mbox_kernel).cycles / rounds
+        return ate_time, mbox_time
+
+    ate_cycles, mbox_cycles = run_once(benchmark, run)
+    report(
+        "Ablation: barrier implementation (32 cores)",
+        "primitive        cycles/barrier",
+        [f"ATE (hw atomics) {ate_cycles:9.0f}",
+         f"mailbox          {mbox_cycles:9.0f}"],
+    )
+    benchmark.extra_info["ate"] = ate_cycles
+    benchmark.extra_info["mailbox"] = mbox_cycles
+    assert ate_cycles < mbox_cycles

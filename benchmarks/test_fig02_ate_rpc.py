@@ -1,0 +1,64 @@
+"""Figure 2: response times of ATE remote procedure calls.
+
+Regenerates the paper's bar chart: round-trip cycles for hardware
+loads/stores/atomics and software RPCs, intra-macro vs inter-macro.
+The paper's qualitative claims — hardware RPCs take tens of cycles,
+atomics slightly more, software RPCs an order of magnitude more, and
+crossing macros adds two extra crossbar hops — are asserted.
+"""
+
+from conftest import run_once
+
+from repro.core import DPU
+
+
+def measure_rpc_latencies():
+    dpu = DPU()
+    dpu.ate.install_handler(1, "nop", lambda args: None)
+    dpu.ate.install_handler(9, "nop", lambda args: None)
+
+    def kernel(ctx):
+        timings = {}
+        cases = [
+            ("hw load (intra-macro)", 1, "load"),
+            ("hw load (inter-macro)", 9, "load"),
+            ("hw store (intra-macro)", 1, "store"),
+            ("hw store (inter-macro)", 9, "store"),
+            ("fetch-add (intra-macro)", 1, "faa"),
+            ("fetch-add (inter-macro)", 9, "faa"),
+            ("cas (intra-macro)", 1, "cas"),
+            ("cas (inter-macro)", 9, "cas"),
+            ("sw rpc (intra-macro)", 1, "sw"),
+            ("sw rpc (inter-macro)", 9, "sw"),
+        ]
+        for name, owner, action in cases:
+            address = dpu.address_map.dmem_address(owner, 512)
+            start = dpu.engine.now
+            if action == "load":
+                yield from ctx.remote_load(owner, address)
+            elif action == "store":
+                yield from ctx.remote_store(owner, address, 1)
+            elif action == "faa":
+                yield from ctx.fetch_add(owner, address, 1)
+            elif action == "cas":
+                yield from ctx.compare_swap(owner, address, 0, 1)
+            else:
+                yield from ctx.software_rpc(owner, "nop")
+            timings[name] = dpu.engine.now - start
+        return timings
+
+    return dpu.launch(kernel, cores=[0]).values[0]
+
+
+def test_fig02_ate_rpc_response_times(benchmark, report):
+    timings = run_once(benchmark, measure_rpc_latencies)
+    rows = [f"{name:<28} {cycles:7.0f} cycles"
+            for name, cycles in timings.items()]
+    report("Figure 2: ATE RPC response times", f"{'rpc type':<28} latency",
+           rows)
+    benchmark.extra_info.update({k: v for k, v in timings.items()})
+    # Shape assertions from the paper's figure.
+    assert timings["hw load (intra-macro)"] < timings["hw load (inter-macro)"]
+    assert timings["hw load (intra-macro)"] <= timings["fetch-add (intra-macro)"]
+    assert timings["sw rpc (intra-macro)"] > 4 * timings["fetch-add (intra-macro)"]
+    assert timings["hw load (intra-macro)"] < 100  # tens of cycles

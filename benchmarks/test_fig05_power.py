@@ -1,0 +1,35 @@
+"""Figure 5: DPU power breakdown (total 5.8 W).
+
+Regenerates the pie chart as a table, anchored by the text's exact
+numbers: >37% leakage and 51 mW dynamic per dpCore.
+"""
+
+from conftest import run_once
+
+from repro.core import DPU_16NM, DPU_40NM, PowerModel
+
+
+def test_fig05_power_breakdown(benchmark, report):
+    breakdown = run_once(benchmark, lambda: PowerModel(DPU_40NM).breakdown())
+    fractions = breakdown.fractions()
+    rows = [
+        f"{name:<18} {watts:5.2f} W  ({fractions[name] * 100:4.1f}%)"
+        for name, watts in breakdown.as_dict().items()
+    ]
+    rows.append(f"{'total':<18} {breakdown.total:5.2f} W")
+    report("Figure 5: DPU power breakdown", f"{'component':<18} watts", rows)
+    benchmark.extra_info["total_watts"] = breakdown.total
+    benchmark.extra_info["leakage_fraction"] = fractions["leakage"]
+    assert abs(breakdown.total - 5.8) < 0.05
+    assert fractions["leakage"] > 0.37
+
+
+def test_fig05_16nm_scaling(benchmark, report):
+    breakdown = run_once(benchmark, lambda: PowerModel(DPU_16NM).breakdown())
+    report(
+        "16 nm variant power",
+        "component watts",
+        [f"dpCores (160): {breakdown.dpcores:.2f} W",
+         f"total: {breakdown.total:.2f} W (TDP {DPU_16NM.tdp_watts} W)"],
+    )
+    assert breakdown.dpcores == 160 * 0.051

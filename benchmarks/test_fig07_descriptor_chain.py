@@ -1,0 +1,58 @@
+"""Figure 7 / Listing 1: the descriptor chain that streams 16 MB
+through a 32 KB DMEM with just three DMS descriptors.
+
+Reproduces the paper's programming example end to end — two
+auto-incrementing DDR->DMEM descriptors ping-ponging between DMEM
+buffers plus one loop descriptor — and reports achieved bandwidth.
+(Scaled to 4 MB by default so the benchmark is quick; the chain shape
+is identical.)
+"""
+
+import numpy as np
+from conftest import run_once
+
+from repro.core import DPU
+from repro.dms import ddr_to_dmem, loop
+
+
+def stream_with_three_descriptors(total_bytes=4 * 1024 * 1024):
+    dpu = DPU()
+    data = np.arange(total_bytes // 4, dtype=np.uint32)
+    source = dpu.store_array(data)
+    iterations = total_bytes // 2048
+
+    def kernel(ctx):
+        ctx.push(ddr_to_dmem(256, 4, source, 0, notify_event=0,
+                             src_addr_inc=True))
+        ctx.push(ddr_to_dmem(256, 4, source, 1024, notify_event=1,
+                             src_addr_inc=True))
+        ctx.push(loop(2, iterations - 1))
+        checksum = 0
+        buf = 0
+        for _ in range(2 * iterations):
+            yield from ctx.wfe(buf)
+            checksum += int(ctx.dmem.view(buf * 1024, 1024, np.uint32)[0])
+            yield from ctx.compute(20)
+            ctx.clear_event(buf)
+            buf = 1 - buf
+        return checksum
+
+    result = dpu.launch(kernel, cores=[0])
+    return result, total_bytes, int(data[::256].sum())
+
+
+def test_fig07_listing1_chain(benchmark, report):
+    result, total_bytes, expected_checksum = run_once(
+        benchmark, stream_with_three_descriptors
+    )
+    gbps = result.gbps(total_bytes)
+    report(
+        "Figure 7 / Listing 1: 3-descriptor streaming chain",
+        "metric value",
+        [f"descriptors issued: 3 (2 data + 1 loop)",
+         f"bytes streamed: {total_bytes}",
+         f"single-core bandwidth: {gbps:.2f} GB/s"],
+    )
+    benchmark.extra_info["gbps"] = gbps
+    assert result.values[0] == expected_checksum  # every buffer consumed
+    assert gbps > 5.0  # a single core keeps the DMS busy

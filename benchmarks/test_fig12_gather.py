@@ -1,0 +1,100 @@
+"""Figure 12: DMS gather bandwidth with dense and sparse bitvectors.
+
+The paper's first silicon had an RTL bug: concurrent gathers overflow
+a bit-vector count FIFO in the DMAC, so software serializes gathers
+(one dpCore at a time), crippling throughput. This benchmark
+reproduces both sides: the workaround's low bandwidth on buggy
+silicon and the line-rate behaviour with the bug disabled.
+
+Bit patterns follow the paper: dense = 0xF7 (7 of 8 bits), sparse =
+0x13 (3 of 8 bits).
+"""
+
+import numpy as np
+import pytest
+from conftest import run_once
+
+from repro.core import DPU, DPU_40NM
+from repro.dms import Descriptor, DescriptorType
+from repro.runtime.parallel import AteMutex
+
+DENSE, SPARSE = 0xF7, 0x13
+
+
+def gather_benchmark(pattern, rtl_bug, rows_per_gather=2048, repeats=4):
+    dpu = DPU(DPU_40NM.with_updates(rtl_gather_bug=rtl_bug))
+    data = {
+        core: dpu.store_array(np.arange(rows_per_gather, dtype=np.uint64))
+        for core in range(32)
+    }
+    bv_bytes = rows_per_gather // 8
+    bv = np.full(bv_bytes, pattern, dtype=np.uint8)
+    selected_per_gather = int(np.unpackbits(bv).sum())
+    mutex = AteMutex(dpu, owner=0, dmem_offset=256) if rtl_bug else None
+
+    def kernel(ctx):
+        ctx.dmem.write(16384, bv)
+        ctx.push(Descriptor(dtype=DescriptorType.DMEM_TO_DMS,
+                            rows=bv_bytes // 8, col_width=8, dmem_addr=16384,
+                            internal_mem="bv"))
+        for _ in range(repeats):
+            if mutex is not None:
+                # The paper's software workaround: one gather at a time.
+                yield from mutex.acquire(ctx)
+            ctx.push(Descriptor(dtype=DescriptorType.DDR_TO_DMEM,
+                                rows=rows_per_gather, col_width=8,
+                                ddr_addr=data[ctx.core_id], dmem_addr=0,
+                                gather_src=True, notify_event=0))
+            yield from ctx.wfe(0)
+            ctx.clear_event(0)
+            if mutex is not None:
+                yield from mutex.release(ctx)
+
+    result = dpu.launch(kernel)
+    useful = 32 * repeats * selected_per_gather * 8
+    return result.gbps(useful)
+
+
+@pytest.mark.parametrize(
+    "label,pattern,rtl_bug",
+    [
+        ("dense 0xF7, workaround", DENSE, True),
+        ("sparse 0x13, workaround", SPARSE, True),
+        ("dense 0xF7, fixed silicon", DENSE, False),
+        ("sparse 0x13, fixed silicon", SPARSE, False),
+    ],
+)
+def test_fig12_gather_bandwidth(benchmark, report, label, pattern, rtl_bug):
+    gbps = run_once(benchmark, lambda: gather_benchmark(pattern, rtl_bug))
+    report(
+        "Figure 12: DMS gather bandwidth",
+        f"{'configuration':<28} GB/s",
+        [f"{label:<28} {gbps:5.2f}"],
+    )
+    benchmark.extra_info["gbps"] = gbps
+    benchmark.extra_info["config"] = label
+    if rtl_bug:
+        assert gbps < 2.0  # the paper's "low gather bandwidth"
+    else:
+        assert gbps > 1.0
+
+
+def test_fig12_workaround_vs_fixed_shape(benchmark, report):
+    """The figure's point: gather runs far below the ~9.4 GB/s stream
+    rate. Serialization costs concurrency; per-row DRAM inefficiency
+    costs the rest (random rows touch whole bursts)."""
+
+    def both():
+        return (
+            gather_benchmark(DENSE, True, rows_per_gather=512, repeats=8),
+            gather_benchmark(DENSE, False, rows_per_gather=512, repeats=8),
+        )
+
+    workaround, fixed = run_once(benchmark, both)
+    report(
+        "Figure 12 shape: serialization cost",
+        "config GB/s  (stream rate ~9.4)",
+        [f"workaround {workaround:5.2f}", f"fixed      {fixed:5.2f}"],
+    )
+    assert workaround < 3.0  # "the low gather bandwidth"
+    assert fixed >= workaround

@@ -1,0 +1,61 @@
+"""§2.5: the 16 nm process shrink — 5x compute and bandwidth at 2x
+power, i.e. 2.5x better performance per watt.
+
+Runs the filter primitive on both configurations. The 16 nm part has
+five 32-core complexes, each with its own DDR4 share; we simulate one
+complex and scale linearly (complexes are fully replicated and share
+nothing but the package, per the paper).
+"""
+
+import numpy as np
+from conftest import run_once
+
+from repro.apps.sql import Between, Table, dpu_filter
+from repro.core import DPU, DPU_16NM, DPU_40NM
+
+
+def filter_perf_per_watt(config):
+    n = 512 * 1024
+    table = Table("t", {"a": np.arange(n, dtype=np.int32)})
+    dpu = DPU(config)
+    result = dpu_filter(dpu, table.to_dpu(dpu), Between("a", 0, 1000))
+    # One complex simulated; the chip has `num_complexes` of them.
+    chip_tuples_per_s = (n / result.seconds) * config.num_complexes
+    return chip_tuples_per_s / config.tdp_watts
+
+
+def test_sec25_16nm_perf_per_watt(benchmark, report):
+    def both():
+        return (
+            filter_perf_per_watt(DPU_40NM),
+            filter_perf_per_watt(DPU_16NM),
+        )
+
+    old, new = run_once(benchmark, both)
+    ratio = new / old
+    report(
+        "§2.5: 16 nm shrink efficiency",
+        "config             Mtuples/s/W",
+        [f"40 nm (32c, 6 W)   {old / 1e6:8.1f}",
+         f"16 nm (160c, 12 W) {new / 1e6:8.1f}",
+         f"ratio              {ratio:8.2f}x   (paper: 2.5x)"],
+    )
+    benchmark.extra_info["ratio"] = ratio
+    assert 2.0 < ratio < 3.0  # paper: 2.5x
+
+
+def test_sec25_16nm_bandwidth(benchmark, report):
+    def totals():
+        return (
+            DPU_40NM.ddr_peak_gbps * DPU_40NM.num_complexes,
+            DPU_16NM.ddr_peak_gbps * DPU_16NM.num_complexes,
+        )
+
+    old, new = run_once(benchmark, totals)
+    report(
+        "§2.5: memory bandwidth per DPU",
+        "config GB/s",
+        [f"40 nm  {old:5.1f} (DDR3-1600)",
+         f"16 nm  {new:5.1f} (DDR4-3200, paper: 76)"],
+    )
+    assert abs(new - 76.0) < 1.0

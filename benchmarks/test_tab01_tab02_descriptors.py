@@ -1,0 +1,62 @@
+"""Tables 1 and 2: DMS descriptor types and the 16-byte layout.
+
+Table 1 is regenerated as the capability matrix the model enforces;
+Table 2 as an encode/decode round-trip (with throughput measured,
+since descriptor construction is on the software fast path — the
+paper stresses descriptors are "macro instructions" built in DMEM).
+"""
+
+import numpy as np
+from conftest import run_once
+
+from repro.dms import (
+    DESCRIPTOR_CAPABILITIES,
+    Descriptor,
+    DescriptorType,
+    ddr_to_dmem,
+)
+
+_OPS = ("scatter", "gather", "stride", "partition", "key", "last_col")
+
+
+def test_tab01_descriptor_capability_matrix(benchmark, report):
+    def build():
+        rows = []
+        for dtype, caps in DESCRIPTOR_CAPABILITIES.items():
+            marks = "  ".join(
+                "X" if op in caps else "." for op in _OPS
+            )
+            rows.append(f"{dtype.name:<14} {marks}")
+        return rows
+
+    rows = run_once(benchmark, build)
+    header = f"{'direction':<14} " + "  ".join(o[0].upper() for o in _OPS)
+    report("Table 1: DMS data descriptor types", header + "   (S G St P K L)",
+           rows)
+    assert len(DESCRIPTOR_CAPABILITIES) == 7  # all six directions + DMS->DMS
+
+
+def test_tab02_encode_decode_roundtrip_rate(benchmark, report):
+    descriptors = [
+        ddr_to_dmem(256 + i % 100, 4, 0x1000 + i * 1024, (i * 64) % 32768,
+                    notify_event=i % 30)
+        for i in range(1000)
+    ]
+
+    def roundtrip():
+        for descriptor in descriptors:
+            raw = descriptor.encode()
+            assert len(raw) == 16
+            decoded = Descriptor.decode(raw)
+            assert decoded.rows == descriptor.rows
+        return len(descriptors)
+
+    count = benchmark(roundtrip)
+    report(
+        "Table 2: 16 B descriptor encode/decode",
+        "metric value",
+        [f"descriptors round-tripped per call: {count}",
+         "layout: Type[31:28] Notify[25:21] Wait[20:16] Link[15:0] | "
+         "ColW[30:28] G[25] S[24] RLE[23] SInc[17] DInc[16] DDR[3:0] | "
+         "Rows[31:16] DMEM[15:0] | DDR[35:4]"],
+    )

@@ -1,0 +1,61 @@
+"""Stereo disparity on the DPU (paper §5.6, Figure 17).
+
+Run:  python examples/vision_disparity.py
+
+Computes a dense disparity map from a synthetic stereo pair with both
+parallelization strategies the paper compares, and renders the result
+as ASCII art so you can see the depth bands the block matcher
+recovered.
+"""
+
+import numpy as np
+
+from repro.apps.disparity import (
+    disparity_accuracy,
+    dpu_disparity,
+)
+from repro.core import DPU
+from repro.workloads.stereo import generate_stereo_pair
+
+
+def render(disparity, max_shift, rows=12, cols=48):
+    """Downsample the disparity map to an ASCII depth image."""
+    shades = " .:-=+*#%@"
+    r_step = max(1, disparity.shape[0] // rows)
+    c_step = max(1, disparity.shape[1] // cols)
+    lines = []
+    for r in range(0, disparity.shape[0], r_step):
+        line = []
+        for c in range(0, disparity.shape[1], c_step):
+            block = disparity[r : r + r_step, c : c + c_step]
+            level = int(block.mean() / max(max_shift, 1) * (len(shades) - 1))
+            line.append(shades[min(level, len(shades) - 1)])
+        lines.append("".join(line))
+    return "\n".join(lines)
+
+
+def main():
+    pair = generate_stereo_pair(rows=96, cols=128, max_shift=8, num_bands=4)
+    dpu = DPU()
+    addresses = (dpu.store_array(pair.left), dpu.store_array(pair.right))
+
+    fine = dpu_disparity(dpu, pair, addresses, variant="fine")
+    coarse = dpu_disparity(dpu, pair, addresses, variant="coarse")
+
+    accuracy = disparity_accuracy(fine.value, pair.true_disparity)
+    print(f"{pair.left.shape[0]}x{pair.left.shape[1]} stereo pair, "
+          f"shifts 0..{pair.max_shift}")
+    print(f"fine-grained   (row tiles + ATE barriers): "
+          f"{fine.seconds * 1e3:7.3f} ms, "
+          f"{fine.bytes_streamed} DDR bytes")
+    print(f"coarse-grained (shift per core):           "
+          f"{coarse.seconds * 1e3:7.3f} ms, "
+          f"{coarse.bytes_streamed} DDR bytes")
+    print(f"maps identical: {np.array_equal(fine.value, coarse.value)}; "
+          f"accuracy vs ground truth: {accuracy:.3f}")
+    print("\nrecovered depth bands (darker = nearer):")
+    print(render(fine.value, pair.max_shift))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+"""repro — a reproduction of "A Many-core Architecture for In-Memory
+Data Processing" (Agrawal et al., MICRO-50, 2017).
+
+The package models the DPU SoC — 32 low-power dpCores, the
+descriptor-programmed Data Movement System (DMS), the Atomic
+Transaction Engine (ATE) and the mailbox controller — as a
+cycle-approximate discrete-event simulation with a *functional* data
+path, plus a calibrated Xeon baseline and the paper's six co-designed
+applications (SVM, similarity search, SQL, HyperLogLog, JSON parsing,
+stereo disparity).
+
+Quickstart::
+
+    from repro import DPU, DPU_40NM
+    dpu = DPU(DPU_40NM)
+
+See ``examples/quickstart.py`` for the paper's Listing 1 stream
+reproduced end to end.
+"""
+
+from .core import (
+    DPU,
+    DPU_16NM,
+    DPU_40NM,
+    XEON_TDP_WATTS,
+    CoreContext,
+    DPUConfig,
+    DpCoreInterpreter,
+    LaunchResult,
+    PowerModel,
+    assemble,
+)
+from .dms import (
+    Descriptor,
+    DescriptorType,
+    PartitionLayout,
+    PartitionMode,
+    PartitionSpec,
+)
+from .sim import Engine, SimulationError
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DPU",
+    "DPU_16NM",
+    "DPU_40NM",
+    "CoreContext",
+    "DPUConfig",
+    "Descriptor",
+    "DescriptorType",
+    "DpCoreInterpreter",
+    "Engine",
+    "LaunchResult",
+    "PartitionLayout",
+    "PartitionMode",
+    "PartitionSpec",
+    "PowerModel",
+    "SimulationError",
+    "XEON_TDP_WATTS",
+    "assemble",
+    "__version__",
+]

@@ -1,0 +1,15 @@
+"""The paper's co-designed applications (§5)."""
+
+from . import disparity, hll, jsonparse, simsearch, sql, svm
+from .streaming import ColumnRef, stream_columns
+
+__all__ = [
+    "ColumnRef",
+    "disparity",
+    "hll",
+    "jsonparse",
+    "simsearch",
+    "sql",
+    "stream_columns",
+    "svm",
+]

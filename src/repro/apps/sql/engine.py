@@ -1,0 +1,100 @@
+"""Result containers and perf/watt accounting for SQL operators.
+
+Every operator returns a platform-tagged result: the DPU side carries
+its :class:`~repro.core.dpu.LaunchResult` (simulated cycles), the
+Xeon side its modelled seconds. ``efficiency_gain`` computes the
+paper's figure of merit — performance per provisioned watt, DPU over
+Xeon (Figures 14 and 16).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from ...baseline.xeon import XEON_E5_2699V3, XeonConfig
+from ...core.config import DPUConfig
+
+__all__ = ["DpuOpResult", "XeonOpResult", "QueryComparison", "efficiency_gain"]
+
+
+@dataclass
+class DpuOpResult:
+    """One operator (or query) executed on the simulated DPU."""
+
+    value: Any
+    cycles: float
+    config: DPUConfig
+    bytes_streamed: int = 0
+    detail: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def seconds(self) -> float:
+        return self.cycles / self.config.clock_hz
+
+    @property
+    def gbps(self) -> float:
+        if self.cycles <= 0:
+            return 0.0
+        return self.bytes_streamed / self.seconds / 1e9
+
+
+@dataclass
+class XeonOpResult:
+    """The same operator on the modelled Xeon baseline."""
+
+    value: Any
+    seconds: float
+    config: XeonConfig = XEON_E5_2699V3
+    bytes_streamed: int = 0
+    detail: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def gbps(self) -> float:
+        if self.seconds <= 0:
+            return 0.0
+        return self.bytes_streamed / self.seconds / 1e9
+
+
+def efficiency_gain(dpu: DpuOpResult, xeon: XeonOpResult) -> float:
+    """Perf/watt advantage of the DPU (paper's normalized metric).
+
+    perf = 1/seconds; watts = provisioned TDP on both sides (6 W DPU,
+    145 W Xeon socket).
+    """
+    if dpu.seconds <= 0 or xeon.seconds <= 0:
+        raise ValueError("both results need positive runtimes")
+    dpu_perf_per_watt = (1.0 / dpu.seconds) / dpu.config.tdp_watts
+    xeon_perf_per_watt = (1.0 / xeon.seconds) / xeon.config.tdp_watts
+    return dpu_perf_per_watt / xeon_perf_per_watt
+
+
+@dataclass
+class QueryComparison:
+    """One row of Figure 14 / Figure 16: a named DPU-vs-Xeon result."""
+
+    name: str
+    dpu: DpuOpResult
+    xeon: XeonOpResult
+    paper_gain: Optional[float] = None
+
+    @property
+    def gain(self) -> float:
+        return efficiency_gain(self.dpu, self.xeon)
+
+    def row(self) -> str:
+        paper = f"{self.paper_gain:5.1f}x" if self.paper_gain else "   —  "
+        return (
+            f"{self.name:<22} dpu={self.dpu.seconds * 1e3:9.3f} ms  "
+            f"x86={self.xeon.seconds * 1e3:9.3f} ms  "
+            f"gain={self.gain:5.1f}x  paper~{paper}"
+        )
+
+
+def comparison_table(rows: List[QueryComparison]) -> str:
+    lines = [
+        f"{'workload':<22} {'DPU time':>16} {'x86 time':>16} "
+        f"{'perf/W gain':>12} {'paper':>8}"
+    ]
+    lines.extend(row.row() for row in rows)
+    return "\n".join(lines)

@@ -1,0 +1,328 @@
+"""Join operators (paper §5.3: "other SQL operations like Join ...
+using partitioning techniques similar to those described above").
+
+TPC-H's joins are foreign-key joins on dense integer keys, which the
+DPU engine executes as *broadcast lookups*: the build side reduces to
+a bitmap (semijoin) or a dense key-indexed value array that fits each
+core's DMEM, is DMS-broadcast once, and is probed at DMEM latency
+while the probe side streams. The probe fuses into the group-by
+(filter/lookup hooks of :mod:`repro.apps.sql.aggregate`), so a
+filtered join + aggregation is still a single pass at DMS bandwidth.
+
+For build sides too large for DMEM, :func:`dpu_partitioned_join_count`
+partitions *both* tables 32 ways with the DMS hardware partitioner so
+matching keys land on the same core, then builds and probes per core —
+the paper's general strategy.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple, Union
+
+import numpy as np
+
+from ...baseline.xeon import XeonModel
+from ...core.dpu import DPU
+from ...dms.descriptor import (
+    Descriptor,
+    DescriptorType,
+    PartitionMode,
+    PartitionSpec,
+)
+from ...dms.partition import PartitionLayout
+from .costs import JOIN_BUILD_CYCLES_PER_ROW, JOIN_PROBE_CYCLES_PER_ROW
+from .engine import DpuOpResult, XeonOpResult
+from .expr import Predicate
+from .aggregate import Broadcast, RowFilter, _as_row_filter
+
+__all__ = [
+    "key_bitmap",
+    "bitmap_filter",
+    "lookup_filter",
+    "broadcast_array",
+    "dpu_partitioned_join_count",
+    "xeon_join_count",
+    "BITMAP_PROBE_CYCLES_PER_ROW",
+    "LOOKUP_CYCLES_PER_ROW",
+]
+
+# DMEM bitmap probe: load word + shift + mask + combine (dual-issued).
+BITMAP_PROBE_CYCLES_PER_ROW = 3.0
+# Dense array lookup: address arithmetic + DMEM load.
+LOOKUP_CYCLES_PER_ROW = 2.0
+_XEON_PROBE_OPS_PER_ROW = 4.0  # scalar hash/bitmap probe
+
+
+def key_bitmap(selected_keys: np.ndarray, domain: int) -> np.ndarray:
+    """Pack selected dense keys in ``[0, domain)`` into a bitmap of
+    u64 words — the semijoin build side."""
+    bits = np.zeros(domain, dtype=bool)
+    bits[np.asarray(selected_keys, dtype=np.int64)] = True
+    padded = np.zeros(-(-domain // 64) * 64, dtype=bool)
+    padded[:domain] = bits
+    return np.packbits(padded, bitorder="little").view(np.uint64)
+
+
+def broadcast_array(dpu: DPU, name: str, values: np.ndarray) -> Tuple[
+    Broadcast, np.ndarray
+]:
+    """Store a build-side array in DDR and describe its broadcast.
+
+    Returns the :class:`Broadcast` (for DMEM load accounting) and the
+    host view used by lookup closures.
+    """
+    address = dpu.store_array(values)
+    return Broadcast(name=name, addr=address, nbytes=values.nbytes), values
+
+
+def bitmap_filter(
+    column: str,
+    bitmap_words: np.ndarray,
+    extra: Union[None, Predicate, RowFilter] = None,
+) -> RowFilter:
+    """RowFilter testing ``column``'s value against a DMEM bitmap,
+    optionally ANDed with another filter."""
+    bits = np.unpackbits(bitmap_words.view(np.uint8), bitorder="little")
+    extra_filter = _as_row_filter(extra)
+
+    def mask_fn(columns):
+        keys = columns[column].astype(np.int64)
+        mask = bits[keys].astype(bool)
+        if extra_filter is not None:
+            mask &= extra_filter.mask_fn(columns)
+        return mask
+
+    extra_columns = extra_filter.columns if extra_filter else ()
+    return RowFilter(
+        mask_fn=mask_fn,
+        columns=tuple(dict.fromkeys((column, *extra_columns))),
+        dpu_cycles_per_row=BITMAP_PROBE_CYCLES_PER_ROW
+        + (extra_filter.dpu_cycles_per_row if extra_filter else 0.0),
+        xeon_ops_per_row=_XEON_PROBE_OPS_PER_ROW
+        + (extra_filter.xeon_ops_per_row if extra_filter else 0.0),
+    )
+
+
+def lookup_filter(
+    column: str,
+    table: np.ndarray,
+    predicate_on_value,
+    extra: Union[None, Predicate, RowFilter] = None,
+) -> RowFilter:
+    """RowFilter applying ``predicate_on_value`` to a dense-array
+    lookup ``table[column]`` (e.g. "the part this row references is a
+    PROMO part")."""
+    extra_filter = _as_row_filter(extra)
+
+    def mask_fn(columns):
+        keys = columns[column].astype(np.int64)
+        mask = np.asarray(predicate_on_value(table[keys]), dtype=bool)
+        if extra_filter is not None:
+            mask &= extra_filter.mask_fn(columns)
+        return mask
+
+    extra_columns = extra_filter.columns if extra_filter else ()
+    return RowFilter(
+        mask_fn=mask_fn,
+        columns=tuple(dict.fromkeys((column, *extra_columns))),
+        dpu_cycles_per_row=LOOKUP_CYCLES_PER_ROW + 1.0
+        + (extra_filter.dpu_cycles_per_row if extra_filter else 0.0),
+        xeon_ops_per_row=_XEON_PROBE_OPS_PER_ROW
+        + (extra_filter.xeon_ops_per_row if extra_filter else 0.0),
+    )
+
+
+# -- general partitioned hash join -----------------------------------------
+
+
+def dpu_partitioned_join_count(
+    dpu: DPU,
+    build_dtable,
+    build_key: str,
+    probe_dtable,
+    probe_key: str,
+) -> DpuOpResult:
+    """Count matching pairs with a 32-way hardware-partitioned join.
+
+    Both tables are DMS hash-partitioned on the join key, so matching
+    keys land in the same core's DMEM. Each core builds a hash table
+    from its build partition and probes its probe partition. Matches
+    are counted (the common kernel under semijoin/aggregate plans);
+    rows move for real through the partition pipeline.
+    """
+    cores = list(dpu.config.core_ids)
+    spec = PartitionSpec(mode=PartitionMode.HASH, radix_bits=5)
+    count_offset = 31 * 1024
+    build_capacity = 10 * 1024
+    probe_capacity = 18 * 1024
+    driver = cores[0]
+
+    from ..streaming import ref_dtype
+
+    build_ref = build_dtable.column_ref(build_key)
+    probe_ref = probe_dtable.column_ref(probe_key)
+    build_rows = build_dtable.num_rows
+    probe_rows = probe_dtable.num_rows
+    build_dtype = ref_dtype(build_ref[1])
+    probe_dtype = ref_dtype(probe_ref[1])
+    build_width, probe_width = build_dtype.itemsize, probe_dtype.itemsize
+
+    build_layout = PartitionLayout(
+        target_cores=tuple(cores),
+        dmem_base=0,
+        capacity=build_capacity,
+        count_offset=count_offset,
+    )
+    probe_layout = PartitionLayout(
+        target_cores=tuple(cores),
+        dmem_base=build_capacity,
+        capacity=probe_capacity,
+        count_offset=count_offset + 4,
+    )
+
+    def partition_waves(ctx, ref, rows, layout, wave_rows, phase_tag):
+        """Driver-side: push chunks of one table in capacity waves."""
+        addr = ref[0]
+        width = ref_dtype(ref[1]).itemsize
+        chunk_rows = min(2048, dpu.config.cmem_bank_bytes // width)
+        position = 0
+        while position < rows:
+            wave_end = min(rows, position + wave_rows)
+            while position < wave_end:
+                count = min(chunk_rows, wave_end - position)
+                ctx.push(
+                    Descriptor(
+                        dtype=DescriptorType.DDR_TO_DMS,
+                        rows=count,
+                        col_width=width,
+                        ddr_addr=addr + position * width,
+                        is_key_column=True,
+                    )
+                )
+                ctx.push(Descriptor(dtype=DescriptorType.DMS_TO_DMS,
+                                    partition=spec))
+                ctx.push(Descriptor(dtype=DescriptorType.DMS_TO_DMEM,
+                                    partition=spec))
+                position += count
+            while not ctx.dmad.idle():
+                yield from ctx.compute(200)
+            yield position  # wave boundary marker (consumed by kernel)
+
+    def kernel(ctx):
+        is_driver = ctx.core_id == driver
+        matches = 0
+        build_table = {}
+
+        # Phase 1: partition the build side (usually one wave).
+        build_wave_rows = int(len(cores) * (build_capacity / build_width) / 2)
+        probe_wave_rows = int(len(cores) * (probe_capacity / probe_width) / 2)
+
+        def run_phase(ref, rows, layout, wave_rows, consume):
+            if is_driver:
+                ctx.push(
+                    Descriptor(
+                        dtype=DescriptorType.HASH_CONFIG,
+                        partition=spec,
+                        partition_layout=layout,
+                    )
+                )
+                driver_gen = partition_waves(
+                    ctx, ref, rows, layout, wave_rows, None
+                )
+                while True:
+                    try:
+                        step = next(driver_gen)
+                    except StopIteration:
+                        break
+                    if isinstance(step, int):
+                        # Wave complete: everyone consumes, then reset.
+                        for core in cores:
+                            if core != driver:
+                                yield from ctx.mbox_send(core, ("wave",))
+                        yield from consume()
+                        for _ in range(len(cores) - 1):
+                            yield from ctx.mbox_receive()
+                        layout.reset()
+                        for core in cores:
+                            dpu.scratchpads[core].view(
+                                layout.count_offset, 4, np.uint32
+                            )[0] = 0
+                        done = False
+                        for core in cores:
+                            if core != driver:
+                                yield from ctx.mbox_send(core, ("go",))
+                    else:
+                        yield step
+                for core in cores:
+                    if core != driver:
+                        yield from ctx.mbox_send(core, ("phase-done",))
+            else:
+                while True:
+                    _src, message = yield from ctx.mbox_receive()
+                    if message[0] == "phase-done":
+                        break
+                    yield from consume()
+                    yield from ctx.mbox_send(driver, ("ack",))
+                    yield from ctx.mbox_receive()  # ("go",)
+
+        def consume_build():
+            count = int(
+                ctx.dmem.view(build_layout.count_offset, 4, np.uint32)[0]
+            )
+            raw = ctx.dmem.view(0, count * build_width, np.uint8).copy()
+            keys = raw.view(build_dtype)
+            for key in keys.tolist():
+                build_table[key] = build_table.get(key, 0) + 1
+            yield from ctx.compute(count * JOIN_BUILD_CYCLES_PER_ROW)
+
+        def consume_probe():
+            nonlocal matches
+            count = int(
+                ctx.dmem.view(probe_layout.count_offset, 4, np.uint32)[0]
+            )
+            raw = ctx.dmem.view(
+                build_capacity, count * probe_width, np.uint8
+            ).copy()
+            keys = raw.view(probe_dtype)
+            for key in keys.tolist():
+                matches += build_table.get(key, 0)
+            yield from ctx.compute(count * JOIN_PROBE_CYCLES_PER_ROW)
+
+        yield from run_phase(
+            build_ref, build_rows, build_layout, build_wave_rows, consume_build
+        )
+        yield from run_phase(
+            probe_ref, probe_rows, probe_layout, probe_wave_rows, consume_probe
+        )
+        return matches
+
+    launch = dpu.launch(kernel, cores=cores)
+    total_matches = sum(launch.values)
+    nbytes = build_rows * build_width + probe_rows * probe_width
+    return DpuOpResult(
+        value=total_matches,
+        cycles=launch.cycles,
+        config=dpu.config,
+        bytes_streamed=nbytes,
+        detail={"build_rows": build_rows, "probe_rows": probe_rows},
+    )
+
+
+def xeon_join_count(
+    model: XeonModel,
+    build_keys: np.ndarray,
+    probe_keys: np.ndarray,
+) -> XeonOpResult:
+    """Baseline hash-join match count (functional + roofline)."""
+    unique, counts = np.unique(build_keys, return_counts=True)
+    table = dict(zip(unique.tolist(), counts.tolist()))
+    matches = sum(table.get(key, 0) for key in probe_keys.tolist())
+    nbytes = build_keys.nbytes + probe_keys.nbytes
+    instructions = (
+        len(build_keys) * JOIN_BUILD_CYCLES_PER_ROW
+        + len(probe_keys) * _XEON_PROBE_OPS_PER_ROW
+    )
+    seconds = model.roofline_seconds(
+        instructions=instructions, nbytes=nbytes, memory_passes=1.5
+    )
+    return XeonOpResult(value=matches, seconds=seconds, bytes_streamed=nbytes)

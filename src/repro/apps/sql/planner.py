@@ -1,0 +1,134 @@
+"""Partitioning planner (paper §5.3).
+
+The query compiler sizes DMEM between buffers, metadata and the hash
+table, computes how many partitions make each partition's hash table
+fit, and decides how many partitioning *rounds* (full round trips
+through DRAM) are needed:
+
+* the DMS hardware partitions 32 ways *for free* — straight into the
+  consuming cores' DMEMs, no DRAM round trip;
+* a software round, run concurrently with the hardware round, adds
+  another 32-way fanout (the paper sustains a 1024-way combined
+  partition at 9 GB/s);
+* each additional software round costs one read+write pass over the
+  data.
+
+The same math drives the Xeon baseline with its own fanout-per-round
+limit, which is how the paper's "one round on the DPU, two on x86"
+asymmetry for high-NDV group-by arises.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = ["DmemBudget", "PartitionPlan", "plan_partitioning"]
+
+HW_FANOUT = 32  # DMS partition fan-out (one per dpCore)
+SW_FANOUT = 32  # software partitioning alongside, same pass
+X86_FANOUT = 256  # per-pass software fanout on the Xeon baseline
+
+
+@dataclass(frozen=True)
+class DmemBudget:
+    """How a core's 32 KB DMEM is split for a partitioned operator.
+
+    Per §5.3: I/O buffers gain little beyond ~0.5 KB each, so most of
+    DMEM goes to the hash table.
+    """
+
+    total: int = 32 * 1024
+    io_buffers: int = 6 * 1024  # double-buffered in/out tiles
+    metadata: int = 2 * 1024
+
+    @property
+    def hash_table(self) -> int:
+        remaining = self.total - self.io_buffers - self.metadata
+        if remaining <= 0:
+            raise ValueError("DMEM budget leaves no room for the hash table")
+        return remaining
+
+
+@dataclass(frozen=True)
+class PartitionPlan:
+    """Rounds and fanout decisions for one partitioned operator."""
+
+    partitions_needed: int
+    dpu_sw_rounds: int  # DRAM round trips on the DPU (hw round is free)
+    dpu_uses_hw: bool
+    x86_rounds: int
+
+    @property
+    def dpu_memory_passes(self) -> float:
+        """Effective full-data DRAM passes on the DPU: the final
+        aggregation read plus read+write per software round."""
+        return 1.0 + 2.0 * self.dpu_sw_rounds
+
+    @property
+    def x86_memory_passes(self) -> float:
+        return 1.0 + 2.0 * self.x86_rounds
+
+
+def plan_partitioning(
+    ndv: int,
+    group_record_bytes: int,
+    budget: DmemBudget = DmemBudget(),
+    num_cores: int = 32,
+    x86_partition_target_bytes: int = 32 * 1024,
+    x86_fanout: int = X86_FANOUT,
+) -> PartitionPlan:
+    """Compute partitioning rounds for ``ndv`` distinct groups.
+
+    DPU: the operator needs ``ndv * record / hash_budget`` partitions.
+    Up to 32 come free from the hardware partitioner (they also spread
+    the work across cores); a concurrent software pass multiplies by
+    32; beyond that, each extra software round multiplies by 32 again
+    but costs a DRAM round trip.
+
+    x86: partitions until each partition's hash table is L1-resident
+    (the Polychroniou-Ross radix strategy the paper cites); each pass
+    achieves at most ``x86_fanout`` (TLB-limited).
+    """
+    if ndv <= 0:
+        raise ValueError(f"ndv must be positive: {ndv}")
+    if group_record_bytes <= 0:
+        raise ValueError(f"record bytes must be positive: {group_record_bytes}")
+
+    table_bytes = ndv * group_record_bytes
+    partitions_needed = max(1, math.ceil(table_bytes / budget.hash_table))
+
+    if partitions_needed <= 1:
+        # Low NDV: every core keeps the whole table in DMEM; no
+        # partitioning at all, merge afterwards.
+        dpu_sw_rounds = 0
+        dpu_uses_hw = False
+    else:
+        # The free hardware round covers 32; one concurrent software
+        # pass covers 32*32; each *extra* software round multiplies.
+        dpu_uses_hw = True
+        reach = HW_FANOUT
+        dpu_sw_rounds = 0
+        while reach < partitions_needed:
+            reach *= SW_FANOUT
+            dpu_sw_rounds += 1
+        # The first software pass runs concurrently with the hardware
+        # partition (§3.4: 1024-way at 9 GB/s), but it still needs its
+        # own DRAM round trip to materialize the 32 super-partitions
+        # consumed by later hardware rounds — except when everything
+        # fits in one hardware round.
+    # x86: partition until each table is ~L1-sized; each pass reaches
+    # x86_fanout. The paper's high-NDV asymmetry (one DPU round vs two
+    # x86 rounds) emerges for tables in the 8-24 MB range.
+    x86_partitions = max(1, math.ceil(table_bytes / x86_partition_target_bytes))
+    x86_rounds = 0
+    reach = 1
+    while reach < x86_partitions:
+        reach *= x86_fanout
+        x86_rounds += 1
+    return PartitionPlan(
+        partitions_needed=partitions_needed,
+        dpu_sw_rounds=dpu_sw_rounds,
+        dpu_uses_hw=dpu_uses_hw,
+        x86_rounds=x86_rounds,
+    )

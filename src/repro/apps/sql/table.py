@@ -1,0 +1,98 @@
+"""Columnar tables for the SQL engine (paper §5.3).
+
+Tables are column-major, the layout the DMS is built around: each
+column is one contiguous numpy array. :class:`Table` is the host-side
+object; :meth:`Table.to_dpu` copies the columns into DPU DDR and
+returns a :class:`DpuTable` whose column references feed directly
+into DMS descriptors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ...core.dpu import DPU
+
+__all__ = ["Table", "DpuTable"]
+
+
+@dataclass
+class Table:
+    """A named collection of equal-length columns."""
+
+    name: str
+    columns: Dict[str, np.ndarray]
+
+    def __post_init__(self) -> None:
+        lengths = {column: len(values) for column, values in self.columns.items()}
+        if len(set(lengths.values())) > 1:
+            raise ValueError(f"ragged columns in {self.name!r}: {lengths}")
+
+    @classmethod
+    def from_arrays(cls, name: str, arrays: Dict[str, np.ndarray]) -> "Table":
+        return cls(name=name, columns=dict(arrays))
+
+    @property
+    def num_rows(self) -> int:
+        if not self.columns:
+            return 0
+        return len(next(iter(self.columns.values())))
+
+    @property
+    def column_names(self) -> List[str]:
+        return list(self.columns)
+
+    def column(self, name: str) -> np.ndarray:
+        if name not in self.columns:
+            raise KeyError(f"{self.name!r} has no column {name!r}")
+        return self.columns[name]
+
+    def nbytes(self, names: Optional[Sequence[str]] = None) -> int:
+        names = names if names is not None else self.column_names
+        return sum(self.columns[name].nbytes for name in names)
+
+    def select(self, mask: np.ndarray, names: Optional[Sequence[str]] = None):
+        """Host-side row filter (for building expected results)."""
+        names = names if names is not None else self.column_names
+        return Table(
+            name=f"{self.name}_sel",
+            columns={name: self.columns[name][mask] for name in names},
+        )
+
+    def to_dpu(self, dpu: DPU) -> "DpuTable":
+        """Copy every column into DPU DDR."""
+        addresses = {
+            name: dpu.store_array(values) for name, values in self.columns.items()
+        }
+        return DpuTable(table=self, dpu=dpu, addresses=addresses)
+
+
+@dataclass
+class DpuTable:
+    """A table resident in DPU DRAM."""
+
+    table: Table
+    dpu: DPU
+    addresses: Dict[str, int]
+
+    @property
+    def name(self) -> str:
+        return self.table.name
+
+    @property
+    def num_rows(self) -> int:
+        return self.table.num_rows
+
+    def column_ref(self, name: str) -> Tuple[int, np.dtype]:
+        """(address, element dtype) — feeds DMS descriptors/streams."""
+        values = self.table.column(name)
+        return self.addresses[name], values.dtype
+
+    def column_refs(self, names: Sequence[str]) -> List[Tuple[int, int]]:
+        return [self.column_ref(name) for name in names]
+
+    def nbytes(self, names: Optional[Sequence[str]] = None) -> int:
+        return self.table.nbytes(names)

@@ -1,0 +1,6 @@
+"""Atomic Transaction Engine (paper §2.3)."""
+
+from .crossbar import CrossbarTopology
+from .rpc import Ate, AteError, RpcKind
+
+__all__ = ["Ate", "AteError", "CrossbarTopology", "RpcKind"]

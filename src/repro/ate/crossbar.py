@@ -1,0 +1,41 @@
+"""The ATE's two-level crossbar (paper §2.3).
+
+One crossbar connects the 8 dpCores within a macro; a second connects
+the 4 macros. Messages between cores in the same macro traverse only
+the local crossbar; messages between macros traverse local -> global
+-> local. The ATE guarantees point-to-point FIFO ordering, which the
+model preserves by charging a deterministic latency per hop and
+serializing delivery at the destination's ATE engine.
+"""
+
+from __future__ import annotations
+
+from ..core.config import DPUConfig
+
+__all__ = ["CrossbarTopology"]
+
+
+class CrossbarTopology:
+    """Latency oracle for the two-level interconnect."""
+
+    def __init__(self, config: DPUConfig) -> None:
+        self.config = config
+
+    def same_macro(self, src: int, dst: int) -> bool:
+        return self.config.macro_of(src) == self.config.macro_of(dst)
+
+    def one_way_cycles(self, src: int, dst: int) -> int:
+        """Transit latency for one message, one direction."""
+        if src == dst:
+            # Self-sends still round through the local crossbar.
+            return self.config.ate_local_crossbar_cycles
+        if self.same_macro(src, dst):
+            return self.config.ate_local_crossbar_cycles
+        return (
+            2 * self.config.ate_local_crossbar_cycles
+            + self.config.ate_global_crossbar_cycles
+        )
+
+    def hops(self, src: int, dst: int) -> int:
+        """Crossbar stages traversed (1 intra-macro, 3 inter-macro)."""
+        return 1 if self.same_macro(src, dst) else 3

@@ -1,0 +1,318 @@
+"""ATE remote procedure calls (paper §2.3).
+
+The ATE interprets messages as RPCs executed by hardware on the
+receiving dpCore:
+
+* **hardware RPCs** — load, store, atomic fetch-and-add and atomic
+  compare-and-swap on any DDR or DMEM address owned by the remote
+  core. The receiving ATE engine injects the operation into the
+  remote pipeline (a few stall cycles there, no interrupt) and the
+  requesting core stalls until the value returns.
+* **software RPCs** — the receiving ATE interrupts the remote core
+  and jumps to a pre-installed handler which runs to completion.
+
+The requester may have **one outstanding ATE request** at a time; it
+can issue, run independent instructions, and block for the reply
+later (:meth:`Ate.issue` / waiting the returned event) — the paper's
+recommended throughput trick under Figure 2.
+
+Atomicity is by ownership: every operation on addresses owned by core
+*C* executes serially in *C*'s ATE engine, so fetch-and-add and CAS
+are linearizable per owner, exactly the guarantee the hardware gives.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Optional
+
+from ..core.config import DPUConfig
+from ..memory.address import AddressMap
+from ..memory.ddr import DDRMemory
+from ..memory.dmem import Scratchpad
+from ..sim import Engine, Resource, SimEvent, StatsRecorder, Store
+from .crossbar import CrossbarTopology
+
+__all__ = ["Ate", "RpcKind", "AteError"]
+
+
+class AteError(Exception):
+    """Protocol misuse (unknown handler, bad address, double issue)."""
+
+
+class RpcKind(enum.Enum):
+    LOAD = "load"
+    STORE = "store"
+    FETCH_ADD = "faa"
+    COMPARE_SWAP = "cas"
+    SOFTWARE = "sw"
+
+    @property
+    def is_atomic(self) -> bool:
+        return self in (RpcKind.FETCH_ADD, RpcKind.COMPARE_SWAP)
+
+
+@dataclass
+class _Message:
+    kind: RpcKind
+    src: int
+    dst: int
+    address: int = 0
+    operand: int = 0
+    operand2: int = 0
+    handler: Optional[str] = None
+    args: Any = None
+    reply: SimEvent = None  # type: ignore[assignment]
+    issued_at: float = 0.0
+
+
+class Ate:
+    """The Atomic Transaction Engine across all dpCores."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        config: DPUConfig,
+        address_map: AddressMap,
+        ddr_memory: DDRMemory,
+        scratchpads: Dict[int, Scratchpad],
+        stats: Optional[StatsRecorder] = None,
+    ) -> None:
+        self.engine = engine
+        self.config = config
+        self.address_map = address_map
+        self.ddr_memory = ddr_memory
+        self.scratchpads = scratchpads
+        self.stats = stats if stats is not None else StatsRecorder()
+        self.topology = CrossbarTopology(config)
+        self._inboxes: Dict[int, Store] = {
+            core: Store(engine) for core in config.core_ids
+        }
+        self._issue_slots: Dict[int, Resource] = {
+            core: Resource(engine, 1) for core in config.core_ids
+        }
+        # SW RPC handlers installed per core: name -> callable(args).
+        # A handler may be a plain function or a generator (to charge
+        # additional cycles); its return value travels back.
+        self._handlers: Dict[int, Dict[str, Callable]] = {
+            core: {} for core in config.core_ids
+        }
+        # Cycles of interrupt work each core owes (drained by the
+        # runtime into that core's next compute charge).
+        self.interrupt_debt: Dict[int, float] = {
+            core: 0.0 for core in config.core_ids
+        }
+        for core in config.core_ids:
+            engine.process(self._engine_loop(core), name=f"ate[{core}]")
+
+    # -- software interface -------------------------------------------------
+
+    def install_handler(self, core_id: int, name: str, handler: Callable) -> None:
+        """Pre-install a software RPC handler on ``core_id``."""
+        self._handlers[core_id][name] = handler
+
+    def issue(
+        self,
+        src: int,
+        dst: int,
+        kind: RpcKind,
+        address: int = 0,
+        operand: int = 0,
+        operand2: int = 0,
+        handler: Optional[str] = None,
+        args: Any = None,
+    ):
+        """Issue one request; generator returns a reply event.
+
+        ``yield from ate.issue(...)`` gives back a :class:`SimEvent`
+        that succeeds (with the RPC's return value) when the response
+        arrives; the caller may compute before yielding it. The
+        one-outstanding-request rule is enforced per source core.
+        """
+        slot = self._issue_slots[src]
+        yield slot.acquire()
+        reply = self.engine.event()
+        message = _Message(
+            kind=kind,
+            src=src,
+            dst=dst,
+            address=address,
+            operand=operand,
+            operand2=operand2,
+            handler=handler,
+            args=args,
+            reply=reply,
+            issued_at=self.engine.now,
+        )
+        yield self.engine.timeout(self.topology.one_way_cycles(src, dst))
+        yield self._inboxes[dst].put(message)
+        completion = self.engine.event()
+        reply.add_callback(lambda ev: self._finish(slot, completion, ev))
+        return completion
+
+    def _finish(self, slot: Resource, completion: SimEvent, reply: SimEvent) -> None:
+        slot.release()
+        if reply.exception is not None:
+            completion.fail(reply.exception)
+        else:
+            completion.succeed(reply.value)
+
+    def call(self, src: int, dst: int, kind: RpcKind, **kwargs):
+        """Blocking request: issue and stall for the value."""
+        completion = yield from self.issue(src, dst, kind, **kwargs)
+        value = yield completion
+        return value
+
+    def posted_store(self, src: int, dst: int, address: int, value: int):
+        """Fire-and-forget remote store.
+
+        The paper stalls the requester only for RPCs "which expect
+        return values (such as fetch-and-add)"; a plain store needs no
+        reply, so the issue slot frees as soon as the message is in
+        the interconnect — the fast path for barrier release fan-out.
+        """
+        slot = self._issue_slots[src]
+        yield slot.acquire()
+        message = _Message(
+            kind=RpcKind.STORE,
+            src=src,
+            dst=dst,
+            address=address,
+            operand=value,
+            reply=None,
+            issued_at=self.engine.now,
+        )
+        yield self.engine.timeout(self.topology.one_way_cycles(src, dst))
+        yield self._inboxes[dst].put(message)
+        slot.release()
+
+    # Convenience wrappers used throughout the runtime and apps.
+
+    def remote_load(self, src: int, dst: int, address: int):
+        return self.call(src, dst, RpcKind.LOAD, address=address)
+
+    def remote_store(self, src: int, dst: int, address: int, value: int):
+        return self.call(src, dst, RpcKind.STORE, address=address, operand=value)
+
+    def fetch_add(self, src: int, dst: int, address: int, delta: int):
+        return self.call(src, dst, RpcKind.FETCH_ADD, address=address, operand=delta)
+
+    def compare_swap(
+        self, src: int, dst: int, address: int, expected: int, desired: int
+    ):
+        return self.call(
+            src,
+            dst,
+            RpcKind.COMPARE_SWAP,
+            address=address,
+            operand=expected,
+            operand2=desired,
+        )
+
+    def software_rpc(self, src: int, dst: int, handler: str, args: Any = None):
+        return self.call(src, dst, RpcKind.SOFTWARE, handler=handler, args=args)
+
+    # -- receiving engine -------------------------------------------------------
+
+    def _engine_loop(self, core_id: int):
+        inbox = self._inboxes[core_id]
+        while True:
+            message: _Message = yield inbox.get()
+            execute = self.config.ate_hw_execute_cycles
+            if message.kind.is_atomic:
+                execute += self.config.ate_amo_extra_cycles
+            if message.kind is RpcKind.SOFTWARE:
+                execute = self.config.ate_sw_handler_overhead_cycles
+            yield self.engine.timeout(execute)
+            try:
+                if message.kind is RpcKind.SOFTWARE:
+                    value = yield from self._run_handler(core_id, message)
+                else:
+                    value = self._perform(core_id, message)
+            except AteError as error:
+                if message.reply is not None:
+                    self._send_reply(message, error=error)
+                continue
+            # The injected operation appears as stalls in the remote
+            # instruction stream; account it as interrupt debt.
+            self.interrupt_debt[core_id] += execute
+            if message.reply is not None:
+                self._send_reply(message, value=value)
+                rtt_key = (
+                    f"ate.rtt.{message.kind.value}."
+                    + ("local" if self.topology.same_macro(message.src, core_id)
+                       else "remote")
+                )
+                return_latency = self.topology.one_way_cycles(
+                    core_id, message.src
+                )
+                self.stats.sample(
+                    rtt_key,
+                    self.engine.now - message.issued_at + return_latency,
+                )
+            self.stats.count("ate.messages", 1)
+
+    def _send_reply(self, message: _Message, value: Any = None, error=None) -> None:
+        latency = self.topology.one_way_cycles(message.dst, message.src)
+
+        def deliver(_event) -> None:
+            if error is not None:
+                message.reply.fail(error)
+            else:
+                message.reply.succeed(value)
+
+        self.engine.timeout(latency).add_callback(deliver)
+
+    def _run_handler(self, core_id: int, message: _Message):
+        handlers = self._handlers[core_id]
+        handler = handlers.get(message.handler or "")
+        if handler is None:
+            raise AteError(
+                f"core {core_id} has no software RPC handler "
+                f"{message.handler!r} installed"
+            )
+        result = handler(message.args)
+        if hasattr(result, "send") and hasattr(result, "throw"):
+            value = yield from result
+            return value
+        yield self.engine.timeout(0)
+        return result
+
+    # -- hardware operation semantics ---------------------------------------------
+
+    def _perform(self, owner: int, message: _Message) -> int:
+        address = message.address
+        if message.kind is RpcKind.LOAD:
+            return self._read64(owner, address)
+        if message.kind is RpcKind.STORE:
+            self._write64(owner, address, message.operand)
+            return 0
+        if message.kind is RpcKind.FETCH_ADD:
+            old = self._read64(owner, address)
+            self._write64(owner, address, (old + message.operand) & (2**64 - 1))
+            return old
+        if message.kind is RpcKind.COMPARE_SWAP:
+            current = self._read64(owner, address)
+            if current == message.operand & (2**64 - 1):
+                self._write64(owner, address, message.operand2)
+            return current
+        raise AteError(f"cannot perform {message.kind}")  # pragma: no cover
+
+    def _read64(self, owner: int, address: int) -> int:
+        if self.address_map.is_dmem(address):
+            core, offset = self.address_map.split_dmem(address)
+            return self.scratchpads[core].read_u64(offset)
+        if self.address_map.is_ddr(address):
+            return self.ddr_memory.read_u64(address)
+        raise AteError(f"ATE address {address:#x} is neither DDR nor DMEM")
+
+    def _write64(self, owner: int, address: int, value: int) -> None:
+        if self.address_map.is_dmem(address):
+            core, offset = self.address_map.split_dmem(address)
+            self.scratchpads[core].write_u64(offset, value)
+            return
+        if self.address_map.is_ddr(address):
+            self.ddr_memory.write_u64(address, value)
+            return
+        raise AteError(f"ATE address {address:#x} is neither DDR nor DMEM")

@@ -1,0 +1,5 @@
+"""x86 (Xeon) baseline machine model."""
+
+from .xeon import XEON_E5_2699V3, XeonConfig, XeonModel
+
+__all__ = ["XEON_E5_2699V3", "XeonConfig", "XeonModel"]

@@ -1,0 +1,109 @@
+"""Analytic model of the paper's x86 comparison machine.
+
+The baseline is a server with two Intel Xeon E5-2699 v3 (18C/36T
+each, Haswell) and 256 GB DDR4-1600 (paper §5). The paper's perf/watt
+numbers divide throughput by *provisioned SoC power*: 145 W for the
+Xeon (one socket TDP) and 6 W for the DPU.
+
+We model the Xeon as a roofline: a kernel's runtime is the maximum of
+its compute time (instructions / (IPC x clock x cores)) and its
+memory time (bytes / effective bandwidth). The two anchors the paper
+reports pin the model's constants:
+
+* SAJSON parses at 5.2 GB/s with an IPC of 3.05 (§5.5) — fixing the
+  per-core scalar pipeline model;
+* the tuned SpMM reaches 34.5 GB/s effective bandwidth across 36
+  cores (§5.2) — fixing the effective memory bandwidth.
+
+Baseline kernels in :mod:`repro.apps` compute functionally with numpy
+(identical results to the DPU path) and report instruction/byte
+counts derived from their inner loops; this module turns those counts
+into seconds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["XeonConfig", "XeonModel", "XEON_E5_2699V3"]
+
+
+@dataclass(frozen=True)
+class XeonConfig:
+    """Machine parameters for the x86 baseline."""
+
+    name: str = "xeon-e5-2699v3"
+    cores: int = 36  # both sockets, as the SpMM measurement uses
+    threads_per_core: int = 2
+    clock_hz: float = 2.3e9
+    scalar_ipc: float = 3.0  # sustained micro-ops/cycle (SAJSON: 3.05)
+    simd_lanes_32b: int = 8  # AVX2: 8 x 32-bit lanes
+    effective_bandwidth_gbps: float = 34.5  # measured by the paper's SpMM
+    llc_bytes: int = 2 * 45 * 1024 * 1024
+    tdp_watts: float = 145.0  # comparison wattage used in §5
+    # Software radix partitioning fanout per pass before TLB/cache
+    # thrashing makes another round cheaper (Polychroniou & Ross).
+    partition_fanout_per_round: int = 256
+
+
+XEON_E5_2699V3 = XeonConfig()
+
+
+class XeonModel:
+    """Roofline timing for baseline kernels."""
+
+    def __init__(self, config: XeonConfig = XEON_E5_2699V3) -> None:
+        self.config = config
+
+    # -- building blocks --------------------------------------------------
+
+    def compute_seconds(
+        self,
+        instructions: float,
+        cores: int = 0,
+        ipc: float = 0.0,
+    ) -> float:
+        """Time to retire ``instructions`` across ``cores``."""
+        cores = cores or self.config.cores
+        ipc = ipc or self.config.scalar_ipc
+        rate = ipc * self.config.clock_hz * cores
+        return instructions / rate
+
+    def memory_seconds(self, nbytes: float, passes: float = 1.0) -> float:
+        """Time to stream ``nbytes`` ``passes`` times through DRAM."""
+        return nbytes * passes / (self.config.effective_bandwidth_gbps * 1e9)
+
+    def roofline_seconds(
+        self,
+        instructions: float,
+        nbytes: float,
+        cores: int = 0,
+        ipc: float = 0.0,
+        memory_passes: float = 1.0,
+    ) -> float:
+        """max(compute, memory) — the roofline."""
+        return max(
+            self.compute_seconds(instructions, cores, ipc),
+            self.memory_seconds(nbytes, memory_passes),
+        )
+
+    # -- derived quantities ----------------------------------------------------
+
+    def partition_rounds(self, num_partitions: int) -> int:
+        """Software partitioning rounds to reach ``num_partitions``.
+
+        Each pass achieves at most ``partition_fanout_per_round``-way
+        fanout near memory bandwidth (§5.3: the high-NDV group-by
+        needs two rounds on x86, one on the DPU).
+        """
+        if num_partitions <= 1:
+            return 0
+        rounds = 0
+        reach = 1
+        while reach < num_partitions:
+            reach *= self.config.partition_fanout_per_round
+            rounds += 1
+        return rounds
+
+    def perf_per_watt(self, throughput: float) -> float:
+        return throughput / self.config.tdp_watts

@@ -1,0 +1,16 @@
+"""Multi-DPU clusters, the A9 network path, and rack provisioning."""
+
+from .network import FabricConfig, IBFabric
+from .rack import PAPER_RACK, Cluster, RackSpec
+from .scaleout import ScaleOutResult, cluster_filter_count, cluster_hll
+
+__all__ = [
+    "Cluster",
+    "FabricConfig",
+    "IBFabric",
+    "PAPER_RACK",
+    "RackSpec",
+    "ScaleOutResult",
+    "cluster_filter_count",
+    "cluster_hll",
+]

@@ -1,0 +1,120 @@
+"""Multi-DPU clusters and the rack-scale provisioning math (§1, §2).
+
+Two pieces:
+
+* :class:`Cluster` — N fully-simulated DPUs on one shared event
+  engine, connected by an :class:`~repro.cluster.network.IBFabric`
+  through their A9 endpoints. Used by the scale-out algorithms in
+  :mod:`repro.cluster.scaleout` (the paper ran its applications on
+  500+ DPU clusters; we simulate a handful of DPUs faithfully and
+  scale analytically from there).
+
+* :class:`RackSpec` — the paper's rack arithmetic: 1440 DPUs with a
+  DDR3 channel each gives >10 TB/s of aggregate memory bandwidth and
+  >10 TB of capacity inside a 20 kW provisioned budget (~3 W per
+  memory channel, <7 W per processor after networking).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence
+
+from ..core.config import DPU_40NM, DPUConfig
+from ..core.dpu import DPU
+from ..sim import Engine
+from .network import FabricConfig, IBFabric
+
+__all__ = ["Cluster", "RackSpec", "PAPER_RACK"]
+
+
+class Cluster:
+    """N simulated DPUs sharing one clock domain and an IB fabric."""
+
+    def __init__(
+        self,
+        num_dpus: int,
+        config: DPUConfig = DPU_40NM,
+        fabric_config: FabricConfig = FabricConfig(),
+    ) -> None:
+        if num_dpus < 1:
+            raise ValueError(f"need >= 1 DPU: {num_dpus}")
+        self.engine = Engine()
+        self.config = config
+        self.dpus: List[DPU] = [
+            DPU(config, engine=self.engine) for _ in range(num_dpus)
+        ]
+        self.fabric = IBFabric(self.engine, num_dpus, fabric_config)
+
+    @property
+    def num_dpus(self) -> int:
+        return len(self.dpus)
+
+    def run(self, processes, limit_cycles: float = 10**13):
+        """Drive the shared engine until every process completes."""
+        gate = self.engine.all_of(list(processes))
+        return self.engine.run_until_complete(gate, limit=limit_cycles)
+
+    def launch_everywhere(
+        self,
+        kernel: Callable,
+        args_for_dpu: Optional[Callable[[int], Sequence]] = None,
+        cores: Optional[Sequence[int]] = None,
+    ):
+        """Spawn ``kernel(ctx, dpu_index, *extra)`` on every DPU's
+        cores concurrently; returns the flat process list (not yet
+        run — compose with A9 processes, then :meth:`run`)."""
+        processes = []
+        for index, dpu in enumerate(self.dpus):
+            extra = tuple(args_for_dpu(index)) if args_for_dpu else ()
+            processes.extend(
+                dpu.spawn_kernels(kernel, args=(index, *extra), cores=cores)
+            )
+        return processes
+
+    def total_watts(self) -> float:
+        return self.num_dpus * self.config.tdp_watts
+
+
+@dataclass(frozen=True)
+class RackSpec:
+    """Provisioning arithmetic for a 42U rack of DPUs (§1, §2)."""
+
+    num_dpus: int = 1440
+    dram_gb_per_dpu: float = 8.0
+    channel_gbps: float = 12.8  # DDR3-1600 peak per DPU
+    dpu_watts: float = 6.0
+    dram_watts_per_channel: float = 3.0
+    network_watts_per_dpu: float = 4.0  # shared switch + NIC share
+    rack_budget_watts: float = 20_000.0
+
+    @property
+    def aggregate_bandwidth_tbps(self) -> float:
+        return self.num_dpus * self.channel_gbps / 1000.0
+
+    @property
+    def total_capacity_tb(self) -> float:
+        return self.num_dpus * self.dram_gb_per_dpu / 1000.0
+
+    @property
+    def total_watts(self) -> float:
+        return self.num_dpus * (
+            self.dpu_watts + self.dram_watts_per_channel
+            + self.network_watts_per_dpu
+        )
+
+    def within_budget(self) -> bool:
+        return self.total_watts <= self.rack_budget_watts
+
+    def seconds_to_scan(self, terabytes: float, efficiency: float = 0.73) -> float:
+        """Time to scan a working set at the rack's effective rate.
+
+        ``efficiency`` defaults to the measured DMS fraction of peak
+        (~9.4 of 12.8 GB/s). The paper's design point: scan 10 TB in
+        under a second.
+        """
+        effective_tbps = self.aggregate_bandwidth_tbps * efficiency
+        return terabytes / effective_tbps
+
+
+PAPER_RACK = RackSpec()

@@ -1,0 +1,184 @@
+"""Scale-out algorithms across a DPU cluster (paper §4).
+
+"Such system services allowed us to scale several of the applications
+in Section 5 across 500+ DPU clusters." The communication path is the
+one the paper describes: dpCores never touch the network — a
+designated core mailboxes its partial result (a pointer-sized
+message; bulk stays in DRAM) to the local **A9**, which runs the
+Infiniband stack and ships it to the coordinator DPU's A9.
+
+Implemented here:
+
+* :func:`cluster_hll` — distributed cardinality estimation: each DPU
+  sketches its shard with the §5.4 kernel; A9s ship the 4 KB register
+  files to DPU 0, which merges (HLL merges are lossless, so the
+  distributed estimate equals the single-node one — tested).
+* :func:`cluster_filter_count` — a distributed FILT scan: each DPU
+  filters its shard at line rate, A9s ship per-shard counts, the
+  coordinator sums.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..apps.hll import HllSketch, dpu_hll, hll_estimate
+from ..apps.sql import Between, Table, dpu_filter
+from ..core.mailbox import A9_ID
+from .rack import Cluster
+
+__all__ = ["ScaleOutResult", "cluster_hll", "cluster_filter_count"]
+
+
+@dataclass
+class ScaleOutResult:
+    """Outcome of one distributed job."""
+
+    value: Any
+    cycles: float
+    num_dpus: int
+    clock_hz: float
+    network_bytes: int
+
+    @property
+    def seconds(self) -> float:
+        return self.cycles / self.clock_hz
+
+
+def _a9_uplink(dpu, fabric, dpu_index, coordinator, nbytes):
+    """A9 process: wait for the local result pointer on the A9
+    mailbox, then ship the buffer to the coordinator's A9."""
+
+    def process():
+        _src, payload = yield from dpu.mailbox.receive(A9_ID)
+        yield from fabric.send(dpu_index, coordinator, payload, nbytes)
+
+    return process()
+
+
+def _a9_collector(cluster, coordinator, expected, merge):
+    """Coordinator A9: gather ``expected`` messages and merge."""
+
+    def process():
+        merged = None
+        for _ in range(expected):
+            _src, payload = yield from cluster.fabric.receive(coordinator)
+            merged = merge(merged, payload)
+        return merged
+
+    return process()
+
+
+def cluster_hll(
+    cluster: Cluster,
+    shards: Sequence[np.ndarray],
+    precision: int = 12,
+    hash_fn: str = "crc32",
+) -> ScaleOutResult:
+    """Distributed HyperLogLog over one u64 shard per DPU."""
+    if len(shards) != cluster.num_dpus:
+        raise ValueError(
+            f"{len(shards)} shards for {cluster.num_dpus} DPUs"
+        )
+    engine = cluster.engine
+    start = engine.now
+    coordinator = 0
+    register_bytes = (1 << precision)
+
+    processes = []
+    for index, (dpu, shard) in enumerate(zip(cluster.dpus, shards)):
+        address = dpu.store_array(shard)
+        # The sketch phase is embarrassingly parallel; running each
+        # DPU's launch on the shared clock in turn only costs fidelity
+        # on overlap the phase does not have. The exchange phase below
+        # (mailbox -> A9 -> fabric -> coordinator) is fully concurrent.
+        local_result = dpu_hll(
+            dpu, address, len(shard), precision=precision, hash_fn=hash_fn
+        )
+        registers = local_result.detail["registers"]
+
+        def sender(dpu=dpu, index=index, registers=registers):
+            core = dpu.context(0)
+            yield from core.mbox_send(A9_ID, registers)
+
+        processes.append(engine.process(sender()))
+        processes.append(
+            engine.process(
+                _a9_uplink(dpu, cluster.fabric, index, coordinator,
+                           register_bytes)
+            )
+        )
+
+    def merge(accumulator, registers):
+        if accumulator is None:
+            return registers.copy()
+        np.maximum(accumulator, registers, out=accumulator)
+        return accumulator
+
+    collector = engine.process(
+        _a9_collector(cluster, coordinator, cluster.num_dpus, merge)
+    )
+    processes.append(collector)
+    cluster.run(processes)
+    merged = collector.value
+    sketch = HllSketch(precision, merged)
+    return ScaleOutResult(
+        value=hll_estimate(sketch),
+        cycles=engine.now - start,
+        num_dpus=cluster.num_dpus,
+        clock_hz=cluster.config.clock_hz,
+        network_bytes=cluster.fabric.bytes_sent,
+    )
+
+
+def cluster_filter_count(
+    cluster: Cluster,
+    shards: Sequence[np.ndarray],
+    lo: int,
+    hi: int,
+) -> ScaleOutResult:
+    """Distributed selective count: FILT each shard, ship counts."""
+    if len(shards) != cluster.num_dpus:
+        raise ValueError(
+            f"{len(shards)} shards for {cluster.num_dpus} DPUs"
+        )
+    engine = cluster.engine
+    start = engine.now
+    coordinator = 0
+    predicate = Between("v", lo, hi)
+
+    processes = []
+    for index, (dpu, shard) in enumerate(zip(cluster.dpus, shards)):
+        table = Table(f"shard{index}", {"v": shard})
+        result = dpu_filter(dpu, table.to_dpu(dpu), predicate)
+        count = int(result.detail["selected"])
+
+        def sender(dpu=dpu, count=count):
+            core = dpu.context(0)
+            yield from core.mbox_send(A9_ID, count)
+
+        processes.append(engine.process(sender()))
+        processes.append(
+            engine.process(
+                _a9_uplink(dpu, cluster.fabric, index, coordinator, 8)
+            )
+        )
+
+    collector = engine.process(
+        _a9_collector(
+            cluster, coordinator, cluster.num_dpus,
+            lambda acc, count: (acc or 0) + count,
+        )
+    )
+    processes.append(collector)
+    cluster.run(processes)
+    return ScaleOutResult(
+        value=collector.value,
+        cycles=engine.now - start,
+        num_dpus=cluster.num_dpus,
+        clock_hz=cluster.config.clock_hz,
+        network_bytes=cluster.fabric.bytes_sent,
+    )

@@ -1,0 +1,144 @@
+"""Two-pass assembler for dpCore assembly text.
+
+Syntax, one instruction or label per line::
+
+    # comments run to end of line
+    li    r1, 4096        ; alternative comment marker
+    loop:
+    lw    r2, 0(r3)
+    filt  r4, r2
+    addi  r3, r3, 4
+    bne   r3, r1, loop
+    halt
+
+Registers are ``r0``..``r31`` (``r0`` is hardwired to zero, MIPS
+style). Immediates may be decimal (optionally negative) or ``0x`` hex.
+Pass 1 collects labels, pass 2 resolves them to instruction indices.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Optional, Tuple
+
+from .isa import OPCODES, Instruction, IsaError, Program
+
+__all__ = ["assemble"]
+
+_LABEL_RE = re.compile(r"^([A-Za-z_][\w.]*):$")
+_MEMREF_RE = re.compile(r"^(-?(?:0x[0-9A-Fa-f]+|\d+))\(r(\d+)\)$")
+_REG_RE = re.compile(r"^r(\d+)$")
+
+
+def _strip_comment(line: str) -> str:
+    for marker in ("#", ";", "//"):
+        position = line.find(marker)
+        if position >= 0:
+            line = line[:position]
+    return line.strip()
+
+
+def _parse_int(token: str, line_number: int) -> int:
+    try:
+        return int(token, 0)
+    except ValueError:
+        raise IsaError(f"line {line_number}: bad immediate {token!r}") from None
+
+
+def _parse_register(token: str, line_number: int) -> int:
+    match = _REG_RE.match(token)
+    if not match:
+        raise IsaError(f"line {line_number}: expected register, got {token!r}")
+    number = int(match.group(1))
+    if not 0 <= number < 32:
+        raise IsaError(f"line {line_number}: register r{number} out of range")
+    return number
+
+
+def _split_operands(text: str) -> List[str]:
+    if not text:
+        return []
+    return [token.strip() for token in text.split(",")]
+
+
+def _parse_instruction(
+    mnemonic: str, operand_text: str, line_number: int
+) -> Instruction:
+    spec = OPCODES.get(mnemonic)
+    if spec is None:
+        raise IsaError(f"line {line_number}: unknown opcode {mnemonic!r}")
+    tokens = _split_operands(operand_text)
+    kinds = spec.operand_kinds
+    if len(tokens) != len(kinds):
+        raise IsaError(
+            f"line {line_number}: {mnemonic} expects operands "
+            f"'{spec.operands}', got {operand_text!r}"
+        )
+    instruction = Instruction(opcode=mnemonic, source_line=line_number)
+    for kind, token in zip(kinds, tokens):
+        if kind == "rd":
+            instruction.rd = _parse_register(token, line_number)
+        elif kind == "rs":
+            instruction.rs = _parse_register(token, line_number)
+        elif kind == "rt":
+            instruction.rt = _parse_register(token, line_number)
+        elif kind == "imm":
+            instruction.imm = _parse_int(token, line_number)
+        elif kind == "imm(rs)":
+            match = _MEMREF_RE.match(token.replace(" ", ""))
+            if not match:
+                raise IsaError(
+                    f"line {line_number}: expected imm(reg), got {token!r}"
+                )
+            instruction.imm = int(match.group(1), 0)
+            register = int(match.group(2))
+            if not 0 <= register < 32:
+                raise IsaError(f"line {line_number}: register r{register} bad")
+            instruction.rs = register
+        elif kind == "label":
+            instruction.label = token
+        else:  # pragma: no cover - spec table is static
+            raise IsaError(f"line {line_number}: bad operand kind {kind}")
+    return instruction
+
+
+def assemble(source: str) -> Program:
+    """Assemble source text into a :class:`Program`."""
+    program = Program()
+    pending_labels: List[Tuple[str, int]] = []
+    for line_number, raw_line in enumerate(source.splitlines(), start=1):
+        line = _strip_comment(raw_line)
+        if not line:
+            continue
+        # Allow "label: instr" on one line.
+        label_match: Optional[re.Match] = None
+        if ":" in line:
+            head, _colon, tail = line.partition(":")
+            if _LABEL_RE.match(head.strip() + ":"):
+                label_match = _LABEL_RE.match(head.strip() + ":")
+                line = tail.strip()
+        if label_match:
+            label = label_match.group(1)
+            if label in program.labels:
+                raise IsaError(f"line {line_number}: duplicate label {label!r}")
+            program.labels[label] = len(program.instructions)
+            if not line:
+                continue
+        parts = line.split(None, 1)
+        mnemonic = parts[0].lower()
+        operand_text = parts[1] if len(parts) > 1 else ""
+        program.instructions.append(
+            _parse_instruction(mnemonic, operand_text, line_number)
+        )
+    del pending_labels
+    # Pass 2: resolve branch targets.
+    for instruction in program.instructions:
+        if instruction.label is not None:
+            target = program.labels.get(instruction.label)
+            if target is None:
+                raise IsaError(
+                    f"line {instruction.source_line}: undefined label "
+                    f"{instruction.label!r}"
+                )
+            instruction.target = target
+    return program

@@ -1,0 +1,77 @@
+"""Bit-vector utilities shared by the ISA, DMS and SQL engine.
+
+Filters produce dense bitvectors (one bit per row, little-endian bit
+order within each 64-bit word); scatter/gather descriptors and the
+BVLD instruction consume them. These helpers are the single
+definition of that format so hardware and software agree.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "pack_bits",
+    "unpack_bits",
+    "popcount64",
+    "ntz64",
+    "nlz64",
+    "selected_indices",
+    "bitvector_words",
+]
+
+
+def bitvector_words(num_rows: int) -> int:
+    """Number of 64-bit words needed for ``num_rows`` bits."""
+    return -(-num_rows // 64)
+
+
+def pack_bits(bits: np.ndarray) -> np.ndarray:
+    """Pack a boolean array into uint64 words, bit i of word w being
+    row ``w*64 + i`` (little-endian bit order)."""
+    bools = np.asarray(bits, dtype=bool)
+    padded = np.zeros(bitvector_words(len(bools)) * 64, dtype=bool)
+    padded[: len(bools)] = bools
+    # np.packbits is big-endian within bytes; ask for little explicitly.
+    packed_bytes = np.packbits(padded, bitorder="little")
+    return packed_bytes.view(np.uint64)
+
+
+def unpack_bits(words: np.ndarray, num_rows: int) -> np.ndarray:
+    """Inverse of :func:`pack_bits` (truncated to ``num_rows``)."""
+    raw = np.asarray(words, dtype=np.uint64).view(np.uint8)
+    bits = np.unpackbits(raw, bitorder="little")
+    return bits[:num_rows].astype(bool)
+
+
+def selected_indices(words: np.ndarray, num_rows: int) -> np.ndarray:
+    """Row ids (RIDs) of set bits — what a gather descriptor consumes."""
+    return np.nonzero(unpack_bits(words, num_rows))[0]
+
+
+def popcount64(value: int) -> int:
+    """Population count of a 64-bit word (the dpCore POPC instruction)."""
+    return bin(value & (2**64 - 1)).count("1")
+
+
+def ntz64(value: int) -> int:
+    """Number of trailing zeros, via the POPC idiom the paper exploits:
+    ``popc((x & -x) - 1)`` — 4 dpCore instructions (§5.4)."""
+    value &= 2**64 - 1
+    if value == 0:
+        return 64
+    isolated = value & (-value & (2**64 - 1))
+    return popcount64(isolated - 1)
+
+
+def nlz64(value: int) -> int:
+    """Number of leading zeros — the slow (~13 cycle) path without a
+    CLZ instruction: smear bits right then popcount the complement."""
+    value &= 2**64 - 1
+    value |= value >> 1
+    value |= value >> 2
+    value |= value >> 4
+    value |= value >> 8
+    value |= value >> 16
+    value |= value >> 32
+    return 64 - popcount64(value)

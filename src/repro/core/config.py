@@ -1,0 +1,115 @@
+"""SoC configurations for the DPU (40 nm chip and 16 nm shrink).
+
+All timing constants live here so DESIGN.md's calibration story is in
+one auditable place. One simulated time unit = one dpCore cycle
+(800 MHz), so DDR3-1600's 12.8 GB/s peak is 16 bytes/cycle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Tuple
+
+__all__ = ["DPUConfig", "DPU_40NM", "DPU_16NM", "XEON_TDP_WATTS"]
+
+XEON_TDP_WATTS = 145.0  # Intel Xeon E5-2699 v3, per socket (paper §5)
+
+
+@dataclass(frozen=True)
+class DPUConfig:
+    """Parameters of one DPU SoC.
+
+    The defaults describe the fabricated 40 nm part (paper §2): 32
+    dpCores in 4 macros at 800 MHz, one DDR3-1600 channel, 32 KB DMEM
+    per core, 6 W provisioned power. :data:`DPU_16NM` describes the
+    §2.5 process shrink.
+    """
+
+    name: str = "dpu-40nm"
+    # -- cores ----------------------------------------------------------
+    num_cores: int = 32
+    cores_per_macro: int = 8
+    clock_hz: float = 800e6
+    # -- memory system ----------------------------------------------------
+    ddr_capacity: int = 128 * 1024 * 1024  # modelled DRAM (chip had 8 GB)
+    ddr_peak_bytes_per_cycle: float = 16.0  # 12.8 GB/s DDR3-1600
+    ddr_transaction_overhead_cycles: float = 4.0  # per <=256 B AXI txn
+    ddr_row_miss_cycles: float = 25.0
+    ddr_row_size: int = 4096
+    ddr_num_banks: int = 8
+    ddr_write_row_miss_factor: float = 0.25  # posted-write coalescing
+    ddr_latency_cycles: int = 110  # cached-path fill latency
+    dmem_size: int = 32 * 1024
+    l1d_size: int = 16 * 1024
+    l1i_size: int = 8 * 1024
+    l2_size: int = 256 * 1024
+    # -- DMS ----------------------------------------------------------------
+    dms_descriptor_setup_cycles: int = 8  # DMAD dequeue/decode
+    dms_dmac_decode_cycles: float = 5.0  # controller work per descriptor
+    dms_max_outstanding: int = 4  # descriptors in flight per DMAD
+    dmax_bytes_per_cycle: float = 16.0  # per-macro crossbar
+    dmax_arbitration_cycles: float = 4.0
+    dms_hash_bytes_per_cycle: float = 16.0  # hash engine keeps line rate
+    dms_gather_row_penalty_bytes: int = 32  # DRAM inefficiency per row
+    cmem_banks: int = 3
+    cmem_bank_bytes: int = 8 * 1024
+    crc_banks: int = 2
+    crc_bank_bytes: int = 1024
+    cid_banks: int = 2
+    cid_bank_bytes: int = 256
+    bv_banks: int = 4
+    bv_bank_bytes: int = 4 * 1024
+    rtl_gather_bug: bool = True  # first silicon's gather FIFO overflow
+    # -- ATE ----------------------------------------------------------------
+    ate_local_crossbar_cycles: int = 12  # within a macro, one way
+    ate_global_crossbar_cycles: int = 22  # macro-to-macro hop, one way
+    ate_hw_execute_cycles: int = 6  # remote pipeline injection
+    ate_amo_extra_cycles: int = 4  # fetch-add / CAS ALU pass
+    ate_sw_handler_overhead_cycles: int = 320  # interrupt+dispatch+return
+    # -- mailbox --------------------------------------------------------------
+    mbc_send_cycles: int = 20
+    mbc_interrupt_cycles: int = 60
+    # -- power (watts; Figure 5 breakdown sums to provisioned total) ------
+    provisioned_watts: float = 5.8
+    tdp_watts: float = 6.0  # number used for perf/watt in §5
+    dpcore_dynamic_watts: float = 0.051  # 51 mW per core at 800 MHz
+    # -- scale-out -------------------------------------------------------------
+    num_complexes: int = 1  # 16 nm part replicates the 32-core complex
+
+    @property
+    def num_macros(self) -> int:
+        return self.num_cores // self.cores_per_macro
+
+    @property
+    def total_cores(self) -> int:
+        return self.num_cores * self.num_complexes
+
+    @property
+    def ddr_peak_gbps(self) -> float:
+        return self.ddr_peak_bytes_per_cycle * self.clock_hz / 1e9
+
+    @property
+    def core_ids(self) -> Tuple[int, ...]:
+        return tuple(range(self.num_cores))
+
+    def macro_of(self, core_id: int) -> int:
+        return core_id // self.cores_per_macro
+
+    def with_updates(self, **changes) -> "DPUConfig":
+        return replace(self, **changes)
+
+
+DPU_40NM = DPUConfig()
+
+# §2.5: the 16 nm shrink packs 5 copies of the 32-dpCore complex,
+# upgrades to DDR4-3200 (76 GB/s per DPU => 15.2 GB/s = 19 B/cycle per
+# complex), and raises TDP to 12 W. Compute and bandwidth both scale
+# ~5x for ~2x power: 2.5x better perf/watt.
+DPU_16NM = DPUConfig(
+    name="dpu-16nm",
+    num_complexes=5,
+    ddr_peak_bytes_per_cycle=19.0,
+    provisioned_watts=12.0,
+    tdp_watts=12.0,
+    rtl_gather_bug=False,
+)

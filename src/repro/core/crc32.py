@@ -1,0 +1,89 @@
+"""CRC32 hashcode generation.
+
+The dpCore ISA accelerates CRC32 (paper §2.2) and the DMS hash engine
+"can apply a CRC32 checksum to the elements of the column memories"
+(§3.1). Both use the standard reflected CRC-32 polynomial 0xEDB88320
+(the IEEE 802.3 CRC, same as zlib), so hash partitions computed by the
+DMS agree with ones computed in software on a dpCore — the property
+the paper's query engine relies on when mixing hardware and software
+partitioning rounds.
+
+Scalar and vectorized (numpy) versions are provided; the vectorized
+version processes whole key columns for the DMS pipeline.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["crc32_u32", "crc32_u64", "crc32_bytes", "crc32_column", "murmur64"]
+
+_POLY = 0xEDB88320
+
+
+def _build_table() -> np.ndarray:
+    table = np.zeros(256, dtype=np.uint32)
+    for byte in range(256):
+        crc = byte
+        for _ in range(8):
+            crc = (crc >> 1) ^ (_POLY if crc & 1 else 0)
+        table[byte] = crc
+    return table
+
+
+_TABLE = _build_table()
+
+
+def crc32_bytes(data: bytes, seed: int = 0) -> int:
+    """CRC32 of a byte string (zlib-compatible)."""
+    crc = (~seed) & 0xFFFFFFFF
+    for byte in data:
+        crc = (crc >> 8) ^ int(_TABLE[(crc ^ byte) & 0xFF])
+    return (~crc) & 0xFFFFFFFF
+
+
+def crc32_u32(value: int, seed: int = 0) -> int:
+    """CRC32 of a 32-bit little-endian value (one CRC32W instruction)."""
+    return crc32_bytes(int(value & 0xFFFFFFFF).to_bytes(4, "little"), seed)
+
+
+def crc32_u64(value: int, seed: int = 0) -> int:
+    """CRC32 of a 64-bit little-endian value (one CRC32D instruction)."""
+    return crc32_bytes(int(value & 2**64 - 1).to_bytes(8, "little"), seed)
+
+
+def crc32_column(column: np.ndarray, seed: int = 0) -> np.ndarray:
+    """Vectorized CRC32 of each element of a 1/2/4/8-byte key column.
+
+    This is the DMS hash engine's operation: one 32-bit hash per key,
+    written to CRC memory. Matches :func:`crc32_u32`/:func:`crc32_u64`
+    element-for-element.
+    """
+    if column.dtype.itemsize not in (1, 2, 4, 8):
+        raise ValueError(f"unsupported key width {column.dtype.itemsize}")
+    raw = np.ascontiguousarray(column).view(np.uint8).reshape(
+        len(column), column.dtype.itemsize
+    )
+    crc = np.full(len(column), 0xFFFFFFFF, dtype=np.uint32)
+    for byte_index in range(raw.shape[1]):
+        crc = (crc >> np.uint32(8)) ^ _TABLE[
+            (crc ^ raw[:, byte_index].astype(np.uint32)) & np.uint32(0xFF)
+        ]
+    return ~crc
+
+
+def murmur64(value: int, seed: int = 0) -> int:
+    """MurmurHash3 finalizer-style 64-bit hash (fmix64).
+
+    Used by the HyperLogLog comparison (§5.4): Murmur needs full-width
+    64x64 multiplies, which are slow on the dpCore's low-power
+    multiplier — exactly why the paper's CRC32 variant wins there.
+    """
+    mask = 2**64 - 1
+    h = (value ^ seed) & mask
+    h ^= h >> 33
+    h = (h * 0xFF51AFD7ED558CCD) & mask
+    h ^= h >> 33
+    h = (h * 0xC4CEB9FE1A85EC53) & mask
+    h ^= h >> 33
+    return h

@@ -1,0 +1,373 @@
+"""Cycle-approximate dpCore interpreter.
+
+Executes assembled dpCore programs against a DMEM scratchpad with the
+paper's timing rules (§2.2):
+
+* dual issue — one ALU-pipe and one LSU-pipe instruction may retire in
+  the same cycle when adjacent and dependence-free;
+* single-cycle DMEM loads/stores and single-cycle analytics
+  instructions (FILT, CRC32, POPC, BVLD);
+* a low-power multiplier that stalls the pipeline for an
+  operand-dependent number of cycles (the reason Murmur64 hashing is
+  slow, §5.4);
+* a static conditional branch predictor: backward taken, forward not
+  taken, with a short mispredict penalty.
+
+The interpreter is the *ground truth* for kernel-level cost constants
+used by the task-level application models — e.g. the ~1.65
+cycles/tuple filter loop of Figure 15 runs here as real code.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from ..memory.dmem import Scratchpad
+from .bitvector import popcount64
+from .crc32 import crc32_u32, crc32_u64
+from .isa import Instruction, IsaError, Program, Unit
+
+__all__ = ["DpCoreInterpreter", "ExecutionResult", "MISPREDICT_PENALTY", "mul_latency"]
+
+_MASK64 = 2**64 - 1
+MISPREDICT_PENALTY = 2  # short in-order pipeline (paper: "simple" predictor)
+
+
+def _to_signed(value: int) -> int:
+    value &= _MASK64
+    return value - 2**64 if value >= 2**63 else value
+
+
+def mul_latency(a: int, b: int) -> int:
+    """Operand-dependent multiplier latency.
+
+    The dpCore multiplier is iterative: cost grows with the magnitude
+    of the smaller operand (early-out on exhausted bits). A 64-bit
+    constant multiply (Murmur64) costs ~11 cycles; a small loop index
+    multiply costs ~4.
+    """
+    bits = min(
+        max(1, abs(_to_signed(a)).bit_length()),
+        max(1, abs(_to_signed(b)).bit_length()),
+    )
+    return 3 + -(-bits // 8)
+
+
+@dataclass
+class ExecutionResult:
+    """Statistics from one interpreter run."""
+
+    cycles: int = 0
+    instructions: int = 0
+    dual_issues: int = 0
+    branches: int = 0
+    mispredicts: int = 0
+    mem_ops: int = 0
+    halted: bool = False
+    unit_mix: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def ipc(self) -> float:
+        return self.instructions / self.cycles if self.cycles else 0.0
+
+    @property
+    def cycles_per_instruction(self) -> float:
+        return self.cycles / self.instructions if self.instructions else 0.0
+
+
+class DpCoreInterpreter:
+    """One dpCore executing a program against its DMEM."""
+
+    def __init__(
+        self,
+        program: Program,
+        dmem: Optional[Scratchpad] = None,
+        core_id: int = 0,
+        dual_issue: bool = True,
+        profile: bool = False,
+    ) -> None:
+        self.program = program
+        self.dmem = dmem if dmem is not None else Scratchpad(core_id)
+        self.core_id = core_id
+        self.dual_issue = dual_issue  # ablation hook: single-issue mode
+        self.profile = profile
+        self.pc_counts: Dict[int, int] = {}
+        self.regs = [0] * 32
+        self.pc = 0
+        # Analytics state: filter bounds and the bit-vector accumulator.
+        self.filt_lo = 0
+        self.filt_hi = 0
+        self.bvacc = 0
+        self.bvcnt = 0
+        self.halted = False
+        self.result = ExecutionResult()
+
+    # -- register helpers ---------------------------------------------
+
+    def read_reg(self, index: int) -> int:
+        return 0 if index == 0 else self.regs[index]
+
+    def write_reg(self, index: Optional[int], value: int) -> None:
+        if index is None or index == 0:
+            return
+        self.regs[index] = value & _MASK64
+
+    # -- execution ------------------------------------------------------
+
+    def run(self, max_cycles: int = 10**9) -> ExecutionResult:
+        """Execute until HALT, falling off the end, or ``max_cycles``."""
+        while not self.halted and self.pc < len(self.program):
+            if self.result.cycles >= max_cycles:
+                break
+            self._step()
+        return self.result
+
+    def _step(self) -> None:
+        if self.profile:
+            self.pc_counts[self.pc] = self.pc_counts.get(self.pc, 0) + 1
+        first = self.program[self.pc]
+        second = self._dual_issue_partner(first)
+        cycles = self._latency(first)
+        taken_branch = self._execute(first)
+        if second is not None and taken_branch is None:
+            cycles = max(cycles, self._latency(second))
+            self.result.dual_issues += 1
+            self.pc += 1  # consume the partner slot
+            branch_from_second = self._execute(second)
+            assert branch_from_second is None  # partners are never branches
+        if first.spec.unit is Unit.BRANCH:
+            self.result.branches += 1
+            cycles += self._branch_penalty(first, taken_branch)
+        self.result.cycles += cycles
+        self.result.instructions += 1 + (1 if second is not None else 0)
+        self._count_unit(first)
+        if second is not None:
+            self._count_unit(second)
+        if taken_branch is not None:
+            self.pc = taken_branch
+        else:
+            self.pc += 1
+
+    def _count_unit(self, instruction: Instruction) -> None:
+        name = instruction.spec.unit.value
+        mix = self.result.unit_mix
+        mix[name] = mix.get(name, 0) + 1
+        if instruction.spec.unit is Unit.LSU:
+            self.result.mem_ops += 1
+
+    def _latency(self, instruction: Instruction) -> int:
+        if instruction.opcode == "mul":
+            return mul_latency(
+                self.read_reg(instruction.rs), self.read_reg(instruction.rt)
+            )
+        return instruction.spec.latency
+
+    def _dual_issue_partner(self, first: Instruction) -> Optional[Instruction]:
+        """The next instruction, if it may retire this same cycle."""
+        if not self.dual_issue:
+            return None
+        if first.spec.serializing or first.spec.unit not in (Unit.ALU, Unit.LSU):
+            return None
+        next_pc = self.pc + 1
+        if next_pc >= len(self.program):
+            return None
+        second = self.program[next_pc]
+        if second.spec.serializing or second.spec.unit not in (Unit.ALU, Unit.LSU):
+            return None
+        if second.spec.unit is first.spec.unit:
+            return None  # need one ALU + one LSU
+        written = set(first.writes())
+        if written & set(second.reads()):
+            return None  # RAW
+        if written & set(second.writes()):
+            return None  # WAW
+        # Branch targets must not land between the pair.
+        if next_pc in self._branch_target_set():
+            return None
+        return second
+
+    def _branch_target_set(self):
+        cached = getattr(self, "_targets_cache", None)
+        if cached is None:
+            cached = {
+                ins.target
+                for ins in self.program.instructions
+                if ins.target is not None
+            }
+            self._targets_cache = cached
+        return cached
+
+    def _branch_penalty(self, instruction: Instruction, taken: Optional[int]) -> int:
+        """Static predictor: backward taken, forward not taken."""
+        if instruction.opcode in ("j", "jal", "jr"):
+            return 0  # unconditional: resolved in decode
+        assert instruction.target is not None
+        predicted_taken = instruction.target <= self.pc
+        actually_taken = taken is not None
+        if predicted_taken != actually_taken:
+            self.result.mispredicts += 1
+            return MISPREDICT_PENALTY
+        return 0
+
+    # -- semantics ------------------------------------------------------
+
+    def _execute(self, ins: Instruction) -> Optional[int]:
+        """Execute one instruction; returns branch target if taken."""
+        op = ins.opcode
+        rs = self.read_reg(ins.rs) if ins.rs is not None else 0
+        rt = self.read_reg(ins.rt) if ins.rt is not None else 0
+        imm = ins.imm if ins.imm is not None else 0
+
+        if op in ("add", "addi"):
+            other = rt if op == "add" else imm
+            self.write_reg(ins.rd, rs + other)
+        elif op == "sub":
+            self.write_reg(ins.rd, rs - rt)
+        elif op in ("and", "andi"):
+            self.write_reg(ins.rd, rs & (rt if op == "and" else imm))
+        elif op in ("or", "ori"):
+            self.write_reg(ins.rd, rs | (rt if op == "or" else imm))
+        elif op in ("xor", "xori"):
+            self.write_reg(ins.rd, rs ^ (rt if op == "xor" else imm))
+        elif op in ("sll", "slli"):
+            shift = (rt if op == "sll" else imm) & 63
+            self.write_reg(ins.rd, rs << shift)
+        elif op in ("srl", "srli"):
+            shift = (rt if op == "srl" else imm) & 63
+            self.write_reg(ins.rd, (rs & _MASK64) >> shift)
+        elif op in ("sra", "srai"):
+            shift = (rt if op == "sra" else imm) & 63
+            self.write_reg(ins.rd, _to_signed(rs) >> shift)
+        elif op in ("slt", "slti"):
+            other = _to_signed(rt) if op == "slt" else imm
+            self.write_reg(ins.rd, 1 if _to_signed(rs) < other else 0)
+        elif op == "sltu":
+            self.write_reg(ins.rd, 1 if (rs & _MASK64) < (rt & _MASK64) else 0)
+        elif op == "li":
+            self.write_reg(ins.rd, imm)
+        elif op == "lui":
+            self.write_reg(ins.rd, imm << 16)
+        elif op == "mov":
+            self.write_reg(ins.rd, rs)
+        elif op == "mul":
+            self.write_reg(ins.rd, _to_signed(rs) * _to_signed(rt))
+        elif op == "div":
+            if rt == 0:
+                self.write_reg(ins.rd, _MASK64)
+            else:
+                a, b = _to_signed(rs), _to_signed(rt)
+                quotient = abs(a) // abs(b)
+                self.write_reg(ins.rd, -quotient if (a < 0) != (b < 0) else quotient)
+        elif op == "rem":
+            if rt == 0:
+                self.write_reg(ins.rd, rs)
+            else:
+                a, b = _to_signed(rs), _to_signed(rt)
+                remainder = abs(a) % abs(b)
+                self.write_reg(ins.rd, -remainder if a < 0 else remainder)
+        elif op == "nop":
+            pass
+        elif op == "crc32w":
+            seed = self.read_reg(ins.rd)
+            self.write_reg(ins.rd, crc32_u32(rs, seed & 0xFFFFFFFF))
+        elif op == "crc32d":
+            seed = self.read_reg(ins.rd)
+            self.write_reg(ins.rd, crc32_u64(rs, seed & 0xFFFFFFFF))
+        elif op == "popc":
+            self.write_reg(ins.rd, popcount64(rs))
+        elif op == "filt":
+            bit = 1 if self.filt_lo <= _to_signed(rs) <= self.filt_hi else 0
+            self.write_reg(ins.rd, bit)
+            self.bvacc = ((self.bvacc >> 1) | (bit << 63)) & _MASK64
+            self.bvcnt += 1
+        elif op == "setfl":
+            self.filt_lo = _to_signed(rs)
+        elif op == "setfh":
+            self.filt_hi = _to_signed(rs)
+        elif op == "rdbv":
+            self.write_reg(ins.rd, self.bvacc)
+        elif op == "clrbv":
+            self.bvacc = 0
+            self.bvcnt = 0
+        elif op == "bvext":
+            if self.bvacc == 0:
+                self.write_reg(ins.rd, _MASK64)  # -1: empty
+            else:
+                isolated = self.bvacc & (-self.bvacc & _MASK64)
+                index = popcount64(isolated - 1)
+                self.bvacc &= self.bvacc - 1
+                self.write_reg(ins.rd, index)
+        elif op in ("ld", "lw", "lwu", "lh", "lhu", "lb", "lbu"):
+            address = (rs + imm) & _MASK64
+            self.write_reg(ins.rd, self._load(op, address))
+        elif op in ("sd", "sw", "sh", "sb"):
+            address = (rs + imm) & _MASK64
+            self._store(op, address, rt)
+        elif op == "bvld":
+            address = (rs + imm) & _MASK64
+            self.bvacc = self.dmem.read_u64(int(address))
+            self.bvcnt = 0
+        elif op in ("beq", "bne", "blt", "bge", "bltu", "bgeu"):
+            taken = self._branch_condition(op, rs, rt)
+            return ins.target if taken else None
+        elif op == "j":
+            return ins.target
+        elif op == "jal":
+            self.write_reg(ins.rd, self.pc + 1)
+            return ins.target
+        elif op == "jr":
+            return rs & _MASK64
+        elif op in ("fence", "cflush", "cinval"):
+            pass  # timing handled at task level; semantics are no-ops here
+        elif op == "wfe":
+            pass  # event integration lives in the task-level runtime
+        elif op == "halt":
+            self.halted = True
+            self.result.halted = True
+        else:  # pragma: no cover - spec table is closed
+            raise IsaError(f"unimplemented opcode {op!r}")
+        return None
+
+    def _branch_condition(self, op: str, rs: int, rt: int) -> bool:
+        if op == "beq":
+            return rs == rt
+        if op == "bne":
+            return rs != rt
+        if op == "blt":
+            return _to_signed(rs) < _to_signed(rt)
+        if op == "bge":
+            return _to_signed(rs) >= _to_signed(rt)
+        if op == "bltu":
+            return (rs & _MASK64) < (rt & _MASK64)
+        return (rs & _MASK64) >= (rt & _MASK64)  # bgeu
+
+    def _load(self, op: str, address: int) -> int:
+        address = int(address)
+        if op == "ld":
+            return self.dmem.read_u64(address)
+        if op in ("lw", "lwu"):
+            raw = int(self.dmem.view(address, 4, dtype="<u4")[0])
+            if op == "lw" and raw >= 2**31:
+                raw -= 2**32
+            return raw & _MASK64
+        if op in ("lh", "lhu"):
+            raw = int(self.dmem.view(address, 2, dtype="<u2")[0])
+            if op == "lh" and raw >= 2**15:
+                raw -= 2**16
+            return raw & _MASK64
+        raw = int(self.dmem.view(address, 1, dtype="u1")[0])
+        if op == "lb" and raw >= 2**7:
+            raw -= 2**8
+        return raw & _MASK64
+
+    def _store(self, op: str, address: int, value: int) -> None:
+        address = int(address)
+        if op == "sd":
+            self.dmem.write_u64(address, value)
+        elif op == "sw":
+            self.dmem.view(address, 4, dtype="<u4")[0] = value & 0xFFFFFFFF
+        elif op == "sh":
+            self.dmem.view(address, 2, dtype="<u2")[0] = value & 0xFFFF
+        else:
+            self.dmem.view(address, 1, dtype="u1")[0] = value & 0xFF

@@ -1,0 +1,381 @@
+"""The DPU SoC: dpCore complex + DMS + ATE + MBC + ARM/M0 blocks.
+
+:class:`DPU` wires every modelled unit of the chip together (paper
+Figure 3) and provides the software entry point: ``launch`` runs a
+kernel — a Python generator taking a :class:`CoreContext` — on a set
+of dpCores to completion, mirroring the runtime's cooperative
+run-to-completion scheduling (§4).
+
+The :class:`CoreContext` is the per-core "system utilities" layer a
+dpCore program links against: cycle charging for compute, DMS
+descriptor pushes and ``wfe``, ATE RPCs, mailbox access, cache
+maintenance and heap allocation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from ..ate import Ate
+from ..dms import Descriptor, Dmac, Dmad, Dmax, EventFile
+from ..memory import (
+    AddressMap,
+    CacheConfig,
+    DDRChannel,
+    DDRMemory,
+    HeapAllocator,
+    MacroCacheHierarchy,
+    Scratchpad,
+)
+from ..sim import Engine, SimulationError, StatsRecorder
+from .config import DPU_40NM, DPUConfig
+from .mailbox import MailboxController
+from .pmu import PowerManagementUnit
+from .power import PowerModel
+
+__all__ = ["DPU", "CoreContext", "LaunchResult"]
+
+_HEAP_BASE = 4096  # keep address 0 unmapped-ish for easier debugging
+
+
+@dataclass
+class LaunchResult:
+    """Outcome of one kernel launch across dpCores."""
+
+    values: List[Any]
+    start_cycle: float
+    end_cycle: float
+    config: DPUConfig
+
+    @property
+    def cycles(self) -> float:
+        return self.end_cycle - self.start_cycle
+
+    @property
+    def seconds(self) -> float:
+        return self.cycles / self.config.clock_hz
+
+    def gbps(self, nbytes: float) -> float:
+        """Throughput in GB/s for ``nbytes`` moved during the launch."""
+        if self.cycles <= 0:
+            return 0.0
+        return nbytes / self.seconds / 1e9
+
+    def rate_per_second(self, count: float) -> float:
+        """Events per second (tuples, rows, queries...)."""
+        if self.cycles <= 0:
+            return 0.0
+        return count / self.seconds
+
+
+class DPU:
+    """One Data Processing Unit SoC instance."""
+
+    def __init__(
+        self,
+        config: DPUConfig = DPU_40NM,
+        engine: Optional[Engine] = None,
+    ) -> None:
+        self.config = config
+        self.engine = engine if engine is not None else Engine()
+        self.stats = StatsRecorder()
+        self.address_map = AddressMap(
+            ddr_capacity=config.ddr_capacity, num_cores=config.num_cores
+        )
+        self.ddr = DDRMemory(self.address_map)
+        self.ddr_channel = DDRChannel(
+            self.engine,
+            peak_bytes_per_cycle=config.ddr_peak_bytes_per_cycle,
+            transaction_overhead_cycles=config.ddr_transaction_overhead_cycles,
+            row_miss_cycles=config.ddr_row_miss_cycles,
+            row_size=config.ddr_row_size,
+            num_banks=config.ddr_num_banks,
+            write_row_miss_factor=config.ddr_write_row_miss_factor,
+        )
+        self.scratchpads: Dict[int, Scratchpad] = {
+            core: Scratchpad(core, config.dmem_size) for core in config.core_ids
+        }
+        self.event_files: Dict[int, EventFile] = {
+            core: EventFile(self.engine, core) for core in config.core_ids
+        }
+        self.dmaxes = [
+            Dmax(
+                self.engine,
+                macro,
+                bytes_per_cycle=config.dmax_bytes_per_cycle,
+                arbitration_cycles=config.dmax_arbitration_cycles,
+            )
+            for macro in range(config.num_macros)
+        ]
+        self.dmac = Dmac(
+            self.engine,
+            config,
+            self.ddr,
+            self.ddr_channel,
+            self.scratchpads,
+            self.event_files,
+            self.dmaxes,
+            stats=self.stats,
+        )
+        self.dmads: Dict[int, Dmad] = {
+            core: Dmad(
+                self.engine, core, self.dmac, self.event_files[core], config,
+                stats=self.stats,
+            )
+            for core in config.core_ids
+        }
+        self.ate = Ate(
+            self.engine,
+            config,
+            self.address_map,
+            self.ddr,
+            self.scratchpads,
+            stats=self.stats,
+        )
+        self.mailbox = MailboxController(self.engine, config, stats=self.stats)
+        self.heap = HeapAllocator(
+            base=_HEAP_BASE,
+            capacity=config.ddr_capacity - _HEAP_BASE,
+            num_cores=config.num_cores,
+        )
+        self.caches: List[MacroCacheHierarchy] = [
+            MacroCacheHierarchy(
+                core_ids=range(
+                    macro * config.cores_per_macro,
+                    (macro + 1) * config.cores_per_macro,
+                ),
+                l1d_config=CacheConfig(size=config.l1d_size),
+                l2_config=CacheConfig(
+                    size=config.l2_size, associativity=8, hit_cycles=12
+                ),
+                ddr_latency_cycles=config.ddr_latency_cycles,
+                l1i_config=CacheConfig(size=config.l1i_size, associativity=2),
+            )
+            for macro in range(config.num_macros)
+        ]
+        self.pmu = PowerManagementUnit(config)
+        self.power = PowerModel(config)
+
+    # -- memory helpers ------------------------------------------------------
+
+    def store_array(self, array: np.ndarray, core_id: int = 0) -> int:
+        """Allocate DDR for ``array``, copy it in, return the address."""
+        raw = np.ascontiguousarray(array).view(np.uint8).ravel()
+        address = self.heap.malloc(max(len(raw), 1), core_id)
+        self.ddr.write(address, raw)
+        return address
+
+    def load_array(self, address: int, count: int, dtype) -> np.ndarray:
+        """Typed copy of DDR contents (e.g. to check kernel output)."""
+        itemsize = np.dtype(dtype).itemsize
+        return self.ddr.read(address, count * itemsize).view(dtype).copy()
+
+    def alloc(self, nbytes: int, core_id: int = 0) -> int:
+        return self.heap.malloc(nbytes, core_id)
+
+    def free(self, address: int) -> None:
+        self.heap.free(address)
+
+    # -- kernel launch ----------------------------------------------------------
+
+    def context(self, core_id: int) -> "CoreContext":
+        return CoreContext(self, core_id)
+
+    def launch(
+        self,
+        kernel: Callable,
+        args: Sequence[Any] = (),
+        cores: Optional[Iterable[int]] = None,
+        per_core_args: Optional[Dict[int, Sequence[Any]]] = None,
+        limit_cycles: float = 10**13,
+    ) -> LaunchResult:
+        """Run ``kernel(ctx, *args)`` on each core; collect returns.
+
+        ``per_core_args`` overrides ``args`` for specific cores. The
+        launch is complete when every core's kernel generator returns
+        (cooperative run-to-completion, no preemption — §4).
+        """
+        core_list = list(cores) if cores is not None else list(self.config.core_ids)
+        start = self.engine.now
+        processes = []
+        for core_id in core_list:
+            context = self.context(core_id)
+            kernel_args = (
+                per_core_args[core_id]
+                if per_core_args is not None and core_id in per_core_args
+                else args
+            )
+            processes.append(
+                self.engine.process(
+                    kernel(context, *kernel_args), name=f"core{core_id}"
+                )
+            )
+        gate = self.engine.all_of(processes)
+        values = self.engine.run_until_complete(gate, limit=limit_cycles)
+        return LaunchResult(
+            values=values,
+            start_cycle=start,
+            end_cycle=self.engine.now,
+            config=self.config,
+        )
+
+    def spawn_kernels(
+        self,
+        kernel: Callable,
+        args: Sequence[Any] = (),
+        cores: Optional[Iterable[int]] = None,
+        per_core_args: Optional[Dict[int, Sequence[Any]]] = None,
+    ) -> List[Any]:
+        """Start kernels WITHOUT driving the engine.
+
+        For multi-DPU simulations sharing one engine: spawn kernels on
+        every DPU first, then run the engine once (e.g. via
+        ``engine.run_until_complete(engine.all_of(processes))``).
+        """
+        core_list = list(cores) if cores is not None else list(self.config.core_ids)
+        processes = []
+        for core_id in core_list:
+            context = self.context(core_id)
+            kernel_args = (
+                per_core_args[core_id]
+                if per_core_args is not None and core_id in per_core_args
+                else args
+            )
+            processes.append(
+                self.engine.process(
+                    kernel(context, *kernel_args), name=f"core{core_id}"
+                )
+            )
+        return processes
+
+    def run_process(self, generator, limit_cycles: float = 10**13) -> Any:
+        """Run one bare process to completion (e.g. an A9-side driver)."""
+        process = self.engine.process(generator)
+        return self.engine.run_until_complete(process, limit=limit_cycles)
+
+    # -- reporting ----------------------------------------------------------------
+
+    def seconds(self, cycles: float) -> float:
+        return cycles / self.config.clock_hz
+
+    def gbps(self, nbytes: float, cycles: float) -> float:
+        if cycles <= 0:
+            return 0.0
+        return nbytes / self.seconds(cycles) / 1e9
+
+    def perf_per_watt(self, throughput: float) -> float:
+        return self.power.perf_per_watt(throughput)
+
+
+class CoreContext:
+    """Software's view of one dpCore (the runtime utility layer)."""
+
+    def __init__(self, dpu: DPU, core_id: int) -> None:
+        if core_id not in dpu.scratchpads:
+            raise SimulationError(f"no such core {core_id}")
+        self.dpu = dpu
+        self.core_id = core_id
+        self.engine = dpu.engine
+        self.config = dpu.config
+        self.dmem = dpu.scratchpads[core_id]
+        self.events = dpu.event_files[core_id]
+        self.dmad = dpu.dmads[core_id]
+        self.ate = dpu.ate
+        self.macro = dpu.config.macro_of(core_id)
+
+    # -- compute ------------------------------------------------------------
+
+    def compute(self, cycles: float):
+        """Charge ``cycles`` of dpCore execution time.
+
+        Software-RPC interrupt work that arrived since the last charge
+        (ATE "interrupt debt") is drained into this charge, modelling
+        handler execution stealing cycles from the application thread.
+        """
+        debt = self.ate.interrupt_debt.get(self.core_id, 0.0)
+        if debt:
+            self.ate.interrupt_debt[self.core_id] = 0.0
+            cycles += debt
+        if cycles > 0:
+            yield self.engine.timeout(cycles)
+
+    # -- DMS ---------------------------------------------------------------------
+
+    def push(self, descriptor: Descriptor, channel: int = 0) -> None:
+        """Issue a descriptor to this core's DMAD (the push instr)."""
+        self.dmad.push(descriptor, channel)
+
+    def wfe(self, event_id: int):
+        """Wait-For-Event: block until DMS event ``event_id`` is set."""
+        yield self.events.wait(event_id)
+
+    def clear_event(self, event_id: int) -> None:
+        self.events.clear(event_id)
+
+    def set_event(self, event_id: int) -> None:
+        self.events.set(event_id)
+
+    # -- ATE -----------------------------------------------------------------------
+
+    def remote_load(self, owner: int, address: int):
+        return self.ate.remote_load(self.core_id, owner, address)
+
+    def remote_store(self, owner: int, address: int, value: int):
+        return self.ate.remote_store(self.core_id, owner, address, value)
+
+    def posted_store(self, owner: int, address: int, value: int):
+        """Fire-and-forget remote store (no reply stall)."""
+        return self.ate.posted_store(self.core_id, owner, address, value)
+
+    def fetch_add(self, owner: int, address: int, delta: int):
+        return self.ate.fetch_add(self.core_id, owner, address, delta)
+
+    def compare_swap(self, owner: int, address: int, expected: int, desired: int):
+        return self.ate.compare_swap(self.core_id, owner, address, expected, desired)
+
+    def software_rpc(self, owner: int, handler: str, args: Any = None):
+        return self.ate.software_rpc(self.core_id, owner, handler, args)
+
+    def install_handler(self, name: str, handler: Callable) -> None:
+        self.ate.install_handler(self.core_id, name, handler)
+
+    def dmem_address(self, offset: int) -> int:
+        """Physical address of a DMEM offset (for remote ATE access)."""
+        return self.dpu.address_map.dmem_address(self.core_id, offset)
+
+    # -- mailbox --------------------------------------------------------------------
+
+    def mbox_send(self, dst: int, payload: Any):
+        return self.dpu.mailbox.send(self.core_id, dst, payload)
+
+    def mbox_receive(self):
+        return self.dpu.mailbox.receive(self.core_id)
+
+    # -- cached path ------------------------------------------------------------------
+
+    def cached_access(self, address: int, write: bool = False):
+        """Access DDR through the L1/L2 hierarchy; charges latency."""
+        hierarchy = self.dpu.caches[self.macro]
+        cycles = hierarchy.access(self.core_id, address, write)
+        yield self.engine.timeout(cycles)
+
+    def cache_flush(self, address: int, length: int):
+        hierarchy = self.dpu.caches[self.macro]
+        yield self.engine.timeout(hierarchy.flush(self.core_id, address, length))
+
+    def cache_invalidate(self, address: int, length: int):
+        hierarchy = self.dpu.caches[self.macro]
+        yield self.engine.timeout(
+            hierarchy.invalidate(self.core_id, address, length)
+        )
+
+    # -- heap -------------------------------------------------------------------------
+
+    def malloc(self, nbytes: int) -> int:
+        return self.dpu.heap.malloc(nbytes, self.core_id)
+
+    def free(self, address: int) -> None:
+        self.dpu.heap.free(address)

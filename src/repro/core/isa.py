@@ -1,0 +1,214 @@
+"""The dpCore instruction set.
+
+The dpCore is a 64-bit MIPS-like dual-issue in-order core (paper
+§2.2): one ALU pipe and one LSU pipe, a low-power multi-cycle
+multiplier, no floating point, no MMU, and single-cycle analytics
+instructions — bit-vector load (BVLD), filter (FILT), CRC32 hashcode
+generation and popcount. This module defines the instruction
+vocabulary; :mod:`repro.core.assembler` parses text into it and
+:mod:`repro.core.dpcore` executes it with cycle accounting.
+
+Since the real encoding is proprietary, we specify the ISA at the
+assembly level (mnemonic + operands); the paper's evaluation depends
+on instruction *timing*, not binary encodings.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+__all__ = ["Unit", "OpSpec", "Instruction", "Program", "OPCODES", "IsaError"]
+
+
+class IsaError(Exception):
+    """Malformed instruction or assembly input."""
+
+
+class Unit(enum.Enum):
+    """Issue pipe an instruction occupies (paper: dual-issue, one ALU
+    and one LSU pipe)."""
+
+    ALU = "alu"
+    LSU = "lsu"
+    BRANCH = "branch"
+    SYSTEM = "system"
+
+
+@dataclass(frozen=True)
+class OpSpec:
+    """Static properties of one mnemonic."""
+
+    name: str
+    unit: Unit
+    operands: str  # e.g. "rd,rs,rt" | "rd,rs,imm" | "rd,imm(rs)" | ...
+    latency: int = 1
+    serializing: bool = False  # cannot dual-issue with a partner
+
+    @property
+    def operand_kinds(self) -> Tuple[str, ...]:
+        if not self.operands:
+            return ()
+        return tuple(self.operands.split(","))
+
+
+def _spec_table() -> Dict[str, OpSpec]:
+    specs = [
+        # -- ALU register-register ------------------------------------
+        OpSpec("add", Unit.ALU, "rd,rs,rt"),
+        OpSpec("sub", Unit.ALU, "rd,rs,rt"),
+        OpSpec("and", Unit.ALU, "rd,rs,rt"),
+        OpSpec("or", Unit.ALU, "rd,rs,rt"),
+        OpSpec("xor", Unit.ALU, "rd,rs,rt"),
+        OpSpec("sll", Unit.ALU, "rd,rs,rt"),
+        OpSpec("srl", Unit.ALU, "rd,rs,rt"),
+        OpSpec("sra", Unit.ALU, "rd,rs,rt"),
+        OpSpec("slt", Unit.ALU, "rd,rs,rt"),
+        OpSpec("sltu", Unit.ALU, "rd,rs,rt"),
+        # Multiplier/divider: stalls the pipeline for multiple cycles;
+        # actual latency is operand-dependent (see dpcore.mul_latency).
+        OpSpec("mul", Unit.ALU, "rd,rs,rt", latency=5, serializing=True),
+        OpSpec("div", Unit.ALU, "rd,rs,rt", latency=30, serializing=True),
+        OpSpec("rem", Unit.ALU, "rd,rs,rt", latency=30, serializing=True),
+        # -- ALU register-immediate -----------------------------------
+        OpSpec("addi", Unit.ALU, "rd,rs,imm"),
+        OpSpec("andi", Unit.ALU, "rd,rs,imm"),
+        OpSpec("ori", Unit.ALU, "rd,rs,imm"),
+        OpSpec("xori", Unit.ALU, "rd,rs,imm"),
+        OpSpec("slli", Unit.ALU, "rd,rs,imm"),
+        OpSpec("srli", Unit.ALU, "rd,rs,imm"),
+        OpSpec("srai", Unit.ALU, "rd,rs,imm"),
+        OpSpec("slti", Unit.ALU, "rd,rs,imm"),
+        OpSpec("li", Unit.ALU, "rd,imm"),
+        OpSpec("lui", Unit.ALU, "rd,imm"),
+        OpSpec("mov", Unit.ALU, "rd,rs"),
+        OpSpec("nop", Unit.ALU, ""),
+        # -- analytics acceleration (single cycle, paper §2.2) --------
+        OpSpec("crc32w", Unit.ALU, "rd,rs"),  # rd = crc32(lo32(rs), seed=rd)
+        OpSpec("crc32d", Unit.ALU, "rd,rs"),  # rd = crc32(rs, seed=rd)
+        OpSpec("popc", Unit.ALU, "rd,rs"),
+        OpSpec("filt", Unit.ALU, "rd,rs"),  # rd = in-range(rs); shift into BVACC
+        OpSpec("setfl", Unit.ALU, "rs"),  # filter lower bound
+        OpSpec("setfh", Unit.ALU, "rs"),  # filter upper bound
+        OpSpec("rdbv", Unit.ALU, "rd"),  # rd = BVACC
+        OpSpec("clrbv", Unit.ALU, ""),  # BVACC = 0
+        OpSpec("bvext", Unit.ALU, "rd"),  # rd = lowest set bit of BVACC (pop)
+        # -- loads/stores (DMEM-direct, single cycle §2.1) ------------
+        OpSpec("ld", Unit.LSU, "rd,imm(rs)"),
+        OpSpec("lw", Unit.LSU, "rd,imm(rs)"),
+        OpSpec("lwu", Unit.LSU, "rd,imm(rs)"),
+        OpSpec("lh", Unit.LSU, "rd,imm(rs)"),
+        OpSpec("lhu", Unit.LSU, "rd,imm(rs)"),
+        OpSpec("lb", Unit.LSU, "rd,imm(rs)"),
+        OpSpec("lbu", Unit.LSU, "rd,imm(rs)"),
+        OpSpec("sd", Unit.LSU, "rt,imm(rs)"),
+        OpSpec("sw", Unit.LSU, "rt,imm(rs)"),
+        OpSpec("sh", Unit.LSU, "rt,imm(rs)"),
+        OpSpec("sb", Unit.LSU, "rt,imm(rs)"),
+        OpSpec("bvld", Unit.LSU, "imm(rs)"),  # BVACC = dmem64[rs+imm]
+        # -- control flow ---------------------------------------------
+        OpSpec("beq", Unit.BRANCH, "rs,rt,label", serializing=True),
+        OpSpec("bne", Unit.BRANCH, "rs,rt,label", serializing=True),
+        OpSpec("blt", Unit.BRANCH, "rs,rt,label", serializing=True),
+        OpSpec("bge", Unit.BRANCH, "rs,rt,label", serializing=True),
+        OpSpec("bltu", Unit.BRANCH, "rs,rt,label", serializing=True),
+        OpSpec("bgeu", Unit.BRANCH, "rs,rt,label", serializing=True),
+        OpSpec("j", Unit.BRANCH, "label", serializing=True),
+        OpSpec("jal", Unit.BRANCH, "rd,label", serializing=True),
+        OpSpec("jr", Unit.BRANCH, "rs", serializing=True),
+        # -- system ----------------------------------------------------
+        OpSpec("fence", Unit.SYSTEM, "", serializing=True),
+        OpSpec("wfe", Unit.SYSTEM, "imm", serializing=True),
+        OpSpec("cflush", Unit.SYSTEM, "rs,rt", serializing=True, latency=4),
+        OpSpec("cinval", Unit.SYSTEM, "rs,rt", serializing=True, latency=4),
+        OpSpec("halt", Unit.SYSTEM, "", serializing=True),
+    ]
+    return {spec.name: spec for spec in specs}
+
+
+OPCODES: Dict[str, OpSpec] = _spec_table()
+
+
+@dataclass
+class Instruction:
+    """One decoded instruction."""
+
+    opcode: str
+    rd: Optional[int] = None
+    rs: Optional[int] = None
+    rt: Optional[int] = None
+    imm: Optional[int] = None
+    label: Optional[str] = None
+    target: Optional[int] = None  # resolved label -> instruction index
+    source_line: int = 0
+
+    @property
+    def spec(self) -> OpSpec:
+        return OPCODES[self.opcode]
+
+    def reads(self) -> Tuple[int, ...]:
+        """Architectural registers this instruction reads."""
+        regs = []
+        kinds = self.spec.operand_kinds
+        if "rs" in kinds or "imm(rs)" in kinds:
+            regs.append(self.rs)
+        if "rt" in kinds:
+            regs.append(self.rt)
+        # Stores read rt as the data operand; seeds read rd.
+        if self.opcode in ("sd", "sw", "sh", "sb"):
+            regs.append(self.rt)
+        if self.opcode in ("crc32w", "crc32d"):
+            regs.append(self.rd)
+        return tuple(r for r in regs if r is not None)
+
+    def writes(self) -> Tuple[int, ...]:
+        """Architectural registers this instruction writes."""
+        if self.opcode in ("sd", "sw", "sh", "sb", "setfl", "setfh", "bvld"):
+            return ()
+        if self.rd is not None and "rd" in self.spec.operand_kinds:
+            return (self.rd,)
+        return ()
+
+    def __str__(self) -> str:
+        parts = []
+        for kind in self.spec.operand_kinds:
+            if kind == "rd":
+                parts.append(f"r{self.rd}")
+            elif kind == "rs":
+                parts.append(f"r{self.rs}")
+            elif kind == "rt":
+                parts.append(f"r{self.rt}")
+            elif kind == "imm":
+                parts.append(str(self.imm))
+            elif kind == "imm(rs)":
+                parts.append(f"{self.imm}(r{self.rs})")
+            elif kind == "label":
+                parts.append(self.label or f"@{self.target}")
+        return f"{self.opcode} " + ", ".join(parts) if parts else self.opcode
+
+
+@dataclass
+class Program:
+    """An assembled program: instructions plus the label map."""
+
+    instructions: List[Instruction] = field(default_factory=list)
+    labels: Dict[str, int] = field(default_factory=dict)
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def __getitem__(self, index: int) -> Instruction:
+        return self.instructions[index]
+
+    def listing(self) -> str:
+        """Human-readable disassembly with labels."""
+        by_index: Dict[int, List[str]] = {}
+        for label, index in self.labels.items():
+            by_index.setdefault(index, []).append(label)
+        lines = []
+        for index, instruction in enumerate(self.instructions):
+            for label in by_index.get(index, ()):
+                lines.append(f"{label}:")
+            lines.append(f"    {instruction}")
+        return "\n".join(lines)

@@ -1,0 +1,85 @@
+"""MBC: the MailBox Controller (paper §2.4).
+
+A hardware queue connecting the 32 dpCores, the ARM A9 pair and the
+M0 power-management core — 34 mailboxes in all. Its purpose is quick
+exchange of lightweight messages (typically a pointer into DRAM)
+while bulk data moves through main memory. Each mailbox has
+memory-mapped send/receive registers and an interrupt line to its
+owner; we expose that as blocking ``send``/``receive`` with the
+paper's register-access and interrupt costs.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+from ..core.config import DPUConfig
+from ..sim import Engine, StatsRecorder, Store
+
+__all__ = ["Mailbox", "MailboxController", "A9_ID", "M0_ID", "NUM_MAILBOXES"]
+
+A9_ID = 32
+M0_ID = 33
+NUM_MAILBOXES = 34
+
+
+class Mailbox:
+    """One endpoint's receive queue."""
+
+    def __init__(self, engine: Engine, owner: int, capacity: int = 64) -> None:
+        self.engine = engine
+        self.owner = owner
+        self.queue = Store(engine, capacity=capacity)
+
+    def __len__(self) -> int:
+        return len(self.queue)
+
+
+class MailboxController:
+    """All 34 mailboxes plus their interrupt delivery costs."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        config: DPUConfig,
+        stats: Optional[StatsRecorder] = None,
+    ) -> None:
+        self.engine = engine
+        self.config = config
+        self.stats = stats if stats is not None else StatsRecorder()
+        self.mailboxes: Dict[int, Mailbox] = {
+            endpoint: Mailbox(engine, endpoint) for endpoint in range(NUM_MAILBOXES)
+        }
+
+    def _check(self, endpoint: int) -> None:
+        if endpoint not in self.mailboxes:
+            raise ValueError(
+                f"mailbox id {endpoint} outside 0..{NUM_MAILBOXES - 1} "
+                f"(dpCores 0-31, A9={A9_ID}, M0={M0_ID})"
+            )
+
+    def send(self, src: int, dst: int, payload: Any):
+        """Write to ``dst``'s data register; blocks if the queue is
+        full (hardware back pressure). Process generator."""
+        self._check(src)
+        self._check(dst)
+        yield self.engine.timeout(self.config.mbc_send_cycles)
+        yield self.mailboxes[dst].queue.put((src, payload))
+        self.stats.count("mbc.sent", 1)
+
+    def receive(self, endpoint: int):
+        """Block until a message arrives; returns ``(src, payload)``.
+
+        The arrival interrupt plus register reads cost
+        ``mbc_interrupt_cycles`` on the receiving core.
+        """
+        self._check(endpoint)
+        message = yield self.mailboxes[endpoint].queue.get()
+        yield self.engine.timeout(self.config.mbc_interrupt_cycles)
+        self.stats.count("mbc.received", 1)
+        return message
+
+    def try_receive(self, endpoint: int):
+        """Non-blocking poll of the mailbox's status register."""
+        self._check(endpoint)
+        return self.mailboxes[endpoint].queue.try_get()

@@ -1,0 +1,76 @@
+"""M0 power-management unit (paper §2.4).
+
+The Cortex-M0 manages dpCore power modes — four states per the paper
+— and can power-gate whole dpCore macros. We model the four states
+with per-state dynamic/leakage scale factors and track per-macro
+state so the power model can report effective wattage for partially
+gated configurations (used by the §2.5 provisioning analysis and the
+power ablation bench).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict
+
+from .config import DPUConfig
+
+__all__ = ["PowerState", "PowerManagementUnit"]
+
+
+class PowerState(enum.Enum):
+    """The four dpCore power states, most to least power-hungry."""
+
+    ACTIVE = "active"  # full clock
+    IDLE = "idle"  # clock-gated, state retained
+    RETENTION = "retention"  # voltage dropped to retention level
+    OFF = "off"  # macro power-gated
+
+    @property
+    def dynamic_factor(self) -> float:
+        return {"active": 1.0, "idle": 0.08, "retention": 0.0, "off": 0.0}[
+            self.value
+        ]
+
+    @property
+    def leakage_factor(self) -> float:
+        return {"active": 1.0, "idle": 1.0, "retention": 0.25, "off": 0.0}[
+            self.value
+        ]
+
+
+class PowerManagementUnit:
+    """Per-macro power state registry (the M0's job)."""
+
+    def __init__(self, config: DPUConfig) -> None:
+        self.config = config
+        self.macro_states: Dict[int, PowerState] = {
+            macro: PowerState.ACTIVE for macro in range(config.num_macros)
+        }
+
+    def set_macro_state(self, macro: int, state: PowerState) -> None:
+        if macro not in self.macro_states:
+            raise ValueError(
+                f"macro {macro} outside 0..{self.config.num_macros - 1}"
+            )
+        self.macro_states[macro] = state
+
+    def state_of_core(self, core_id: int) -> PowerState:
+        return self.macro_states[self.config.macro_of(core_id)]
+
+    def effective_core_watts(self) -> float:
+        """Dynamic dpCore power with the current gating applied."""
+        per_core = self.config.dpcore_dynamic_watts
+        total = 0.0
+        for macro, state in self.macro_states.items():
+            total += (
+                per_core * self.config.cores_per_macro * state.dynamic_factor
+            )
+        return total
+
+    def active_cores(self) -> int:
+        return sum(
+            self.config.cores_per_macro
+            for state in self.macro_states.values()
+            if state is PowerState.ACTIVE
+        )

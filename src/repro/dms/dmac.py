@@ -1,0 +1,475 @@
+"""DMAC: the central DMA controller of the Data Movement System.
+
+The DMAC (paper §3.1-3.2) owns the DDR interface and the internal
+SRAMs — three 8 KB column memories (CMEM), double-buffered 1 KB CRC
+and 256 B CID memories, and four 4 KB bit-vector banks — and runs the
+three-stage partition pipeline:
+
+1. **load**: DDR -> CMEM (a chunk's key and payload columns),
+2. **hash**: CRC32/radix/range over the key column -> CID memory,
+3. **store**: scatter the chunk's rows into target dpCores' DMEMs
+   through the per-macro DMAX crossbars.
+
+Chunks flow through the pipeline concurrently: the CMEM banks admit
+up to three chunks in flight and the CRC/CID double-buffers two, so
+loading chunk *k+1* overlaps hashing chunk *k* and storing chunk
+*k-1* (Figure 10). The DDR load stage is the designed bottleneck,
+which is how the engine sustains ~9.3 GB/s 32-way partitioning
+(Figure 13).
+
+The first-silicon RTL bug in the gather path (§3.4) is modelled: if
+more than one dpCore has a gather in flight and the config enables
+``rtl_gather_bug``, the bit-vector count FIFO overflows and the DMAD
+units stall — surfaced here as a :class:`DmsHardwareError` so
+software must apply the paper's serialize-gathers workaround.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..core.config import DPUConfig
+from ..core.crc32 import crc32_column
+from ..memory.ddr import DDRChannel, DDRMemory
+from ..memory.dmem import Scratchpad
+from ..sim import Engine, Resource, StatsRecorder
+from .descriptor import (
+    Descriptor,
+    DescriptorError,
+    DescriptorType,
+    PartitionMode,
+    PartitionSpec,
+)
+from .dmax import Dmax
+from .events import EventFile
+from .partition import PartitionLayout, compute_cids
+
+__all__ = ["Dmac", "DmsHardwareError", "PartitionChunk"]
+
+_WIDTH_DTYPE = {1: np.uint8, 2: np.uint16, 4: np.uint32, 8: np.uint64}
+
+
+class DmsHardwareError(Exception):
+    """A modelled hardware failure (e.g. the gather FIFO overflow)."""
+
+
+class PartitionChunk:
+    """One chunk of rows moving through the partition pipeline."""
+
+    def __init__(self, engine: Engine) -> None:
+        self.key: Optional[np.ndarray] = None
+        self.key_width: int = 0
+        self.columns: List[Tuple[np.ndarray, int]] = []  # (values, width)
+        self.load_events: List = []
+        self.hashes: Optional[np.ndarray] = None
+        self.cids: Optional[np.ndarray] = None
+        self.hash_done = engine.event()
+        self.bank_acquired = False
+        self.crc_acquired = False
+        self.rows: int = 0
+
+    @property
+    def record_width(self) -> int:
+        width = self.key_width if self.key is not None else 0
+        return width + sum(col_width for _values, col_width in self.columns)
+
+    def total_bytes(self) -> int:
+        return self.rows * self.record_width
+
+
+class Dmac:
+    """The central DMA controller."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        config: DPUConfig,
+        ddr_memory: DDRMemory,
+        ddr_channel: DDRChannel,
+        scratchpads: Dict[int, Scratchpad],
+        event_files: Dict[int, EventFile],
+        dmaxes: List[Dmax],
+        stats: Optional[StatsRecorder] = None,
+    ) -> None:
+        self.engine = engine
+        self.config = config
+        self.ddr_memory = ddr_memory
+        self.ddr_channel = ddr_channel
+        self.scratchpads = scratchpads
+        self.event_files = event_files
+        self.dmaxes = dmaxes
+        self.stats = stats if stats is not None else StatsRecorder()
+        # Internal SRAM occupancy: one CMEM bank per chunk in flight,
+        # one CRC/CID double-buffer slot from hash until store retires.
+        self.cmem_slots = Resource(engine, config.cmem_banks)
+        self.crc_slots = Resource(engine, config.crc_banks)
+        # Partition engine configuration (HASH_CONFIG/RANGE_CONFIG).
+        self.partition_spec: Optional[PartitionSpec] = None
+        self.partition_layout: Optional[PartitionLayout] = None
+        self._open_chunk: Optional[PartitionChunk] = None
+        self._last_hashed: Optional[PartitionChunk] = None
+        # Per-core gather bit-vector registers (loaded via DMEM->DMS).
+        self._bv_registers: Dict[int, np.ndarray] = {}
+        self._active_gathers = 0
+
+    # -- configuration ---------------------------------------------------
+
+    def configure_partition(self, descriptor: Descriptor) -> None:
+        """Apply a HASH_CONFIG / RANGE_CONFIG control descriptor."""
+        if descriptor.partition is None:
+            raise DescriptorError("partition config descriptor needs a spec")
+        self.partition_spec = descriptor.partition
+        if descriptor.partition_layout is not None:
+            self.partition_layout = descriptor.partition_layout
+            self.partition_layout.reset()
+
+    # -- dispatch-time bookkeeping (called in DMAD program order) --------
+
+    def prepare(self, descriptor: Descriptor, core_id: int):
+        """Attach the descriptor to pipeline state; returns a context
+        object consumed by :meth:`execute`. Must be called in DMAD
+        dispatch order so chunk membership matches program order."""
+        dtype = descriptor.dtype
+        if dtype is DescriptorType.DDR_TO_DMS:
+            if descriptor.is_key_column or self._open_chunk is None:
+                self._open_chunk = PartitionChunk(self.engine)
+            chunk = self._open_chunk
+            load_event = self.engine.event()
+            chunk.load_events.append(load_event)
+            return ("load", chunk, load_event)
+        if dtype is DescriptorType.DMS_TO_DMS:
+            if self._open_chunk is None:
+                raise DescriptorError("hash descriptor with no loaded chunk")
+            chunk = self._open_chunk
+            self._last_hashed = chunk
+            return ("hash", chunk, list(chunk.load_events))
+        if dtype is DescriptorType.DMS_TO_DMEM:
+            if self._open_chunk is None:
+                raise DescriptorError("store descriptor with no chunk in flight")
+            chunk = self._open_chunk
+            self._open_chunk = None
+            return ("store", chunk, list(chunk.load_events))
+        if dtype is DescriptorType.DMS_TO_DDR:
+            return ("drain", self._last_hashed, None)
+        if dtype is DescriptorType.DMEM_TO_DMS:
+            # The BV register must be visible to any gather dispatched
+            # later on the same channel: snapshot it in program order.
+            if descriptor.internal_mem != "bv":
+                raise DescriptorError("DMEM->DMS carries RID/BV data (Table 1)")
+            nbytes = descriptor.transfer_bytes
+            if nbytes > self.config.bv_bank_bytes:
+                raise DescriptorError(
+                    f"bit-vector of {nbytes} B exceeds BV bank "
+                    f"({self.config.bv_bank_bytes} B)"
+                )
+            payload = self.scratchpads[core_id].read(
+                descriptor.dmem_addr, nbytes
+            )
+            self._bv_registers[core_id] = payload.copy()
+            return ("bv", None, None)
+        return (None, None, None)
+
+    # -- execution ---------------------------------------------------------
+
+    def execute(self, descriptor: Descriptor, core_id: int, prep=None):
+        """Process generator performing one data descriptor."""
+        dtype = descriptor.dtype
+        if dtype is DescriptorType.DDR_TO_DMEM:
+            yield from self._exec_ddr_to_dmem(descriptor, core_id)
+        elif dtype is DescriptorType.DMEM_TO_DDR:
+            yield from self._exec_dmem_to_ddr(descriptor, core_id)
+        elif dtype is DescriptorType.DDR_TO_DMS:
+            yield from self._exec_ddr_to_dms(descriptor, core_id, prep)
+        elif dtype is DescriptorType.DMS_TO_DMS:
+            yield from self._exec_hash(descriptor, core_id, prep)
+        elif dtype is DescriptorType.DMS_TO_DMEM:
+            yield from self._exec_partition_store(descriptor, core_id, prep)
+        elif dtype is DescriptorType.DMEM_TO_DMS:
+            yield from self._exec_dmem_to_dms(descriptor, core_id)
+        elif dtype is DescriptorType.DMS_TO_DDR:
+            yield from self._exec_dms_to_ddr(descriptor, core_id, prep)
+        else:
+            raise DescriptorError(f"{dtype.name} is not a data descriptor")
+
+    # -- DDR <-> DMEM streaming -------------------------------------------
+
+    def _dmax_for(self, core_id: int) -> Dmax:
+        return self.dmaxes[self.config.macro_of(core_id)]
+
+    def _target_dmem(self, descriptor: Descriptor, core_id: int) -> Scratchpad:
+        target = descriptor.dmem_core if descriptor.dmem_core is not None else core_id
+        return self.scratchpads[target]
+
+    def _exec_ddr_to_dmem(self, descriptor: Descriptor, core_id: int):
+        if descriptor.rle:
+            raise DescriptorError("RLE decode is not modelled")
+        dmem = self._target_dmem(descriptor, core_id)
+        width = descriptor.col_width
+        decode = self.config.dms_dmac_decode_cycles
+        if descriptor.gather_src:
+            yield from self._guarded_gather_begin()
+            try:
+                indices = self._gather_indices(descriptor, core_id)
+                touched = len(indices) * width + len(indices) * int(
+                    self.config.dms_gather_row_penalty_bytes
+                )
+                yield self.ddr_channel.request(
+                    descriptor.ddr_addr, touched, extra_overhead_cycles=decode
+                )
+                source = self.ddr_memory.view(
+                    descriptor.ddr_addr, descriptor.rows * width, _WIDTH_DTYPE[width]
+                )
+                gathered = source[indices]
+                yield self._dmax_for(core_id).transfer(
+                    min(len(indices) * width, 256)
+                )
+                dmem.write(descriptor.dmem_addr, gathered)
+                moved = len(indices) * width
+            finally:
+                self._active_gathers -= 1
+        elif descriptor.ddr_stride is not None and descriptor.ddr_stride != width:
+            stride = descriptor.ddr_stride
+            span = (descriptor.rows - 1) * stride + width
+            # Strided reads touch a DRAM burst per element.
+            touched = descriptor.rows * max(width, 16)
+            yield self.ddr_channel.request(
+                descriptor.ddr_addr, touched, extra_overhead_cycles=decode
+            )
+            raw = self.ddr_memory.view(descriptor.ddr_addr, span)
+            offsets = np.arange(descriptor.rows) * stride
+            element = np.arange(width)
+            strided = raw[offsets[:, None] + element[None, :]].ravel()
+            yield self._dmax_for(core_id).transfer(min(len(strided), 256))
+            dmem.write(descriptor.dmem_addr, strided)
+            moved = descriptor.rows * width
+        else:
+            nbytes = descriptor.transfer_bytes
+            yield self.ddr_channel.request(
+                descriptor.ddr_addr, nbytes, extra_overhead_cycles=decode
+            )
+            payload = self.ddr_memory.read(descriptor.ddr_addr, nbytes)
+            yield self._dmax_for(core_id).transfer(min(nbytes, 256))
+            dmem.write(descriptor.dmem_addr, payload)
+            moved = nbytes
+        self.stats.count("dms.bytes_read", moved)
+        self.stats.count("dms.descriptors", 1)
+
+    def _exec_dmem_to_ddr(self, descriptor: Descriptor, core_id: int):
+        if descriptor.rle:
+            raise DescriptorError("RLE encode is not modelled")
+        dmem = self._target_dmem(descriptor, core_id)
+        width = descriptor.col_width
+        decode = self.config.dms_dmac_decode_cycles
+        if descriptor.scatter_dst:
+            indices = self._gather_indices(descriptor, core_id)
+            rows = dmem.view(
+                descriptor.dmem_addr, len(indices) * width, _WIDTH_DTYPE[width]
+            )
+            yield self._dmax_for(core_id).transfer(min(len(indices) * width, 256))
+            touched = len(indices) * width + len(indices) * int(
+                self.config.dms_gather_row_penalty_bytes
+            )
+            yield self.ddr_channel.request(
+                descriptor.ddr_addr, touched, extra_overhead_cycles=decode,
+                is_write=True,
+            )
+            target = self.ddr_memory.view(
+                descriptor.ddr_addr, descriptor.rows * width, _WIDTH_DTYPE[width]
+            )
+            target[indices] = rows
+            moved = len(indices) * width
+        else:
+            nbytes = descriptor.transfer_bytes
+            payload = dmem.read(descriptor.dmem_addr, nbytes)
+            yield self._dmax_for(core_id).transfer(min(nbytes, 256))
+            yield self.ddr_channel.request(
+                descriptor.ddr_addr, nbytes, extra_overhead_cycles=decode,
+                is_write=True,
+            )
+            self.ddr_memory.write(descriptor.ddr_addr, payload)
+            moved = nbytes
+        self.stats.count("dms.bytes_written", moved)
+        self.stats.count("dms.descriptors", 1)
+
+    def _guarded_gather_begin(self):
+        self._active_gathers += 1
+        if self._active_gathers > 1 and self.config.rtl_gather_bug:
+            self._active_gathers -= 1
+            raise DmsHardwareError(
+                "gather bit-vector count FIFO overflow: more than one dpCore "
+                "has a gather in flight on first-silicon hardware; apply the "
+                "software workaround (serialize gathers) or disable "
+                "rtl_gather_bug (paper §3.4, Figure 12)"
+            )
+        yield self.engine.timeout(0)
+
+    def _gather_indices(self, descriptor: Descriptor, core_id: int) -> np.ndarray:
+        register = self._bv_registers.get(core_id)
+        if register is None:
+            raise DescriptorError(
+                f"core {core_id} gathered without loading a bit-vector "
+                "(issue a DMEM->DMS descriptor first)"
+            )
+        bits = np.unpackbits(register.view(np.uint8), bitorder="little")
+        bits = bits[: descriptor.rows]
+        return np.nonzero(bits)[0]
+
+    # -- internal-memory descriptors -----------------------------------------
+
+    def _exec_dmem_to_dms(self, descriptor: Descriptor, core_id: int):
+        """Charge the crossbar time for a RID/BV load (the register
+        contents were snapshotted at dispatch, in program order)."""
+        yield self._dmax_for(core_id).transfer(descriptor.transfer_bytes)
+        self.stats.count("dms.descriptors", 1)
+
+    def _exec_ddr_to_dms(self, descriptor: Descriptor, core_id: int, prep):
+        """Load one column of a partition chunk into a CMEM bank."""
+        _kind, chunk, load_event = prep
+        if not chunk.bank_acquired:
+            chunk.bank_acquired = True
+            yield self.cmem_slots.acquire()
+        width = descriptor.col_width
+        nbytes = descriptor.rows * width
+        if chunk.total_bytes() + nbytes > self.config.cmem_bank_bytes:
+            raise DescriptorError(
+                f"chunk exceeds CMEM bank: {chunk.total_bytes() + nbytes} B "
+                f"> {self.config.cmem_bank_bytes} B; use smaller chunks"
+            )
+        yield self.ddr_channel.request(
+            descriptor.ddr_addr,
+            nbytes,
+            extra_overhead_cycles=self.config.dms_dmac_decode_cycles,
+        )
+        values = self.ddr_memory.view(
+            descriptor.ddr_addr, nbytes, _WIDTH_DTYPE[width]
+        ).copy()
+        if descriptor.is_key_column:
+            chunk.key = values
+            chunk.key_width = width
+            chunk.rows = descriptor.rows
+        else:
+            chunk.columns.append((values, width))
+            chunk.rows = max(chunk.rows, descriptor.rows)
+        self.stats.count("dms.bytes_read", nbytes)
+        self.stats.count("dms.descriptors", 1)
+        load_event.succeed()
+
+    def _exec_hash(self, descriptor: Descriptor, core_id: int, prep):
+        """Hash/range stage: key column -> CRC memory -> CID memory."""
+        _kind, chunk, load_events = prep
+        spec = descriptor.partition or self.partition_spec
+        if spec is None:
+            raise DescriptorError("hash descriptor without a partition spec")
+        if not chunk.crc_acquired:
+            chunk.crc_acquired = True
+            yield self.crc_slots.acquire()
+        yield self.engine.all_of(load_events)
+        if chunk.key is None:
+            raise DescriptorError("partition chunk has no key column")
+        hash_bytes = chunk.rows * chunk.key_width
+        yield self.engine.timeout(
+            -(-hash_bytes // self.config.dms_hash_bytes_per_cycle)
+        )
+        if spec.mode is PartitionMode.HASH:
+            chunk.hashes = crc32_column(chunk.key)
+            chunk.cids = (chunk.hashes & np.uint32(spec.fanout - 1)).astype(
+                np.uint16
+            )
+        else:
+            chunk.cids = compute_cids(chunk.key, spec)
+        self.stats.count("dms.descriptors", 1)
+        chunk.hash_done.succeed()
+
+    def _exec_partition_store(self, descriptor: Descriptor, core_id: int, prep):
+        """Store stage: scatter chunk rows into target DMEMs by CID."""
+        _kind, chunk, load_events = prep
+        layout = descriptor.partition_layout or self.partition_layout
+        if layout is None:
+            raise DescriptorError("partition store without an output layout")
+        yield self.engine.all_of(load_events)
+        yield chunk.hash_done
+        assert chunk.cids is not None
+        records = self._build_records(chunk)
+        record_width = chunk.record_width
+        # Scatter rows grouped by target core; DMAX transfers to the
+        # four macros proceed in parallel.
+        macro_bytes: Dict[int, int] = {}
+        order = np.argsort(chunk.cids, kind="stable")
+        sorted_cids = chunk.cids[order]
+        boundaries = np.searchsorted(
+            sorted_cids, np.arange(len(layout.target_cores) + 1)
+        )
+        writes = []
+        for slot, target in enumerate(layout.target_cores):
+            start, stop = boundaries[slot], boundaries[slot + 1]
+            if start == stop:
+                continue
+            rows = records[order[start:stop]]
+            nbytes = rows.size
+            offset = layout.advance(target, nbytes)
+            writes.append((target, offset, rows))
+            macro = self.config.macro_of(target)
+            macro_bytes[macro] = macro_bytes.get(macro, 0) + nbytes
+        transfers = [
+            self.dmaxes[macro].transfer(nbytes)
+            for macro, nbytes in sorted(macro_bytes.items())
+        ]
+        if transfers:
+            yield self.engine.all_of(transfers)
+        touched_cores = set()
+        for target, offset, rows in writes:
+            self.scratchpads[target].write(offset, rows.ravel())
+            touched_cores.add(target)
+        # Publish running row counts and notify consumers.
+        for target in layout.target_cores:
+            count = layout.rows_written(target, record_width)
+            self.scratchpads[target].view(layout.count_offset, 4, np.uint32)[0] = (
+                count
+            )
+            if layout.target_notify_event is not None and target in touched_cores:
+                self.event_files[target].set(layout.target_notify_event)
+        self.stats.count("dms.bytes_partitioned", chunk.total_bytes())
+        self.stats.count("dms.descriptors", 1)
+        # Retire the chunk: free its CMEM bank and CRC/CID buffers.
+        if chunk.bank_acquired:
+            self.cmem_slots.release()
+        if chunk.crc_acquired:
+            self.crc_slots.release()
+
+    def _build_records(self, chunk: PartitionChunk) -> np.ndarray:
+        """Row-major (rows x record_width) byte matrix of the chunk."""
+        parts = []
+        if chunk.key is not None:
+            parts.append(chunk.key.view(np.uint8).reshape(chunk.rows, -1))
+        for values, _width in chunk.columns:
+            parts.append(values.view(np.uint8).reshape(chunk.rows, -1))
+        return np.hstack(parts)
+
+    def _exec_dms_to_ddr(self, descriptor: Descriptor, core_id: int, prep):
+        """Drain CRC or CID memory to DDR (Table 1's last row)."""
+        _kind, chunk, _unused = prep
+        if chunk is None:
+            raise DescriptorError("no hashed chunk to drain to DDR")
+        yield chunk.hash_done
+        if descriptor.internal_mem == "crc":
+            if chunk.hashes is None:
+                raise DescriptorError("chunk has no CRC column (non-hash mode)")
+            payload = chunk.hashes.astype("<u4")
+        elif descriptor.internal_mem == "cid":
+            payload = chunk.cids.astype(np.uint8)
+        else:
+            raise DescriptorError(
+                f"DMS->DDR drains crc or cid memory, not {descriptor.internal_mem}"
+            )
+        raw = payload.view(np.uint8).ravel()
+        yield self.ddr_channel.request(
+            descriptor.ddr_addr,
+            len(raw),
+            extra_overhead_cycles=self.config.dms_dmac_decode_cycles,
+            is_write=True,
+        )
+        self.ddr_memory.write(descriptor.ddr_addr, raw)
+        self.stats.count("dms.bytes_written", len(raw))
+        self.stats.count("dms.descriptors", 1)

@@ -1,0 +1,211 @@
+"""DMAD: the per-dpCore descriptor list manager.
+
+Each dpCore has a private DMAD unit (paper §3.1). Software builds a
+descriptor in DMEM and issues a ``push`` naming one of two channels
+(conventionally segregating reads and writes); the DMAD chains pushed
+descriptors into an active list per channel and walks it without any
+further dpCore involvement:
+
+* **data descriptors** are dispatched to the DMAC (at most
+  ``dms_max_outstanding`` in flight), honouring wait events and the
+  buffer flow-control rule — a descriptor whose notify event is still
+  *set* (its previous buffer not yet consumed) blocks until software
+  clears it, which is how "back pressure" reaches the DDR stream;
+* **loop descriptors** rewind the list a fixed number of iterations,
+  with source/destination auto-increment registers so a two-buffer
+  chain can stream megabytes (Listing 1 / Figure 7);
+* **event descriptors** set/clear/wait events locally;
+* **config descriptors** program the DMAC's hash/range engine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..core.config import DPUConfig
+from ..sim import Engine, Resource, StatsRecorder, Store
+from .descriptor import Descriptor, DescriptorError, DescriptorType
+from .dmac import Dmac
+from .events import EventFile
+
+__all__ = ["Dmad", "DmadChannel"]
+
+
+@dataclass
+class DmadChannel:
+    """One active list: a growing program plus a program counter."""
+
+    index: int
+    program: List[Descriptor] = field(default_factory=list)
+    pc: int = 0
+    loop_remaining: Dict[int, int] = field(default_factory=dict)
+    ddr_auto: Optional[int] = None
+    dmem_auto: Optional[int] = None
+
+
+class Dmad:
+    """Descriptor front-end for one dpCore."""
+
+    NUM_CHANNELS = 2
+
+    def __init__(
+        self,
+        engine: Engine,
+        core_id: int,
+        dmac: Dmac,
+        event_file: EventFile,
+        config: DPUConfig,
+        stats: Optional[StatsRecorder] = None,
+    ) -> None:
+        self.engine = engine
+        self.core_id = core_id
+        self.dmac = dmac
+        self.event_file = event_file
+        self.config = config
+        self.stats = stats if stats is not None else StatsRecorder()
+        self.channels = [DmadChannel(i) for i in range(self.NUM_CHANNELS)]
+        self._wakeups = [Store(engine) for _ in range(self.NUM_CHANNELS)]
+        self.outstanding = Resource(engine, config.dms_max_outstanding)
+        self._drained = engine.event()
+        self._inflight = 0
+        # Completion of the most recent in-flight descriptor notifying
+        # each event (the buffer-refill flow-control chain).
+        self._notify_tail: Dict[int, object] = {}
+        for channel in self.channels:
+            engine.process(
+                self._channel_loop(channel), name=f"dmad{core_id}.ch{channel.index}"
+            )
+
+    # -- software interface ----------------------------------------------
+
+    def push(self, descriptor: Descriptor, channel: int = 0) -> None:
+        """The dpCore ``push`` instruction: append to an active list."""
+        if not 0 <= channel < self.NUM_CHANNELS:
+            raise DescriptorError(f"DMS channel must be 0 or 1: {channel}")
+        self.channels[channel].program.append(descriptor)
+        self._wakeups[channel].put(object())
+
+    def idle(self) -> bool:
+        """True when all channels have drained and nothing is in flight."""
+        return self._inflight == 0 and all(
+            channel.pc >= len(channel.program) for channel in self.channels
+        )
+
+    # -- channel engine ------------------------------------------------------
+
+    def _channel_loop(self, channel: DmadChannel):
+        wakeup = self._wakeups[channel.index]
+        while True:
+            while channel.pc >= len(channel.program):
+                yield wakeup.get()
+            descriptor = channel.program[channel.pc]
+            if descriptor.dtype is DescriptorType.LOOP:
+                self._handle_loop(channel, descriptor)
+                continue
+            if descriptor.dtype is DescriptorType.EVENT:
+                yield from self._handle_event(descriptor)
+                channel.pc += 1
+                continue
+            if descriptor.dtype in (
+                DescriptorType.HASH_CONFIG,
+                DescriptorType.RANGE_CONFIG,
+            ):
+                self.dmac.configure_partition(descriptor)
+                channel.pc += 1
+                continue
+            # -- data descriptor ------------------------------------------
+            if descriptor.wait_event is not None:
+                yield self.event_file.wait(descriptor.wait_event)
+            if descriptor.notify_event is not None:
+                # Flow control: do not refill a buffer whose previous
+                # fill has not completed and been consumed (event must
+                # have been set by the prior notifier, then cleared).
+                tail = self._notify_tail.get(descriptor.notify_event)
+                if tail is not None and not tail.triggered:
+                    yield tail
+                yield self.event_file.events[descriptor.notify_event].wait_clear()
+            yield self.engine.timeout(self.config.dms_descriptor_setup_cycles)
+            effective = self._resolve_addresses(channel, descriptor)
+            prep = self.dmac.prepare(effective, self.core_id)
+            yield self.outstanding.acquire()
+            self._inflight += 1
+            runner = self.engine.process(
+                self._run_descriptor(effective, prep),
+                name=f"dmad{self.core_id}.desc",
+            )
+            if descriptor.notify_event is not None:
+                self._notify_tail[descriptor.notify_event] = runner
+            channel.pc += 1
+
+    def _run_descriptor(self, descriptor: Descriptor, prep):
+        try:
+            yield from self.dmac.execute(descriptor, self.core_id, prep)
+        finally:
+            self.outstanding.release()
+            self._inflight -= 1
+        if descriptor.notify_event is not None:
+            self.event_file.set(descriptor.notify_event)
+        self.stats.count("dmad.completed", 1)
+
+    def _handle_loop(self, channel: DmadChannel, descriptor: Descriptor) -> None:
+        position = channel.pc
+        if descriptor.loop_back > position:
+            raise DescriptorError(
+                f"loop jumps back {descriptor.loop_back} over only "
+                f"{position} descriptors"
+            )
+        remaining = channel.loop_remaining.get(position)
+        if remaining is None:
+            remaining = descriptor.loop_count
+        if remaining > 0:
+            channel.loop_remaining[position] = remaining - 1
+            channel.pc = position - descriptor.loop_back
+        else:
+            channel.loop_remaining.pop(position, None)
+            channel.pc = position + 1
+
+    def _handle_event(self, descriptor: Descriptor):
+        for event_id in descriptor.wait_events:
+            yield self.event_file.wait(event_id)
+        for event_id in descriptor.set_events:
+            self.event_file.set(event_id)
+        for event_id in descriptor.clear_events:
+            self.event_file.clear(event_id)
+
+    def _resolve_addresses(
+        self, channel: DmadChannel, descriptor: Descriptor
+    ) -> Descriptor:
+        """Apply the channel's auto-increment registers (Listing 1).
+
+        The "source"/"destination" increment flags map onto the DDR or
+        DMEM side according to the descriptor's direction; after each
+        transfer the register advances by the payload size so loop
+        iterations walk forward through memory.
+        """
+        dtype = descriptor.dtype
+        ddr_is_source = dtype in (
+            DescriptorType.DDR_TO_DMEM,
+            DescriptorType.DDR_TO_DMS,
+        )
+        ddr_flag = (
+            descriptor.src_addr_inc if ddr_is_source else descriptor.dst_addr_inc
+        )
+        dmem_flag = (
+            descriptor.dst_addr_inc if ddr_is_source else descriptor.src_addr_inc
+        )
+        changes = {}
+        nbytes = descriptor.transfer_bytes
+        if ddr_flag:
+            if channel.ddr_auto is None:
+                channel.ddr_auto = descriptor.ddr_addr
+            changes["ddr_addr"] = channel.ddr_auto
+            channel.ddr_auto += nbytes
+        if dmem_flag:
+            if channel.dmem_auto is None:
+                channel.dmem_auto = descriptor.dmem_addr
+            changes["dmem_addr"] = channel.dmem_auto
+            channel.dmem_auto += nbytes
+        if not changes:
+            return descriptor
+        return descriptor.with_updates(**changes)

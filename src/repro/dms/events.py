@@ -1,0 +1,56 @@
+"""Per-dpCore DMS event files.
+
+The DMS associates 32 binary events with each dpCore (paper §3.1).
+Descriptors name events to wait on (precondition) and to set or clear
+on completion (notification); software blocks on an event with the
+``wfe`` instruction and clears it after consuming the buffer it
+guards. This is the entire flow-control vocabulary between a dpCore
+and the data movement hardware.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..sim import BinaryEvent, Engine, SimEvent
+
+__all__ = ["EventFile", "EVENTS_PER_CORE"]
+
+EVENTS_PER_CORE = 32
+
+
+class EventFile:
+    """The 32 binary events belonging to one dpCore."""
+
+    def __init__(self, engine: Engine, core_id: int) -> None:
+        self.engine = engine
+        self.core_id = core_id
+        self.events: List[BinaryEvent] = [
+            BinaryEvent(engine, event_id) for event_id in range(EVENTS_PER_CORE)
+        ]
+
+    def _check(self, event_id: int) -> None:
+        if not 0 <= event_id < EVENTS_PER_CORE:
+            raise ValueError(
+                f"event id {event_id} outside 0..{EVENTS_PER_CORE - 1}"
+            )
+
+    def set(self, event_id: int) -> None:
+        self._check(event_id)
+        self.events[event_id].set()
+
+    def clear(self, event_id: int) -> None:
+        self._check(event_id)
+        self.events[event_id].clear()
+
+    def is_set(self, event_id: int) -> bool:
+        self._check(event_id)
+        return self.events[event_id].is_set
+
+    def wait(self, event_id: int) -> SimEvent:
+        """Event that succeeds when ``event_id`` is (or becomes) set.
+
+        This is the hardware side of the ``wfe`` instruction.
+        """
+        self._check(event_id)
+        return self.events[event_id].wait()

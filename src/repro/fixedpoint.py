@@ -1,0 +1,141 @@
+"""Q10.22 software fixed-point arithmetic.
+
+The dpCore has no floating-point unit; the paper converts all machine
+learning datasets to a 10.22 fixed-point format (10 integer bits
+including sign, 22 fraction bits, in a 32-bit word) and reports
+"negligible loss in accuracy" because analytics data is normalized
+into a small range. This module provides both scalar helpers and
+vectorized numpy kernels so the applications (SVM, disparity) compute
+exactly what the dpCore would.
+
+Multiplication of two Q10.22 values produces a Q20.44 intermediate
+held in 64 bits; the product is renormalized by an arithmetic right
+shift of 22 with round-to-nearest, then saturated back into 32 bits —
+the standard DSP convention, and the one that makes SMO convergence
+deterministic across platforms.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+
+__all__ = [
+    "FRACTION_BITS",
+    "INTEGER_BITS",
+    "FXP_ONE",
+    "FXP_MAX",
+    "FXP_MIN",
+    "to_fixed",
+    "from_fixed",
+    "fxp_add",
+    "fxp_sub",
+    "fxp_mul",
+    "fxp_div",
+    "fxp_abs",
+    "fxp_neg",
+    "saturate",
+]
+
+FRACTION_BITS = 22
+INTEGER_BITS = 10  # includes the sign bit
+FXP_ONE = 1 << FRACTION_BITS
+FXP_MAX = (1 << 31) - 1
+FXP_MIN = -(1 << 31)
+
+_ArrayOrScalar = Union[int, float, np.ndarray]
+
+
+def saturate(value: _ArrayOrScalar) -> _ArrayOrScalar:
+    """Clamp into the signed 32-bit range."""
+    if isinstance(value, np.ndarray):
+        return np.clip(value, FXP_MIN, FXP_MAX).astype(np.int64)
+    return max(FXP_MIN, min(FXP_MAX, int(value)))
+
+
+def to_fixed(value: _ArrayOrScalar) -> _ArrayOrScalar:
+    """Convert float(s) to Q10.22 with round-to-nearest and saturation."""
+    if isinstance(value, np.ndarray):
+        scaled = np.rint(value.astype(np.float64) * FXP_ONE).astype(np.int64)
+        return saturate(scaled)
+    return saturate(int(round(float(value) * FXP_ONE)))
+
+
+def from_fixed(value: _ArrayOrScalar) -> _ArrayOrScalar:
+    """Convert Q10.22 value(s) back to float."""
+    if isinstance(value, np.ndarray):
+        return value.astype(np.float64) / FXP_ONE
+    return float(value) / FXP_ONE
+
+
+def fxp_add(a: _ArrayOrScalar, b: _ArrayOrScalar) -> _ArrayOrScalar:
+    """Saturating Q10.22 addition."""
+    if isinstance(a, np.ndarray) or isinstance(b, np.ndarray):
+        return saturate(np.asarray(a, dtype=np.int64) + np.asarray(b, dtype=np.int64))
+    return saturate(int(a) + int(b))
+
+
+def fxp_sub(a: _ArrayOrScalar, b: _ArrayOrScalar) -> _ArrayOrScalar:
+    """Saturating Q10.22 subtraction."""
+    if isinstance(a, np.ndarray) or isinstance(b, np.ndarray):
+        return saturate(np.asarray(a, dtype=np.int64) - np.asarray(b, dtype=np.int64))
+    return saturate(int(a) - int(b))
+
+
+def _round_shift(product: _ArrayOrScalar, shift: int) -> _ArrayOrScalar:
+    """Arithmetic right shift with round-to-nearest (ties away from zero
+    for negatives handled by the +half trick on the magnitude)."""
+    half = 1 << (shift - 1)
+    if isinstance(product, np.ndarray):
+        return (product + half) >> shift
+    return (int(product) + half) >> shift
+
+
+def fxp_mul(a: _ArrayOrScalar, b: _ArrayOrScalar) -> _ArrayOrScalar:
+    """Saturating Q10.22 multiply: (a*b + half) >> 22, clamped."""
+    if isinstance(a, np.ndarray) or isinstance(b, np.ndarray):
+        product = np.asarray(a, dtype=np.int64) * np.asarray(b, dtype=np.int64)
+        return saturate(_round_shift(product, FRACTION_BITS))
+    product = int(a) * int(b)
+    return saturate(_round_shift(product, FRACTION_BITS))
+
+
+def fxp_div(a: _ArrayOrScalar, b: _ArrayOrScalar) -> _ArrayOrScalar:
+    """Saturating Q10.22 divide: (a << 22) / b, truncating toward zero.
+
+    Division by zero saturates to FXP_MAX/FXP_MIN depending on the sign
+    of the numerator (and FXP_MAX for 0/0), mirroring a saturating
+    hardware divider rather than raising.
+    """
+    if isinstance(a, np.ndarray) or isinstance(b, np.ndarray):
+        num = np.asarray(a, dtype=np.int64) << FRACTION_BITS
+        den = np.asarray(b, dtype=np.int64)
+        zero = den == 0
+        safe_den = np.where(zero, 1, den)
+        with np.errstate(divide="ignore"):
+            quotient = (num / safe_den).astype(np.int64)  # trunc toward zero
+        quotient = np.where(zero & (num >= 0), FXP_MAX, quotient)
+        quotient = np.where(zero & (num < 0), FXP_MIN, quotient)
+        return saturate(quotient)
+    if int(b) == 0:
+        return FXP_MAX if int(a) >= 0 else FXP_MIN
+    numerator = int(a) << FRACTION_BITS
+    quotient = abs(numerator) // abs(int(b))
+    if (numerator < 0) != (int(b) < 0):
+        quotient = -quotient
+    return saturate(quotient)
+
+
+def fxp_abs(a: _ArrayOrScalar) -> _ArrayOrScalar:
+    """Saturating absolute value (abs(FXP_MIN) clamps to FXP_MAX)."""
+    if isinstance(a, np.ndarray):
+        return saturate(np.abs(np.asarray(a, dtype=np.int64)))
+    return saturate(abs(int(a)))
+
+
+def fxp_neg(a: _ArrayOrScalar) -> _ArrayOrScalar:
+    """Saturating negation."""
+    if isinstance(a, np.ndarray):
+        return saturate(-np.asarray(a, dtype=np.int64))
+    return saturate(-int(a))

@@ -1,0 +1,30 @@
+"""Memory substrate: DDR, DMEM scratchpads, caches, allocator."""
+
+from .address import DMEM_SIZE, AddressMap, AddressRangeError
+from .allocator import (
+    SIZE_CLASSES,
+    SUPERBLOCK_SIZE,
+    HeapAllocator,
+    OutOfMemoryError,
+)
+from .cache import Cache, CacheConfig, CacheStats, MacroCacheHierarchy
+from .ddr import AXI_MAX_TRANSFER, DDRChannel, DDRMemory
+from .dmem import Scratchpad
+
+__all__ = [
+    "AXI_MAX_TRANSFER",
+    "AddressMap",
+    "AddressRangeError",
+    "Cache",
+    "CacheConfig",
+    "CacheStats",
+    "DDRChannel",
+    "DDRMemory",
+    "DMEM_SIZE",
+    "HeapAllocator",
+    "MacroCacheHierarchy",
+    "OutOfMemoryError",
+    "SIZE_CLASSES",
+    "SUPERBLOCK_SIZE",
+    "Scratchpad",
+]

@@ -1,0 +1,97 @@
+"""Physical address map of the DPU SoC.
+
+The dpCore has no MMU: all software addresses physical memory
+directly, and every core shares one address space (paper §2.2). That
+address space contains two kinds of storage we model:
+
+* DDR DRAM, mapped from address 0,
+* each dpCore's 32 KB DMEM scratchpad, mapped high so ATE remote
+  operations can target "any address in DDR or DMEM space" (§2.3).
+
+The map is pure arithmetic — no simulation state — so it is shared
+freely between the DMS, ATE, caches and allocator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["AddressMap", "AddressRangeError", "DMEM_SIZE"]
+
+DMEM_SIZE = 32 * 1024  # 32 KB scratchpad per dpCore (paper §2.1)
+
+
+class AddressRangeError(Exception):
+    """An access fell outside DDR and all DMEM windows."""
+
+
+@dataclass(frozen=True)
+class AddressMap:
+    """Layout of the shared physical address space.
+
+    ``ddr_capacity`` is the modelled DRAM size. DMEM windows are
+    aligned 64 KB apart starting at ``dmem_base`` (default 1 << 40,
+    comfortably above any DDR address on a 64-bit machine).
+    """
+
+    ddr_capacity: int
+    num_cores: int
+    dmem_base: int = 1 << 40
+    dmem_stride: int = 64 * 1024
+
+    def __post_init__(self) -> None:
+        if self.ddr_capacity <= 0:
+            raise ValueError(f"ddr_capacity must be positive: {self.ddr_capacity}")
+        if self.num_cores <= 0:
+            raise ValueError(f"num_cores must be positive: {self.num_cores}")
+        if self.dmem_base < self.ddr_capacity:
+            raise ValueError("DMEM window overlaps DDR space")
+
+    # -- classification ----------------------------------------------
+
+    def is_ddr(self, address: int) -> bool:
+        return 0 <= address < self.ddr_capacity
+
+    def is_dmem(self, address: int) -> bool:
+        if address < self.dmem_base:
+            return False
+        core, offset = divmod(address - self.dmem_base, self.dmem_stride)
+        return core < self.num_cores and offset < DMEM_SIZE
+
+    def dmem_window(self, core_id: int) -> range:
+        """Address range of ``core_id``'s DMEM window."""
+        self._check_core(core_id)
+        base = self.dmem_base + core_id * self.dmem_stride
+        return range(base, base + DMEM_SIZE)
+
+    def dmem_address(self, core_id: int, offset: int) -> int:
+        """Physical address of byte ``offset`` in a core's DMEM."""
+        self._check_core(core_id)
+        if not 0 <= offset < DMEM_SIZE:
+            raise AddressRangeError(
+                f"DMEM offset {offset:#x} outside 0..{DMEM_SIZE:#x}"
+            )
+        return self.dmem_base + core_id * self.dmem_stride + offset
+
+    def split_dmem(self, address: int) -> tuple:
+        """Decompose a DMEM address into ``(core_id, offset)``."""
+        if not self.is_dmem(address):
+            raise AddressRangeError(f"{address:#x} is not a DMEM address")
+        core, offset = divmod(address - self.dmem_base, self.dmem_stride)
+        return int(core), int(offset)
+
+    def check_ddr_range(self, address: int, length: int) -> None:
+        """Validate a DDR access of ``length`` bytes at ``address``."""
+        if length < 0:
+            raise AddressRangeError(f"negative access length {length}")
+        if address < 0 or address + length > self.ddr_capacity:
+            raise AddressRangeError(
+                f"DDR access [{address:#x}, {address + length:#x}) outside "
+                f"capacity {self.ddr_capacity:#x}"
+            )
+
+    def _check_core(self, core_id: int) -> None:
+        if not 0 <= core_id < self.num_cores:
+            raise AddressRangeError(
+                f"core id {core_id} outside 0..{self.num_cores - 1}"
+            )

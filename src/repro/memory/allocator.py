@@ -1,0 +1,211 @@
+"""Two-level heap allocator for DPU DRAM.
+
+The paper (§4) manages "most of DRAM space" with a two-level heap
+allocator "similar to Hoard or TCMalloc": per-core local heaps serve
+small allocations out of size-classed superblocks with no
+synchronization, and a global heap hands out superblocks and serves
+large allocations. We reproduce that structure:
+
+* small requests (<= half a superblock) round up to a size class and
+  are served from a per-core :class:`LocalHeap`;
+* each size class is backed by 64 KB *superblocks* obtained from the
+  :class:`GlobalHeap`; an emptied superblock is returned to it;
+* large requests are served directly by the global heap with a
+  first-fit free list.
+
+Addresses are plain integers into the DPU's DDR space; the allocator
+is deterministic, which keeps every simulation bit-reproducible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+__all__ = ["HeapAllocator", "OutOfMemoryError", "SUPERBLOCK_SIZE", "SIZE_CLASSES"]
+
+SUPERBLOCK_SIZE = 64 * 1024
+# Size classes: 16 B .. 32 KB, quadrupling then doubling for coverage
+# comparable to TCMalloc's small-object classes.
+SIZE_CLASSES = [
+    16, 32, 48, 64, 96, 128, 192, 256, 384, 512, 768, 1024,
+    1536, 2048, 3072, 4096, 6144, 8192, 12288, 16384, 32768,
+]
+_ALIGNMENT = 16
+
+
+class OutOfMemoryError(Exception):
+    """The modelled DRAM heap is exhausted."""
+
+
+def _size_class_for(size: int) -> Optional[int]:
+    for cls in SIZE_CLASSES:
+        if size <= cls:
+            return cls
+    return None
+
+
+@dataclass
+class _Superblock:
+    base: int
+    slot_size: int
+    free_slots: List[int] = field(default_factory=list)
+    allocated: int = 0
+
+    def __post_init__(self) -> None:
+        count = SUPERBLOCK_SIZE // self.slot_size
+        self.free_slots = [self.base + i * self.slot_size for i in range(count)][::-1]
+
+    @property
+    def empty(self) -> bool:
+        return self.allocated == 0
+
+    @property
+    def full(self) -> bool:
+        return not self.free_slots
+
+    def take(self) -> int:
+        address = self.free_slots.pop()
+        self.allocated += 1
+        return address
+
+    def give_back(self, address: int) -> None:
+        self.free_slots.append(address)
+        self.allocated -= 1
+
+
+class GlobalHeap:
+    """Owner of the raw heap range: superblocks and large objects."""
+
+    def __init__(self, base: int, capacity: int) -> None:
+        if capacity < SUPERBLOCK_SIZE:
+            raise ValueError(f"heap capacity {capacity} smaller than a superblock")
+        self.base = base
+        self.capacity = capacity
+        # First-fit free list of (address, length), kept sorted/merged.
+        self._free: List[Tuple[int, int]] = [(base, capacity)]
+        self.superblocks_out = 0
+
+    def carve(self, size: int) -> int:
+        """First-fit allocation of a raw range (aligned)."""
+        size = -(-size // _ALIGNMENT) * _ALIGNMENT
+        for index, (address, length) in enumerate(self._free):
+            if length >= size:
+                remainder = length - size
+                if remainder:
+                    self._free[index] = (address + size, remainder)
+                else:
+                    del self._free[index]
+                return address
+        raise OutOfMemoryError(
+            f"cannot carve {size} bytes from heap of {self.capacity}"
+        )
+
+    def reclaim(self, address: int, size: int) -> None:
+        """Return a raw range, coalescing with neighbours."""
+        size = -(-size // _ALIGNMENT) * _ALIGNMENT
+        self._free.append((address, size))
+        self._free.sort()
+        merged: List[Tuple[int, int]] = []
+        for start, length in self._free:
+            if merged and merged[-1][0] + merged[-1][1] == start:
+                merged[-1] = (merged[-1][0], merged[-1][1] + length)
+            else:
+                merged.append((start, length))
+        self._free = merged
+
+    def take_superblock(self, slot_size: int) -> _Superblock:
+        base = self.carve(SUPERBLOCK_SIZE)
+        self.superblocks_out += 1
+        return _Superblock(base, slot_size)
+
+    def return_superblock(self, superblock: _Superblock) -> None:
+        self.superblocks_out -= 1
+        self.reclaim(superblock.base, SUPERBLOCK_SIZE)
+
+    def free_bytes(self) -> int:
+        return sum(length for _addr, length in self._free)
+
+
+class LocalHeap:
+    """Per-core cache of partially-filled superblocks by size class."""
+
+    def __init__(self, core_id: int, global_heap: GlobalHeap) -> None:
+        self.core_id = core_id
+        self.global_heap = global_heap
+        self._by_class: Dict[int, List[_Superblock]] = {}
+
+    def malloc(self, size_class: int) -> Tuple[int, _Superblock]:
+        blocks = self._by_class.setdefault(size_class, [])
+        for block in blocks:
+            if not block.full:
+                return block.take(), block
+        block = self.global_heap.take_superblock(size_class)
+        blocks.append(block)
+        return block.take(), block
+
+    def free(self, address: int, block: _Superblock) -> None:
+        block.give_back(address)
+        if block.empty:
+            blocks = self._by_class.get(block.slot_size, [])
+            # Keep one empty superblock cached per class (hysteresis,
+            # as in Hoard); return the rest to the global heap.
+            empties = [b for b in blocks if b.empty]
+            if len(empties) > 1:
+                blocks.remove(block)
+                self.global_heap.return_superblock(block)
+
+
+class HeapAllocator:
+    """Public facade: ``malloc``/``free`` with per-core fast paths.
+
+    ``malloc`` returns an integer DDR address. ``free`` needs only the
+    address (allocation metadata is tracked internally, like a real
+    allocator's page map).
+    """
+
+    def __init__(self, base: int, capacity: int, num_cores: int) -> None:
+        self.global_heap = GlobalHeap(base, capacity)
+        self.local_heaps = [LocalHeap(cid, self.global_heap) for cid in range(num_cores)]
+        # address -> ("small", size_class, superblock) | ("large", size)
+        self._live: Dict[int, tuple] = {}
+        self.peak_live_bytes = 0
+        self._live_bytes = 0
+
+    def malloc(self, size: int, core_id: int = 0) -> int:
+        if size <= 0:
+            raise ValueError(f"allocation size must be positive: {size}")
+        size_class = _size_class_for(size)
+        if size_class is not None:
+            local = self.local_heaps[core_id % len(self.local_heaps)]
+            address, block = local.malloc(size_class)
+            self._live[address] = ("small", size_class, block, core_id)
+            self._live_bytes += size_class
+        else:
+            address = self.global_heap.carve(size)
+            self._live[address] = ("large", size)
+            self._live_bytes += size
+        self.peak_live_bytes = max(self.peak_live_bytes, self._live_bytes)
+        return address
+
+    def free(self, address: int) -> None:
+        record = self._live.pop(address, None)
+        if record is None:
+            raise ValueError(f"free of unallocated address {address:#x}")
+        if record[0] == "small":
+            _kind, size_class, block, core_id = record
+            self.local_heaps[core_id % len(self.local_heaps)].free(address, block)
+            self._live_bytes -= size_class
+        else:
+            _kind, size = record
+            self.global_heap.reclaim(address, size)
+            self._live_bytes -= size
+
+    def live_bytes(self) -> int:
+        return self._live_bytes
+
+    def allocation_size(self, address: int) -> int:
+        record = self._live.get(address)
+        if record is None:
+            raise ValueError(f"{address:#x} is not a live allocation")
+        return record[1]

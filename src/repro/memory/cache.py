@@ -1,0 +1,208 @@
+"""Software-coherent cache hierarchy.
+
+Besides the DMS/DMEM path, each dpCore has a small general-purpose
+hierarchy: 16 KB L1-D and 8 KB L1-I private caches, and a 256 KB L2
+shared by the 8 dpCores of a macro (paper §2.3). Hardware does *not*
+keep the caches coherent; the ISA exposes flush and invalidate
+instructions and software manages sharing.
+
+The model is a tag-only set-associative cache with LRU replacement.
+Data always lives in :class:`~repro.memory.ddr.DDRMemory`; the cache
+answers "hit or miss, and how many cycles" and tracks dirty lines so
+flushes cost write-back bandwidth. Stale-data *semantics* (reading a
+line another core wrote without an invalidate) are checked separately
+by :mod:`repro.runtime.coherence`.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+__all__ = ["CacheConfig", "Cache", "CacheStats", "MacroCacheHierarchy"]
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """Geometry and latency of one cache level."""
+
+    size: int
+    line_size: int = 64
+    associativity: int = 4
+    hit_cycles: int = 1
+
+    def __post_init__(self) -> None:
+        if self.size % (self.line_size * self.associativity) != 0:
+            raise ValueError(
+                f"size {self.size} not divisible by line*ways "
+                f"({self.line_size}*{self.associativity})"
+            )
+
+    @property
+    def num_sets(self) -> int:
+        return self.size // (self.line_size * self.associativity)
+
+
+@dataclass
+class CacheStats:
+    hits: int = 0
+    misses: int = 0
+    writebacks: int = 0
+    invalidations: int = 0
+    flushes: int = 0
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.accesses if self.accesses else 0.0
+
+
+class Cache:
+    """One set-associative, write-back, LRU cache level (tags only)."""
+
+    def __init__(self, config: CacheConfig, name: str = "cache") -> None:
+        self.config = config
+        self.name = name
+        # set index -> OrderedDict(tag -> dirty flag); LRU at front.
+        self._sets: Dict[int, OrderedDict] = {}
+        self.stats = CacheStats()
+
+    def _locate(self, address: int) -> Tuple[int, int]:
+        line = address // self.config.line_size
+        return line % self.config.num_sets, line // self.config.num_sets
+
+    def lookup(self, address: int) -> bool:
+        """Probe without changing state (for the coherence checker)."""
+        set_index, tag = self._locate(address)
+        return tag in self._sets.get(set_index, ())
+
+    def access(self, address: int, write: bool = False) -> Tuple[bool, int]:
+        """Reference one byte address.
+
+        Returns ``(hit, writebacks)`` where ``writebacks`` counts dirty
+        lines evicted by the fill (each costs one line of DDR write
+        bandwidth to the caller's timing model).
+        """
+        set_index, tag = self._locate(address)
+        ways = self._sets.setdefault(set_index, OrderedDict())
+        if tag in ways:
+            self.stats.hits += 1
+            ways.move_to_end(tag)
+            if write:
+                ways[tag] = True
+            return True, 0
+        self.stats.misses += 1
+        writebacks = 0
+        if len(ways) >= self.config.associativity:
+            _victim, dirty = ways.popitem(last=False)
+            if dirty:
+                writebacks += 1
+                self.stats.writebacks += 1
+        ways[tag] = write
+        return False, writebacks
+
+    def flush_range(self, address: int, length: int) -> int:
+        """Write back and drop dirty lines in a range; returns the
+        number of dirty lines written back."""
+        written = 0
+        for set_index, tag in self._lines_in_range(address, length):
+            ways = self._sets.get(set_index)
+            if ways is not None and tag in ways:
+                if ways[tag]:
+                    written += 1
+                    self.stats.writebacks += 1
+                del ways[tag]
+        self.stats.flushes += 1
+        return written
+
+    def invalidate_range(self, address: int, length: int) -> int:
+        """Drop lines in a range without write-back; returns count."""
+        dropped = 0
+        for set_index, tag in self._lines_in_range(address, length):
+            ways = self._sets.get(set_index)
+            if ways is not None and tag in ways:
+                del ways[tag]
+                dropped += 1
+        self.stats.invalidations += 1
+        return dropped
+
+    def flush_all(self) -> int:
+        """Write back everything dirty and empty the cache."""
+        written = 0
+        for ways in self._sets.values():
+            written += sum(1 for dirty in ways.values() if dirty)
+            ways.clear()
+        self.stats.writebacks += written
+        self.stats.flushes += 1
+        return written
+
+    def _lines_in_range(self, address: int, length: int):
+        if length <= 0:
+            return
+        first = address // self.config.line_size
+        last = (address + length - 1) // self.config.line_size
+        for line in range(first, last + 1):
+            yield line % self.config.num_sets, line // self.config.num_sets
+
+
+class MacroCacheHierarchy:
+    """L1s private to each dpCore plus the macro-shared L2.
+
+    ``access`` walks L1 -> L2 and reports the total cycle cost,
+    including DDR fill latency on an L2 miss. The DDR latency is a
+    constant handed in by the SoC config; bandwidth-accurate DDR
+    traffic for the *cached* path is negligible in the paper's
+    workloads (data goes through the DMS), so a latency constant is
+    the right fidelity.
+    """
+
+    def __init__(
+        self,
+        core_ids,
+        l1d_config: CacheConfig,
+        l2_config: CacheConfig,
+        ddr_latency_cycles: int = 110,
+        l1i_config: CacheConfig = None,
+    ) -> None:
+        self.l1d = {cid: Cache(l1d_config, f"l1d[{cid}]") for cid in core_ids}
+        self.l1i = {
+            cid: Cache(l1i_config or CacheConfig(size=8192), f"l1i[{cid}]")
+            for cid in core_ids
+        }
+        self.l2 = Cache(l2_config, "l2")
+        self.l2_config = l2_config
+        self.ddr_latency_cycles = ddr_latency_cycles
+
+    def access(self, core_id: int, address: int, write: bool = False) -> int:
+        """Data access from ``core_id``; returns cycles consumed."""
+        l1 = self.l1d[core_id]
+        hit, _wb = l1.access(address, write)
+        if hit:
+            return l1.config.hit_cycles
+        l2_hit, _wb2 = self.l2.access(address, write)
+        if l2_hit:
+            return l1.config.hit_cycles + self.l2.config.hit_cycles
+        return (
+            l1.config.hit_cycles
+            + self.l2.config.hit_cycles
+            + self.ddr_latency_cycles
+        )
+
+    def flush(self, core_id: int, address: int, length: int) -> int:
+        """Software cache flush of a range; returns cycles (one per
+        line probed plus write-back cost per dirty line)."""
+        lines = -(-max(length, 1) // self.l1d[core_id].config.line_size)
+        written = self.l1d[core_id].flush_range(address, length)
+        written += self.l2.flush_range(address, length)
+        return lines + written * 4
+
+    def invalidate(self, core_id: int, address: int, length: int) -> int:
+        """Software cache invalidate of a range; returns cycles."""
+        lines = -(-max(length, 1) // self.l1d[core_id].config.line_size)
+        self.l1d[core_id].invalidate_range(address, length)
+        self.l2.invalidate_range(address, length)
+        return lines

@@ -1,0 +1,68 @@
+"""Per-dpCore DMEM scratchpad.
+
+Each dpCore owns 32 KB of software-managed SRAM in lieu of a
+hardware-managed data cache (paper §2.1). Access is single-cycle from
+the core; the DMS writes into it directly, making transferred data
+"immediately available for consumption" (§2.1). Like
+:class:`repro.memory.ddr.DDRMemory`, the scratchpad holds real bytes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .address import DMEM_SIZE
+
+__all__ = ["Scratchpad"]
+
+
+class Scratchpad:
+    """32 KB of byte-addressable SRAM local to one dpCore."""
+
+    def __init__(self, core_id: int, size: int = DMEM_SIZE) -> None:
+        if size <= 0:
+            raise ValueError(f"scratchpad size must be positive: {size}")
+        self.core_id = core_id
+        self.size = size
+        self.data = np.zeros(size, dtype=np.uint8)
+
+    def _check(self, offset: int, length: int) -> None:
+        if length < 0:
+            raise ValueError(f"negative access length {length}")
+        if offset < 0 or offset + length > self.size:
+            raise IndexError(
+                f"DMEM access [{offset:#x}, {offset + length:#x}) outside "
+                f"0..{self.size:#x} on core {self.core_id}"
+            )
+
+    def read(self, offset: int, length: int) -> np.ndarray:
+        """Copy ``length`` bytes starting at ``offset``."""
+        self._check(offset, length)
+        return self.data[offset : offset + length].copy()
+
+    def write(self, offset: int, payload: np.ndarray) -> None:
+        """Store ``payload`` bytes at ``offset``."""
+        raw = np.ascontiguousarray(payload).view(np.uint8).ravel()
+        self._check(offset, len(raw))
+        self.data[offset : offset + len(raw)] = raw
+
+    def view(self, offset: int, length: int, dtype=np.uint8) -> np.ndarray:
+        """Zero-copy typed view (mutations are visible to hardware)."""
+        self._check(offset, length)
+        return self.data[offset : offset + length].view(dtype)
+
+    def read_u64(self, offset: int) -> int:
+        return int(self.view(offset, 8, np.uint64)[0])
+
+    def write_u64(self, offset: int, value: int) -> None:
+        self.view(offset, 8, np.uint64)[0] = np.uint64(value & (2**64 - 1))
+
+    def read_i64(self, offset: int) -> int:
+        return int(self.view(offset, 8, np.int64)[0])
+
+    def write_i64(self, offset: int, value: int) -> None:
+        self.view(offset, 8, np.int64)[0] = np.int64(value)
+
+    def fill(self, value: int = 0) -> None:
+        """Blank the scratchpad (used between kernel launches)."""
+        self.data[:] = np.uint8(value & 0xFF)

@@ -1,0 +1,21 @@
+"""DPU software runtime: scheduling, ATE primitives, serialized RPC."""
+
+from .coherence import CoherenceChecker, Violation
+from .parallel import AteBarrier, AteMutex, SharedCounter, WorkQueue
+from .rpc import Region, dpu_serialized, install_serialized
+from .task import DmemLayout, chunk_ranges, static_partition
+
+__all__ = [
+    "AteBarrier",
+    "AteMutex",
+    "CoherenceChecker",
+    "DmemLayout",
+    "Region",
+    "SharedCounter",
+    "Violation",
+    "WorkQueue",
+    "chunk_ranges",
+    "dpu_serialized",
+    "install_serialized",
+    "static_partition",
+]

@@ -1,0 +1,169 @@
+"""Software-coherence protocol checker (paper §4).
+
+With no hardware coherence, the DPU team built "debugging tools that
+identify data races and coherence violations" and a tool to quantify
+*redundant* cache maintenance (programmers over-flushing out of
+caution). This module is that tool for the model: kernels (and the
+serialized-RPC runtime) report their cached reads/writes and
+flush/invalidate operations, and the checker flags:
+
+* **stale read** — core B reads a line core A wrote, without A
+  flushing it and B invalidating its own copy in between;
+* **lost write** — two cores hold the same line dirty concurrently;
+* **false sharing** — distinct variables of different cores sharing a
+  cache line (the compiler change in §4 aligns globals to line
+  boundaries to kill these);
+* **redundant maintenance** — flushes of clean lines / invalidates of
+  lines never re-read, counted rather than flagged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+__all__ = ["CoherenceChecker", "Violation"]
+
+LINE = 64
+
+
+@dataclass(frozen=True)
+class Violation:
+    kind: str  # "stale-read" | "lost-write" | "false-sharing"
+    line: int
+    reader: Optional[int]
+    writer: Optional[int]
+    detail: str
+
+
+@dataclass
+class _LineState:
+    # Which cores have the line cached, and who holds it dirty.
+    cached_by: Set[int] = field(default_factory=set)
+    dirty_in: Set[int] = field(default_factory=set)
+    last_writer: Optional[int] = None
+    flushed_since_write: bool = True
+    invalidated_since_flush: Dict[int, bool] = field(default_factory=dict)
+
+
+class CoherenceChecker:
+    """Tracks per-line sharing state and reports protocol violations."""
+
+    def __init__(self) -> None:
+        self._lines: Dict[int, _LineState] = {}
+        self.violations: List[Violation] = []
+        self.redundant_flushes = 0
+        self.useful_flushes = 0
+        self.redundant_invalidates = 0
+        self.useful_invalidates = 0
+
+    def _state(self, line: int) -> _LineState:
+        return self._lines.setdefault(line, _LineState())
+
+    @staticmethod
+    def _lines_of(address: int, length: int) -> range:
+        first = address // LINE
+        last = (address + max(length, 1) - 1) // LINE
+        return range(first, last + 1)
+
+    # -- reported operations --------------------------------------------
+
+    def read(self, core: int, address: int, length: int = 8) -> None:
+        for line in self._lines_of(address, length):
+            state = self._state(line)
+            if (
+                state.last_writer is not None
+                and state.last_writer != core
+                and not (
+                    state.flushed_since_write
+                    and state.invalidated_since_flush.get(core, core not in state.cached_by)
+                )
+            ):
+                self.violations.append(
+                    Violation(
+                        kind="stale-read",
+                        line=line,
+                        reader=core,
+                        writer=state.last_writer,
+                        detail=(
+                            f"core {core} read line {line:#x} written by core "
+                            f"{state.last_writer} without flush+invalidate"
+                        ),
+                    )
+                )
+            state.cached_by.add(core)
+
+    def write(self, core: int, address: int, length: int = 8) -> None:
+        for line in self._lines_of(address, length):
+            state = self._state(line)
+            others_dirty = state.dirty_in - {core}
+            if others_dirty:
+                self.violations.append(
+                    Violation(
+                        kind="lost-write",
+                        line=line,
+                        reader=None,
+                        writer=core,
+                        detail=(
+                            f"line {line:#x} dirty in cores "
+                            f"{sorted(others_dirty)} while core {core} writes"
+                        ),
+                    )
+                )
+            if state.cached_by - {core} and state.last_writer != core:
+                self.violations.append(
+                    Violation(
+                        kind="false-sharing",
+                        line=line,
+                        reader=None,
+                        writer=core,
+                        detail=(
+                            f"core {core} writes line {line:#x} cached by "
+                            f"{sorted(state.cached_by - {core})}"
+                        ),
+                    )
+                )
+            state.cached_by.add(core)
+            state.dirty_in.add(core)
+            state.last_writer = core
+            state.flushed_since_write = False
+            state.invalidated_since_flush = {}
+
+    def flush(self, core: int, address: int, length: int) -> None:
+        for line in self._lines_of(address, length):
+            state = self._state(line)
+            if core in state.dirty_in:
+                state.dirty_in.discard(core)
+                state.flushed_since_write = True
+                self.useful_flushes += 1
+            else:
+                self.redundant_flushes += 1
+            state.cached_by.discard(core)
+
+    def invalidate(self, core: int, address: int, length: int) -> None:
+        for line in self._lines_of(address, length):
+            state = self._state(line)
+            if core in state.cached_by or not state.invalidated_since_flush.get(
+                core, False
+            ):
+                self.useful_invalidates += 1
+            else:
+                self.redundant_invalidates += 1
+            state.cached_by.discard(core)
+            state.dirty_in.discard(core)
+            state.invalidated_since_flush[core] = True
+
+    # -- reporting -----------------------------------------------------------
+
+    def ok(self) -> bool:
+        return not self.violations
+
+    def report(self) -> str:
+        lines = [
+            f"coherence: {len(self.violations)} violation(s), "
+            f"{self.useful_flushes} useful / {self.redundant_flushes} "
+            f"redundant flushes, {self.useful_invalidates} useful / "
+            f"{self.redundant_invalidates} redundant invalidates"
+        ]
+        lines.extend(f"  [{v.kind}] {v.detail}" for v in self.violations)
+        return "\n".join(lines)

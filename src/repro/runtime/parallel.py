@@ -1,0 +1,162 @@
+"""Parallel programming primitives over the ATE (paper §2.3, §4).
+
+The DPU has no cache coherence, so classic shared-memory primitives
+are rebuilt on the ATE's hardware RPCs: every shared word is *owned*
+by one dpCore (usually in its DMEM) and mutated only through remote
+atomics, which the owner's ATE engine serializes. The runtime ports
+"common parallel programming paradigms such as threads, task queues,
+and independent loops" this way; here that is:
+
+* :class:`SharedCounter` — an owned 64-bit counter (fetch-add/CAS);
+* :class:`AteMutex` — CAS spinlock with bounded exponential backoff;
+* :class:`AteBarrier` — sense-reversing barrier: arrivals fetch-add
+  on the owner, the last arriver fans the release out with remote
+  stores so each core spins only on its *own* DMEM flag;
+* :class:`WorkQueue` — the §5.4 work-stealing scheme: a shared chunk
+  cursor claimed with fetch-add (essential under the dpCore's
+  variable-latency multiplier to avoid long tail latencies).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional
+
+from ..core.dpu import DPU, CoreContext
+
+__all__ = ["SharedCounter", "AteMutex", "AteBarrier", "WorkQueue"]
+
+_SPIN_CYCLES = 24  # pause between local-flag polls / lock retries
+
+
+class SharedCounter:
+    """A 64-bit counter owned by one core's DMEM, mutated via ATE."""
+
+    def __init__(self, dpu: DPU, owner: int, dmem_offset: int, initial: int = 0):
+        self.dpu = dpu
+        self.owner = owner
+        self.address = dpu.address_map.dmem_address(owner, dmem_offset)
+        dpu.scratchpads[owner].write_u64(dmem_offset, initial)
+
+    def fetch_add(self, ctx: CoreContext, delta: int = 1):
+        """Atomically add; generator returns the previous value."""
+        value = yield from ctx.fetch_add(self.owner, self.address, delta)
+        return value
+
+    def load(self, ctx: CoreContext):
+        value = yield from ctx.remote_load(self.owner, self.address)
+        return value
+
+    def store(self, ctx: CoreContext, value: int):
+        yield from ctx.remote_store(self.owner, self.address, value)
+
+    def peek(self) -> int:
+        """Zero-time read for assertions/tests (not a modelled access)."""
+        offset = self.address - self.dpu.address_map.dmem_window(self.owner).start
+        return self.dpu.scratchpads[self.owner].read_u64(offset)
+
+
+class AteMutex:
+    """A spinlock built from remote compare-and-swap."""
+
+    _UNLOCKED = 0
+
+    def __init__(self, dpu: DPU, owner: int, dmem_offset: int) -> None:
+        self.dpu = dpu
+        self.owner = owner
+        self.address = dpu.address_map.dmem_address(owner, dmem_offset)
+        dpu.scratchpads[owner].write_u64(dmem_offset, self._UNLOCKED)
+
+    def acquire(self, ctx: CoreContext):
+        """Spin with exponential backoff until the lock is taken."""
+        backoff = _SPIN_CYCLES
+        while True:
+            observed = yield from ctx.compare_swap(
+                self.owner, self.address, self._UNLOCKED, ctx.core_id + 1
+            )
+            if observed == self._UNLOCKED:
+                return
+            yield from ctx.compute(backoff)
+            backoff = min(backoff * 2, 1024)
+
+    def release(self, ctx: CoreContext):
+        yield from ctx.remote_store(self.owner, self.address, self._UNLOCKED)
+
+    def holder(self) -> Optional[int]:
+        """Current holder core id, or None (test/debug helper)."""
+        offset = self.address - self.dpu.address_map.dmem_window(self.owner).start
+        raw = self.dpu.scratchpads[self.owner].read_u64(offset)
+        return None if raw == self._UNLOCKED else raw - 1
+
+
+class AteBarrier:
+    """Sense-reversing barrier across a fixed set of cores.
+
+    Layout (all in participants' DMEMs): the owner holds an arrival
+    counter; every participant holds a one-word release flag. The
+    last arriver increments the sense and remote-stores it into each
+    flag; everyone else polls their own flag locally.
+    """
+
+    def __init__(
+        self,
+        dpu: DPU,
+        cores: Iterable[int],
+        counter_offset: int,
+        flag_offset: int,
+    ) -> None:
+        self.dpu = dpu
+        self.cores: List[int] = list(cores)
+        if not self.cores:
+            raise ValueError("barrier needs at least one core")
+        self.owner = self.cores[0]
+        self.counter = SharedCounter(dpu, self.owner, counter_offset, 0)
+        self.flag_offset = flag_offset
+        self._sense = 0  # shared config, mirrored in each flag word
+        for core in self.cores:
+            dpu.scratchpads[core].write_u64(flag_offset, 0)
+
+    def wait(self, ctx: CoreContext):
+        """Block until every participant has arrived."""
+        sense = self.dpu.scratchpads[ctx.core_id].read_u64(self.flag_offset)
+        target = sense + 1
+        arrived = yield from self.counter.fetch_add(ctx, 1)
+        if arrived == len(self.cores) - 1:
+            # Last arriver: reset the counter and release everyone
+            # with posted stores (no reply stall on the fan-out).
+            yield from self.counter.store(ctx, 0)
+            for core in self.cores:
+                if core == ctx.core_id:
+                    self.dpu.scratchpads[core].write_u64(self.flag_offset, target)
+                else:
+                    address = self.dpu.address_map.dmem_address(
+                        core, self.flag_offset
+                    )
+                    yield from ctx.posted_store(core, address, target)
+            return
+        while (
+            self.dpu.scratchpads[ctx.core_id].read_u64(self.flag_offset) < target
+        ):
+            yield from ctx.compute(_SPIN_CYCLES)
+
+
+class WorkQueue:
+    """Dynamic chunk claiming with an ATE fetch-add cursor (§5.4)."""
+
+    def __init__(
+        self,
+        dpu: DPU,
+        owner: int,
+        dmem_offset: int,
+        num_chunks: int,
+    ) -> None:
+        if num_chunks < 0:
+            raise ValueError(f"num_chunks must be >= 0: {num_chunks}")
+        self.cursor = SharedCounter(dpu, owner, dmem_offset, 0)
+        self.num_chunks = num_chunks
+
+    def claim(self, ctx: CoreContext):
+        """Claim the next chunk; generator returns its index or None."""
+        index = yield from self.cursor.fetch_add(ctx, 1)
+        if index >= self.num_chunks:
+            return None
+        return index

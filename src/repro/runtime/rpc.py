@@ -1,0 +1,102 @@
+"""The serialized-RPC programming pattern (paper §4).
+
+On the non-coherent DPU, shared data structures are pinned to a
+single owner dpCore and all manipulation goes through the ATE's
+software RPCs behind ``dpu_serialized``. The programmer supplies
+*visitors* enumerating the memory regions reachable from the argument
+and return values; the runtime then:
+
+(a) flushes the argument objects on the issuing core,
+(b) invalidates the same on the remote core,
+(c) invokes the RPC (the shared-data manipulator) on the remote core,
+(d) flushes the return-address objects on the remote core,
+(e) invalidates those regions on the issuing core when it returns.
+
+Because every core addresses the same physical space, pointers (data
+as well as functions) are passed by value inside the ATE message —
+modelled here by registering the function under a name on the owner
+and shipping plain-value args.
+
+Every cache operation is also reported to an optional
+:class:`~repro.runtime.coherence.CoherenceChecker`, which is how the
+protocol's correctness is validated in tests.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, List, Optional, Tuple
+
+from ..core.dpu import DPU, CoreContext
+from .coherence import CoherenceChecker
+
+__all__ = ["install_serialized", "dpu_serialized", "Region"]
+
+Region = Tuple[int, int]  # (physical address, length in bytes)
+
+
+def _regions(visitor: Optional[Callable], payload: Any) -> List[Region]:
+    if visitor is None:
+        return []
+    return list(visitor(payload))
+
+
+def install_serialized(
+    dpu: DPU,
+    owner: int,
+    name: str,
+    manipulator: Callable,
+    args_visitor: Optional[Callable] = None,
+    return_visitor: Optional[Callable] = None,
+    checker: Optional[CoherenceChecker] = None,
+) -> None:
+    """Install ``manipulator`` as a serialized RPC on ``owner``.
+
+    ``manipulator(args)`` may be a plain function or a generator (to
+    charge compute cycles on the owner). The wrapper performs steps
+    (b) and (d) of the protocol on the owner's caches.
+    """
+    owner_ctx = dpu.context(owner)
+
+    def wrapper(args: Any):
+        for address, length in _regions(args_visitor, args):
+            yield from owner_ctx.cache_invalidate(address, length)
+            if checker is not None:
+                checker.invalidate(owner, address, length)
+        result = manipulator(args)
+        if hasattr(result, "send") and hasattr(result, "throw"):
+            result = yield from result
+        for address, length in _regions(return_visitor, result):
+            yield from owner_ctx.cache_flush(address, length)
+            if checker is not None:
+                checker.flush(owner, address, length)
+        return result
+
+    dpu.ate.install_handler(owner, name, wrapper)
+
+
+def dpu_serialized(
+    ctx: CoreContext,
+    owner: int,
+    name: str,
+    args: Any = None,
+    args_visitor: Optional[Callable] = None,
+    return_visitor: Optional[Callable] = None,
+    checker: Optional[CoherenceChecker] = None,
+):
+    """Invoke a serialized RPC; generator returns the result.
+
+    Mirrors the paper's ``dpu_serialized`` call: the issuing core
+    performs steps (a) and (e); the owner-side wrapper installed by
+    :func:`install_serialized` performs (b) and (d); the ATE carries
+    step (c).
+    """
+    for address, length in _regions(args_visitor, args):
+        yield from ctx.cache_flush(address, length)
+        if checker is not None:
+            checker.flush(ctx.core_id, address, length)
+    result = yield from ctx.software_rpc(owner, name, args)
+    for address, length in _regions(return_visitor, result):
+        yield from ctx.cache_invalidate(address, length)
+        if checker is not None:
+            checker.invalidate(ctx.core_id, address, length)
+    return result

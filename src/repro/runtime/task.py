@@ -1,0 +1,79 @@
+"""Cooperative task helpers (paper §4).
+
+The DPU runtime schedules application code to completion on each
+dpCore — no preemption, with only well-known interrupt sources (ATE
+software RPCs, mailbox messages, timers). Kernels in this codebase
+are Python generators driven by the simulator; these helpers cover
+the recurring shapes: static range partitioning across cores, chunk
+iteration, and per-core tiling of DMEM.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Tuple
+
+__all__ = ["static_partition", "chunk_ranges", "DmemLayout"]
+
+
+def static_partition(total: int, num_parts: int, part: int) -> Tuple[int, int]:
+    """Contiguous ``[start, stop)`` share of ``total`` for ``part``.
+
+    Remainder items go to the lowest-numbered parts, so shares differ
+    by at most one — the static schedule most kernels start from.
+    """
+    if num_parts <= 0:
+        raise ValueError(f"num_parts must be positive: {num_parts}")
+    if not 0 <= part < num_parts:
+        raise ValueError(f"part {part} outside 0..{num_parts - 1}")
+    base, remainder = divmod(total, num_parts)
+    start = part * base + min(part, remainder)
+    stop = start + base + (1 if part < remainder else 0)
+    return start, stop
+
+
+def chunk_ranges(start: int, stop: int, chunk: int) -> Iterator[Tuple[int, int]]:
+    """Yield ``[lo, hi)`` windows of at most ``chunk`` items."""
+    if chunk <= 0:
+        raise ValueError(f"chunk must be positive: {chunk}")
+    position = start
+    while position < stop:
+        yield position, min(position + chunk, stop)
+        position = min(position + chunk, stop)
+
+
+@dataclass(frozen=True)
+class DmemLayout:
+    """A simple bump allocator over one core's 32 KB DMEM.
+
+    Query compilers on the DPU divide DMEM between input/output
+    buffers, metadata and hash tables (§5.3); this helper hands out
+    aligned regions and raises before anything overlaps.
+    """
+
+    size: int = 32 * 1024
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "_cursor", [0])
+
+    def take(self, nbytes: int, align: int = 8) -> int:
+        """Reserve ``nbytes``; returns the DMEM offset."""
+        if nbytes <= 0:
+            raise ValueError(f"nbytes must be positive: {nbytes}")
+        cursor = self._cursor[0]
+        cursor = -(-cursor // align) * align
+        if cursor + nbytes > self.size:
+            raise MemoryError(
+                f"DMEM layout overflow: need {nbytes} at {cursor}, "
+                f"have {self.size}"
+            )
+        self._cursor[0] = cursor + nbytes
+        return cursor
+
+    @property
+    def used(self) -> int:
+        return self._cursor[0]
+
+    @property
+    def remaining(self) -> int:
+        return self.size - self._cursor[0]

@@ -1,0 +1,29 @@
+"""Discrete-event simulation substrate for the DPU reproduction."""
+
+from .engine import (
+    AllOf,
+    AnyOf,
+    Engine,
+    Process,
+    SimEvent,
+    SimulationError,
+    Timeout,
+)
+from .resources import BandwidthServer, BinaryEvent, Resource, Store
+from .trace import SampleSeries, StatsRecorder
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "BandwidthServer",
+    "BinaryEvent",
+    "Engine",
+    "Process",
+    "Resource",
+    "SampleSeries",
+    "SimEvent",
+    "SimulationError",
+    "StatsRecorder",
+    "Store",
+    "Timeout",
+]

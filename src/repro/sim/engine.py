@@ -1,0 +1,301 @@
+"""Discrete-event simulation kernel.
+
+Everything in the reproduction — dpCores, the DMS pipeline, the ATE
+crossbar, DDR channels, and software tasks — is a *process*: a Python
+generator driven by an :class:`Engine`. Processes yield events
+(:class:`SimEvent`, timeouts, or other processes) and are resumed when
+those events trigger. One simulated time unit is one dpCore clock cycle
+(800 MHz on the 40 nm DPU).
+
+The kernel is deliberately small (events, processes, a binary heap) so
+that its behaviour is easy to audit; richer constructs (FIFO resources,
+bandwidth servers, mailbox stores) are layered on top in
+:mod:`repro.sim.resources`.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, List, Optional
+
+__all__ = [
+    "Engine",
+    "SimEvent",
+    "Timeout",
+    "Process",
+    "AllOf",
+    "AnyOf",
+    "SimulationError",
+]
+
+
+class SimulationError(Exception):
+    """Raised for misuse of the simulation kernel (e.g. double-trigger)."""
+
+
+class SimEvent:
+    """A one-shot occurrence at a point in simulated time.
+
+    An event starts *pending*, then is either *succeeded* (with an
+    optional value delivered to waiters) or *failed* (with an exception
+    raised inside waiting processes). Triggering is irreversible.
+    """
+
+    def __init__(self, engine: "Engine") -> None:
+        self.engine = engine
+        self.callbacks: Optional[List[Callable[["SimEvent"], None]]] = []
+        self.value: Any = None
+        self.exception: Optional[BaseException] = None
+
+    @property
+    def triggered(self) -> bool:
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        return self.triggered and self.exception is None
+
+    def succeed(self, value: Any = None) -> "SimEvent":
+        """Trigger the event successfully, delivering ``value``."""
+        self._trigger(value, None)
+        return self
+
+    def fail(self, exception: BaseException) -> "SimEvent":
+        """Trigger the event with an exception for waiters."""
+        if not isinstance(exception, BaseException):
+            raise SimulationError("fail() requires an exception instance")
+        self._trigger(None, exception)
+        return self
+
+    def _trigger(self, value: Any, exception: Optional[BaseException]) -> None:
+        if self.triggered:
+            raise SimulationError(f"{self!r} has already been triggered")
+        self.value = value
+        self.exception = exception
+        callbacks, self.callbacks = self.callbacks, None
+        for callback in callbacks:
+            self.engine._schedule(0, callback, self)
+
+    def add_callback(self, callback: Callable[["SimEvent"], None]) -> None:
+        """Run ``callback(event)`` once the event triggers.
+
+        If the event already triggered, the callback is scheduled for
+        the current instant (it still runs through the event queue so
+        ordering stays deterministic).
+        """
+        if self.triggered:
+            self.engine._schedule(0, callback, self)
+        else:
+            assert self.callbacks is not None
+            self.callbacks.append(callback)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "pending" if not self.triggered else ("ok" if self.ok else "failed")
+        return f"<{type(self).__name__} {state} at t={self.engine.now}>"
+
+
+class Timeout(SimEvent):
+    """An event that succeeds ``delay`` time units after creation."""
+
+    def __init__(self, engine: "Engine", delay: float, value: Any = None) -> None:
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay {delay!r}")
+        super().__init__(engine)
+        self.delay = delay
+        engine._schedule(delay, self._fire, value)
+
+    def _fire(self, value: Any) -> None:
+        self.succeed(value)
+
+
+class Process(SimEvent):
+    """A generator being driven by the engine.
+
+    The process event itself triggers when the generator returns; its
+    value is the generator's return value. Yield targets may be:
+
+    * a :class:`SimEvent` (wait for it; resumed with its value, or the
+      event's exception is raised inside the generator),
+    * an ``int``/``float`` (shorthand for a timeout of that many cycles),
+    * another generator (run as a sub-process and waited on).
+    """
+
+    def __init__(self, engine: "Engine", generator: Generator, name: str = "") -> None:
+        super().__init__(engine)
+        self.generator = generator
+        self.name = name or getattr(generator, "__name__", "process")
+        self._waiting_on: Optional[SimEvent] = None
+        engine._schedule(0, self._start, None)
+
+    def _start(self, _ignored: Any) -> None:
+        self._step(None, None)
+
+    def _step(self, value: Any, exc: Optional[BaseException]) -> None:
+        try:
+            if exc is not None:
+                target = self.generator.throw(exc)
+            else:
+                target = self.generator.send(value)
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        except BaseException as error:
+            if isinstance(error, (KeyboardInterrupt, SystemExit)):
+                raise
+            # A failure nobody is waiting on must not vanish silently.
+            has_waiters = bool(self.callbacks)
+            self.fail(error)
+            if not has_waiters:
+                raise
+            return
+        event = self.engine._as_event(target)
+        self._waiting_on = event
+        event.add_callback(self._on_event)
+
+    def _on_event(self, event: SimEvent) -> None:
+        self._waiting_on = None
+        if event.exception is not None:
+            self._step(None, event.exception)
+        else:
+            self._step(event.value, None)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Process {self.name} at t={self.engine.now}>"
+
+
+class AllOf(SimEvent):
+    """Succeeds when every child event has succeeded.
+
+    The value is the list of child values in the order given. Fails as
+    soon as any child fails.
+    """
+
+    def __init__(self, engine: "Engine", events: Iterable[SimEvent]) -> None:
+        super().__init__(engine)
+        self.events = list(events)
+        self._remaining = len(self.events)
+        if self._remaining == 0:
+            self.succeed([])
+        for event in self.events:
+            event.add_callback(self._on_child)
+
+    def _on_child(self, event: SimEvent) -> None:
+        if self.triggered:
+            return
+        if event.exception is not None:
+            self.fail(event.exception)
+            return
+        self._remaining -= 1
+        if self._remaining == 0:
+            self.succeed([child.value for child in self.events])
+
+
+class AnyOf(SimEvent):
+    """Succeeds (or fails) when the first child event triggers.
+
+    The value is ``(index, value)`` of the first child to trigger.
+    """
+
+    def __init__(self, engine: "Engine", events: Iterable[SimEvent]) -> None:
+        super().__init__(engine)
+        self.events = list(events)
+        if not self.events:
+            raise SimulationError("AnyOf requires at least one event")
+        for index, event in enumerate(self.events):
+            event.add_callback(lambda ev, i=index: self._on_child(i, ev))
+
+    def _on_child(self, index: int, event: SimEvent) -> None:
+        if self.triggered:
+            return
+        if event.exception is not None:
+            self.fail(event.exception)
+        else:
+            self.succeed((index, event.value))
+
+
+class Engine:
+    """The event loop: a time-ordered queue of callbacks.
+
+    Ties are broken by insertion order, so simulations are fully
+    deterministic for a fixed program.
+    """
+
+    def __init__(self) -> None:
+        self.now: float = 0
+        self._queue: List[tuple] = []
+        self._sequence = 0
+
+    # -- scheduling ---------------------------------------------------
+
+    def _schedule(self, delay: float, callback: Callable, argument: Any) -> None:
+        heapq.heappush(
+            self._queue, (self.now + delay, self._sequence, callback, argument)
+        )
+        self._sequence += 1
+
+    def _as_event(self, target: Any) -> SimEvent:
+        if isinstance(target, SimEvent):
+            return target
+        if isinstance(target, (int, float)):
+            return Timeout(self, target)
+        if hasattr(target, "send") and hasattr(target, "throw"):
+            return Process(self, target)
+        raise SimulationError(f"cannot wait on {target!r}")
+
+    # -- public API ---------------------------------------------------
+
+    def event(self) -> SimEvent:
+        """Create a new pending event."""
+        return SimEvent(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """An event succeeding ``delay`` cycles from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator, name: str = "") -> Process:
+        """Start driving ``generator`` as a process."""
+        return Process(self, generator, name)
+
+    def all_of(self, events: Iterable[SimEvent]) -> AllOf:
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[SimEvent]) -> AnyOf:
+        return AnyOf(self, events)
+
+    def run(self, until: Optional[float] = None) -> float:
+        """Run until the queue drains or ``until`` cycles have elapsed.
+
+        Returns the simulation time at which the run stopped.
+        """
+        while self._queue:
+            time, _seq, callback, argument = self._queue[0]
+            if until is not None and time > until:
+                self.now = until
+                return self.now
+            heapq.heappop(self._queue)
+            self.now = time
+            callback(argument)
+        if until is not None:
+            self.now = max(self.now, until)
+        return self.now
+
+    def run_until_complete(self, process: Process, limit: float = 10**15) -> Any:
+        """Run until ``process`` finishes; return its value.
+
+        Raises the process's exception if it failed, or
+        :class:`SimulationError` if the queue drained without the
+        process completing (a deadlock in the modelled system).
+        """
+        while not process.triggered:
+            if not self._queue:
+                raise SimulationError(
+                    f"deadlock: {process!r} never completed and no events remain"
+                )
+            if self.now > limit:
+                raise SimulationError(f"simulation exceeded limit of {limit} cycles")
+            time, _seq, callback, argument = heapq.heappop(self._queue)
+            self.now = time
+            callback(argument)
+        if process.exception is not None:
+            raise process.exception
+        return process.value

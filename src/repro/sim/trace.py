@@ -1,0 +1,115 @@
+"""Lightweight counters and interval statistics for simulations.
+
+Benchmarks use a :class:`StatsRecorder` to report the quantities the
+paper plots: bytes moved per unit time, per-unit utilization, RPC
+latency histograms. The recorder is intentionally simple — named
+counters plus named sample series — so any hardware model can feed it
+without coupling.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import defaultdict
+from typing import Dict, List
+
+__all__ = ["StatsRecorder", "SampleSeries"]
+
+
+class SampleSeries:
+    """A named series of numeric samples with summary statistics."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.samples: List[float] = []
+
+    def add(self, value: float) -> None:
+        self.samples.append(float(value))
+
+    def __len__(self) -> int:
+        return len(self.samples)
+
+    @property
+    def count(self) -> int:
+        return len(self.samples)
+
+    @property
+    def total(self) -> float:
+        return sum(self.samples)
+
+    @property
+    def mean(self) -> float:
+        if not self.samples:
+            return 0.0
+        return self.total / len(self.samples)
+
+    @property
+    def minimum(self) -> float:
+        return min(self.samples) if self.samples else 0.0
+
+    @property
+    def maximum(self) -> float:
+        return max(self.samples) if self.samples else 0.0
+
+    @property
+    def stddev(self) -> float:
+        n = len(self.samples)
+        if n < 2:
+            return 0.0
+        mu = self.mean
+        return math.sqrt(sum((s - mu) ** 2 for s in self.samples) / (n - 1))
+
+    def percentile(self, fraction: float) -> float:
+        """Nearest-rank percentile; ``fraction`` in [0, 1]."""
+        if not self.samples:
+            return 0.0
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError(f"fraction must be in [0, 1], got {fraction}")
+        ordered = sorted(self.samples)
+        rank = min(len(ordered) - 1, max(0, math.ceil(fraction * len(ordered)) - 1))
+        return ordered[rank]
+
+
+class StatsRecorder:
+    """Named counters plus named sample series.
+
+    Counters accumulate (bytes moved, descriptors retired, messages
+    routed); series collect individual measurements (RPC round-trip
+    cycles, per-buffer fill times).
+    """
+
+    def __init__(self) -> None:
+        self.counters: Dict[str, float] = defaultdict(float)
+        self.series: Dict[str, SampleSeries] = {}
+
+    def count(self, name: str, amount: float = 1.0) -> None:
+        self.counters[name] += amount
+
+    def sample(self, name: str, value: float) -> None:
+        if name not in self.series:
+            self.series[name] = SampleSeries(name)
+        self.series[name].add(value)
+
+    def counter(self, name: str) -> float:
+        return self.counters.get(name, 0.0)
+
+    def get_series(self, name: str) -> SampleSeries:
+        if name not in self.series:
+            self.series[name] = SampleSeries(name)
+        return self.series[name]
+
+    def merge(self, other: "StatsRecorder") -> None:
+        """Fold another recorder's data into this one."""
+        for name, amount in other.counters.items():
+            self.counters[name] += amount
+        for name, series in other.series.items():
+            target = self.get_series(name)
+            target.samples.extend(series.samples)
+
+    def snapshot(self) -> Dict[str, float]:
+        """Flat dict of counters and series means, for reporting."""
+        result = dict(self.counters)
+        for name, series in self.series.items():
+            result[f"{name}.mean"] = series.mean
+            result[f"{name}.count"] = float(series.count)
+        return result

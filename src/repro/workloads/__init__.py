@@ -1,0 +1,45 @@
+"""Synthetic workload generators standing in for the paper's datasets."""
+
+from .corpus import CsrMatrix, SimilarityWorkload, generate_corpus
+from .higgs import NUM_FEATURES, HiggsLike, generate_higgs_like
+from .jsondata import LINEITEM_KEYS, generate_lineitem_json
+from .stereo import StereoPair, generate_stereo_pair
+from .tpch import (
+    DATE_EPOCH_DAYS,
+    LINE_STATUSES,
+    NATIONS,
+    PRIORITIES,
+    REGIONS,
+    RETURN_FLAGS,
+    SEGMENTS,
+    SHIP_MODES,
+    TpchData,
+    date_code,
+    generate_tpch,
+    part_type_is_promo,
+)
+
+__all__ = [
+    "CsrMatrix",
+    "DATE_EPOCH_DAYS",
+    "HiggsLike",
+    "LINEITEM_KEYS",
+    "LINE_STATUSES",
+    "NATIONS",
+    "NUM_FEATURES",
+    "PRIORITIES",
+    "REGIONS",
+    "RETURN_FLAGS",
+    "SEGMENTS",
+    "SHIP_MODES",
+    "SimilarityWorkload",
+    "StereoPair",
+    "TpchData",
+    "date_code",
+    "generate_corpus",
+    "generate_higgs_like",
+    "generate_lineitem_json",
+    "generate_stereo_pair",
+    "generate_tpch",
+    "part_type_is_promo",
+]

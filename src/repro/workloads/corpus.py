@@ -1,0 +1,131 @@
+"""Synthetic document corpus for similarity search (paper §5.2).
+
+The paper searches 4 M English Wikipedia pages, tf-idf indexed, using
+page titles as queries. We generate a Zipf-distributed corpus with
+matching structural statistics — term frequencies follow a power law,
+document lengths are log-normal-ish — and build the same artifacts
+the application consumes: a CSR inverted index (documents x terms,
+tf-idf weighted, L2-normalized rows) and a set of short sparse
+queries drawn from each target document (so every query has a known
+best match, giving the tests ground truth).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["CsrMatrix", "SimilarityWorkload", "generate_corpus"]
+
+
+@dataclass(frozen=True)
+class CsrMatrix:
+    """Minimal compressed-sparse-row matrix (values/indices/indptr)."""
+
+    values: np.ndarray  # float32 weights
+    indices: np.ndarray  # int32 column ids
+    indptr: np.ndarray  # int64, len = rows + 1
+    num_cols: int
+
+    @property
+    def num_rows(self) -> int:
+        return len(self.indptr) - 1
+
+    @property
+    def nnz(self) -> int:
+        return len(self.values)
+
+    def row(self, index: int):
+        start, stop = self.indptr[index], self.indptr[index + 1]
+        return self.indices[start:stop], self.values[start:stop]
+
+    def nbytes(self) -> int:
+        return self.values.nbytes + self.indices.nbytes + self.indptr.nbytes
+
+
+@dataclass(frozen=True)
+class SimilarityWorkload:
+    index: CsrMatrix  # documents x terms, tf-idf, row-normalized
+    queries: CsrMatrix  # queries x terms, row-normalized
+    query_truth: np.ndarray  # document id each query was drawn from
+
+
+def _normalize_rows(values, indptr) -> None:
+    for row in range(len(indptr) - 1):
+        start, stop = indptr[row], indptr[row + 1]
+        norm = np.sqrt((values[start:stop] ** 2).sum())
+        if norm > 0:
+            values[start:stop] /= norm
+
+
+def generate_corpus(
+    num_docs: int = 2000,
+    vocab: int = 5000,
+    avg_terms: int = 60,
+    num_queries: int = 64,
+    query_terms: int = 6,
+    seed: int = 11,
+) -> SimilarityWorkload:
+    """Build a Zipfian tf-idf index and queries with known answers."""
+    if num_docs < 1 or vocab < query_terms:
+        raise ValueError("corpus too small")
+    rng = np.random.default_rng(seed)
+    # Zipf term popularity over the vocabulary.
+    ranks = np.arange(1, vocab + 1, dtype=np.float64)
+    popularity = 1.0 / ranks
+    popularity /= popularity.sum()
+
+    doc_lengths = np.maximum(
+        4, rng.poisson(avg_terms, size=num_docs)
+    ).astype(np.int64)
+    indptr = np.zeros(num_docs + 1, dtype=np.int64)
+    all_indices = []
+    all_counts = []
+    for doc in range(num_docs):
+        terms = rng.choice(vocab, size=doc_lengths[doc], p=popularity)
+        unique, counts = np.unique(terms, return_counts=True)
+        all_indices.append(unique.astype(np.int32))
+        all_counts.append(counts.astype(np.float32))
+        indptr[doc + 1] = indptr[doc] + len(unique)
+    indices = np.concatenate(all_indices)
+    counts = np.concatenate(all_counts)
+
+    # tf-idf: tf = 1 + log(count); idf = log(N / df).
+    document_frequency = np.bincount(indices, minlength=vocab).astype(np.float64)
+    document_frequency[document_frequency == 0] = 1.0
+    idf = np.log(num_docs / document_frequency)
+    values = (1.0 + np.log(counts)) * idf[indices].astype(np.float32)
+    values = values.astype(np.float32)
+    _normalize_rows(values, indptr)
+    index = CsrMatrix(values=values, indices=indices, indptr=indptr, num_cols=vocab)
+
+    # Queries: terms of a chosen document (a "title"), so that
+    # document is the expected top hit. Half the terms are the doc's
+    # strongest (rare, high idf), half are drawn by frequency — real
+    # titles mix rare and common words, and the common ones are what
+    # make posting traffic heavy.
+    truth = rng.choice(num_docs, size=num_queries, replace=False)
+    q_indices = []
+    q_values = []
+    q_indptr = np.zeros(num_queries + 1, dtype=np.int64)
+    for position, doc in enumerate(truth):
+        cols, weights = index.row(doc)
+        take = min(query_terms, len(cols))
+        rare = take // 2 if take >= 2 else take
+        best = np.argsort(weights)[::-1][:rare]
+        remaining = np.setdiff1d(np.arange(len(cols)), best)
+        common = rng.choice(
+            remaining, size=min(take - rare, len(remaining)), replace=False
+        ) if take > rare and len(remaining) else np.array([], dtype=np.int64)
+        chosen = np.concatenate([best, common]).astype(np.int64)
+        q_indices.append(cols[chosen].astype(np.int32))
+        q_values.append(weights[chosen] + np.float32(0.5))
+        q_indptr[position + 1] = q_indptr[position] + len(chosen)
+    q_vals = np.concatenate(q_values)
+    q_idx = np.concatenate(q_indices)
+    _normalize_rows(q_vals, q_indptr)
+    queries = CsrMatrix(
+        values=q_vals, indices=q_idx, indptr=q_indptr, num_cols=vocab
+    )
+    return SimilarityWorkload(index=index, queries=queries, query_truth=truth)

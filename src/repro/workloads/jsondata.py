@@ -1,0 +1,83 @@
+"""JSON record generator for the parsing experiment (paper §5.5).
+
+The paper populates JSON records "with keys corresponding to the TPCH
+lineitems table" — a mix of integers, strings and dates — totalling
+~1 GB. We emit the same record shape (scaled down by default) as a
+single newline-free byte stream of concatenated objects, matching how
+an ingest pipeline would hold it in memory.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .tpch import LINE_STATUSES, RETURN_FLAGS, SHIP_MODES
+
+__all__ = ["generate_lineitem_json", "LINEITEM_KEYS"]
+
+LINEITEM_KEYS = [
+    "l_orderkey",
+    "l_partkey",
+    "l_suppkey",
+    "l_linenumber",
+    "l_quantity",
+    "l_extendedprice",
+    "l_discount",
+    "l_tax",
+    "l_returnflag",
+    "l_linestatus",
+    "l_shipdate",
+    "l_commitdate",
+    "l_receiptdate",
+    "l_shipinstruct",
+    "l_shipmode",
+    "l_comment",
+]
+
+_INSTRUCTIONS = ["DELIVER IN PERSON", "COLLECT COD", "NONE", "TAKE BACK RETURN"]
+_COMMENT_WORDS = [
+    "carefully", "quickly", "furiously", "slyly", "blithely", "deposits",
+    "packages", "requests", "accounts", "instructions", "theodolites",
+    "pinto", "beans", "foxes", "ideas",
+]
+
+
+def _date_string(rng: np.random.Generator) -> str:
+    year = int(rng.integers(1992, 1999))
+    month = int(rng.integers(1, 13))
+    day = int(rng.integers(1, 29))
+    return f"{year:04d}-{month:02d}-{day:02d}"
+
+
+def generate_lineitem_json(num_records: int = 2000, seed: int = 13) -> bytes:
+    """Concatenated lineitem-shaped JSON objects as bytes."""
+    if num_records < 1:
+        raise ValueError(f"need at least one record: {num_records}")
+    rng = np.random.default_rng(seed)
+    records = []
+    for row in range(num_records):
+        comment = " ".join(
+            rng.choice(_COMMENT_WORDS, size=int(rng.integers(3, 9)))
+        )
+        record = (
+            "{"
+            f'"l_orderkey":{row // 4},'
+            f'"l_partkey":{int(rng.integers(0, 200000))},'
+            f'"l_suppkey":{int(rng.integers(0, 10000))},'
+            f'"l_linenumber":{row % 7 + 1},'
+            f'"l_quantity":{int(rng.integers(1, 51))},'
+            f'"l_extendedprice":{int(rng.integers(90000, 9000000)) / 100.0},'
+            f'"l_discount":{int(rng.integers(0, 11)) / 100.0},'
+            f'"l_tax":{int(rng.integers(0, 9)) / 100.0},'
+            f'"l_returnflag":"{RETURN_FLAGS[int(rng.integers(0, 3))]}",'
+            f'"l_linestatus":"{LINE_STATUSES[int(rng.integers(0, 2))]}",'
+            f'"l_shipdate":"{_date_string(rng)}",'
+            f'"l_commitdate":"{_date_string(rng)}",'
+            f'"l_receiptdate":"{_date_string(rng)}",'
+            f'"l_shipinstruct":"{_INSTRUCTIONS[int(rng.integers(0, 4))]}",'
+            f'"l_shipmode":"{SHIP_MODES[int(rng.integers(0, 7))]}",'
+            f'"l_comment":"{comment}"'
+            "}"
+        )
+        records.append(record)
+    return "".join(records).encode("ascii")

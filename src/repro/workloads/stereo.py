@@ -1,0 +1,75 @@
+"""Synthetic stereo pairs for the disparity experiment (paper §5.6).
+
+Disparity computes pixel-wise differences between two images taken at
+slightly different camera angles. We synthesize a textured left image
+and build the right image by shifting regions horizontally by a known
+per-region disparity (plus sensor noise), so the computed disparity
+map has ground truth to validate against — the shape of the kernels'
+data access (row, column, and pixelated patterns of Figure 17) only
+depends on image geometry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["StereoPair", "generate_stereo_pair"]
+
+
+@dataclass(frozen=True)
+class StereoPair:
+    left: np.ndarray  # (rows, cols) uint8 luminance
+    right: np.ndarray  # (rows, cols) uint8
+    true_disparity: np.ndarray  # (rows, cols) int16, pixels of shift
+    max_shift: int
+
+
+def generate_stereo_pair(
+    rows: int = 96,
+    cols: int = 128,
+    max_shift: int = 8,
+    num_bands: int = 4,
+    noise: float = 1.0,
+    seed: int = 17,
+) -> StereoPair:
+    """Left image + right image shifted by banded disparities.
+
+    The scene is split into ``num_bands`` horizontal bands, each with
+    its own disparity in [1, max_shift) — a coarse stand-in for depth
+    layers. Texture is smoothed noise so block matching is
+    well-conditioned.
+    """
+    if max_shift < 1 or max_shift >= cols // 2:
+        raise ValueError(f"max_shift {max_shift} unreasonable for {cols} cols")
+    rng = np.random.default_rng(seed)
+    base = rng.integers(0, 256, size=(rows, cols + max_shift)).astype(np.float64)
+    # Box-blur for local correlation (texture, not white noise).
+    kernel = 5
+    smoothed = base.copy()
+    for axis in (0, 1):
+        csum = np.cumsum(smoothed, axis=axis)
+        if axis == 0:
+            smoothed[kernel:, :] = (csum[kernel:, :] - csum[:-kernel, :]) / kernel
+        else:
+            smoothed[:, kernel:] = (csum[:, kernel:] - csum[:, :-kernel]) / kernel
+    wide = np.clip(smoothed, 0, 255)
+
+    left = wide[:, :cols]
+    right = np.empty_like(left)
+    truth = np.zeros((rows, cols), dtype=np.int16)
+    band_height = -(-rows // num_bands)
+    for band in range(num_bands):
+        shift = int(rng.integers(1, max_shift))
+        top = band * band_height
+        bottom = min(rows, top + band_height)
+        right[top:bottom] = wide[top:bottom, shift : shift + cols]
+        truth[top:bottom] = shift
+    right = right + rng.normal(0, noise, size=right.shape)
+    return StereoPair(
+        left=np.clip(left, 0, 255).astype(np.uint8),
+        right=np.clip(right, 0, 255).astype(np.uint8),
+        true_disparity=truth,
+        max_shift=max_shift,
+    )

@@ -1,0 +1,198 @@
+"""A dbgen-style TPC-H data generator (paper §5.3).
+
+The paper offloads TPC-H queries from a commercial in-memory columnar
+database to the DPU. We generate the TPC-H tables with dbgen's
+cardinality ratios and value distributions, already in the columnar,
+dictionary-encoded form an in-memory engine would hold:
+
+* dates are int32 days since 1992-01-01 (the TPC-H epoch),
+* money is int64 cents (fixed point — the DPU has no FPU),
+* low-cardinality strings (return flags, ship modes, segments,
+  priorities, nations, regions, part types) are dictionary codes.
+
+``scale`` follows the TPC-H scale factor: ``scale=1.0`` would be 6 M
+lineitems; the default 0.01 keeps simulations laptop-sized. The
+generated distributions preserve what the queries select on (date
+ranges, discount bands, segment skew), so operator selectivities
+match the official workload closely.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+import numpy as np
+
+__all__ = [
+    "TpchData",
+    "generate_tpch",
+    "RETURN_FLAGS",
+    "LINE_STATUSES",
+    "SHIP_MODES",
+    "SEGMENTS",
+    "PRIORITIES",
+    "NATIONS",
+    "REGIONS",
+    "DATE_EPOCH_DAYS",
+    "date_code",
+]
+
+RETURN_FLAGS = ["A", "N", "R"]
+LINE_STATUSES = ["F", "O"]
+SHIP_MODES = ["AIR", "FOB", "MAIL", "RAIL", "REG AIR", "SHIP", "TRUCK"]
+SEGMENTS = ["AUTOMOBILE", "BUILDING", "FURNITURE", "HOUSEHOLD", "MACHINERY"]
+PRIORITIES = ["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"]
+REGIONS = ["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"]
+NATIONS = [
+    "ALGERIA", "ARGENTINA", "BRAZIL", "CANADA", "EGYPT", "ETHIOPIA",
+    "FRANCE", "GERMANY", "INDIA", "INDONESIA", "IRAN", "IRAQ", "JAPAN",
+    "JORDAN", "KENYA", "MOROCCO", "MOZAMBIQUE", "PERU", "CHINA",
+    "ROMANIA", "SAUDI ARABIA", "VIETNAM", "RUSSIA", "UNITED KINGDOM",
+    "UNITED STATES",
+]
+# nation -> region mapping (dbgen's).
+_NATION_REGION = [0, 1, 1, 1, 4, 0, 3, 3, 2, 2, 4, 4, 2,
+                  4, 0, 0, 0, 1, 2, 3, 4, 2, 3, 3, 1]
+
+# Days from 1992-01-01 to 1998-12-31, the dbgen date window.
+DATE_EPOCH_DAYS = 2556
+_PART_TYPE_COUNT = 150  # 6 x 5 x 5 syllable combinations
+_PROMO_TYPES = 25  # first syllable "PROMO": 25 of the 150
+
+
+def date_code(year: int, month: int = 1, day: int = 1) -> int:
+    """Days since 1992-01-01 for a calendar date (dbgen's encoding)."""
+    import datetime
+
+    return (datetime.date(year, month, day) - datetime.date(1992, 1, 1)).days
+
+
+@dataclass
+class TpchData:
+    """Columnar TPC-H tables: table name -> column name -> ndarray."""
+
+    scale: float
+    tables: Dict[str, Dict[str, np.ndarray]] = field(default_factory=dict)
+
+    def table(self, name: str) -> Dict[str, np.ndarray]:
+        return self.tables[name]
+
+    def num_rows(self, name: str) -> int:
+        columns = self.tables[name]
+        return len(next(iter(columns.values())))
+
+    def total_bytes(self) -> int:
+        return sum(
+            column.nbytes
+            for table in self.tables.values()
+            for column in table.values()
+        )
+
+
+def generate_tpch(scale: float = 0.01, seed: int = 42) -> TpchData:
+    """Generate all tables the implemented queries need."""
+    if scale <= 0:
+        raise ValueError(f"scale must be positive: {scale}")
+    rng = np.random.default_rng(seed)
+    num_orders = max(64, int(1_500_000 * scale))
+    num_customers = max(32, int(150_000 * scale))
+    num_parts = max(32, int(200_000 * scale))
+    num_suppliers = max(8, int(10_000 * scale))
+
+    data = TpchData(scale=scale)
+
+    # -- region / nation ---------------------------------------------------
+    data.tables["region"] = {
+        "r_regionkey": np.arange(len(REGIONS), dtype=np.int32),
+    }
+    data.tables["nation"] = {
+        "n_nationkey": np.arange(len(NATIONS), dtype=np.int32),
+        "n_regionkey": np.asarray(_NATION_REGION, dtype=np.int32),
+    }
+
+    # -- customer ------------------------------------------------------------
+    data.tables["customer"] = {
+        "c_custkey": np.arange(num_customers, dtype=np.int32),
+        "c_nationkey": rng.integers(
+            0, len(NATIONS), num_customers, dtype=np.int32
+        ),
+        "c_mktsegment": rng.integers(
+            0, len(SEGMENTS), num_customers, dtype=np.int8
+        ),
+    }
+
+    # -- supplier ----------------------------------------------------------------
+    data.tables["supplier"] = {
+        "s_suppkey": np.arange(num_suppliers, dtype=np.int32),
+        "s_nationkey": rng.integers(
+            0, len(NATIONS), num_suppliers, dtype=np.int32
+        ),
+    }
+
+    # -- part ------------------------------------------------------------------------
+    data.tables["part"] = {
+        "p_partkey": np.arange(num_parts, dtype=np.int32),
+        "p_type": rng.integers(0, _PART_TYPE_COUNT, num_parts, dtype=np.int16),
+    }
+
+    # -- orders ----------------------------------------------------------------------
+    order_date = rng.integers(
+        0, DATE_EPOCH_DAYS - 121, num_orders, dtype=np.int32
+    )
+    data.tables["orders"] = {
+        "o_orderkey": np.arange(num_orders, dtype=np.int32),
+        "o_custkey": rng.integers(0, num_customers, num_orders, dtype=np.int32),
+        "o_orderdate": order_date,
+        "o_orderpriority": rng.integers(
+            0, len(PRIORITIES), num_orders, dtype=np.int8
+        ),
+        "o_shippriority": np.zeros(num_orders, dtype=np.int8),
+    }
+
+    # -- lineitem ------------------------------------------------------------------------
+    lines_per_order = rng.integers(1, 8, num_orders)
+    num_lineitems = int(lines_per_order.sum())
+    l_orderkey = np.repeat(
+        np.arange(num_orders, dtype=np.int32), lines_per_order
+    )
+    l_orderdate = np.repeat(order_date, lines_per_order)
+    ship_lag = rng.integers(1, 122, num_lineitems, dtype=np.int32)
+    l_shipdate = l_orderdate + ship_lag
+    commit_lag = rng.integers(15, 91, num_lineitems, dtype=np.int32)
+    l_commitdate = l_orderdate + commit_lag
+    receipt_lag = rng.integers(1, 31, num_lineitems, dtype=np.int32)
+    l_receiptdate = l_shipdate + receipt_lag
+    quantity = rng.integers(1, 51, num_lineitems, dtype=np.int32)
+    # extendedprice in cents: quantity x unit price (dbgen's ~900-100k).
+    unit_price_cents = rng.integers(90_000, 200_001, num_lineitems)
+    extended = (quantity.astype(np.int64) * unit_price_cents).astype(np.int64)
+    data.tables["lineitem"] = {
+        "l_orderkey": l_orderkey,
+        "l_partkey": rng.integers(0, num_parts, num_lineitems, dtype=np.int32),
+        "l_suppkey": rng.integers(
+            0, num_suppliers, num_lineitems, dtype=np.int32
+        ),
+        "l_quantity": quantity,
+        "l_extendedprice": extended,
+        # discount 0.00-0.10 and tax 0.00-0.08 in basis points of 100
+        # (i.e. integer percent), as dbgen generates.
+        "l_discount": rng.integers(0, 11, num_lineitems, dtype=np.int32),
+        "l_tax": rng.integers(0, 9, num_lineitems, dtype=np.int32),
+        "l_returnflag": rng.integers(
+            0, len(RETURN_FLAGS), num_lineitems, dtype=np.int8
+        ),
+        "l_linestatus": (l_shipdate > date_code(1995, 6, 17)).astype(np.int8),
+        "l_shipdate": l_shipdate,
+        "l_commitdate": l_commitdate,
+        "l_receiptdate": l_receiptdate,
+        "l_shipmode": rng.integers(
+            0, len(SHIP_MODES), num_lineitems, dtype=np.int8
+        ),
+    }
+    return data
+
+
+def part_type_is_promo(type_codes: np.ndarray) -> np.ndarray:
+    """Q14's ``p_type like 'PROMO%'`` on the dictionary encoding."""
+    return type_codes < _PROMO_TYPES

@@ -1,0 +1,137 @@
+"""Tests for the two-level (Hoard/TCMalloc-like) heap allocator."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.memory import (
+    SIZE_CLASSES,
+    SUPERBLOCK_SIZE,
+    HeapAllocator,
+    OutOfMemoryError,
+)
+
+
+def make_heap(capacity=4 * 1024 * 1024, cores=4):
+    return HeapAllocator(base=0, capacity=capacity, num_cores=cores)
+
+
+def test_small_allocations_distinct_and_aligned():
+    heap = make_heap()
+    addresses = [heap.malloc(48, core_id=0) for _ in range(100)]
+    assert len(set(addresses)) == 100
+    for address in addresses:
+        assert address % 16 == 0
+
+
+def test_allocations_do_not_overlap():
+    heap = make_heap()
+    live = []
+    for size in (16, 100, 5000, 40000, 16, 100):
+        address = heap.malloc(size)
+        live.append((address, heap.allocation_size(address)))
+    intervals = sorted((a, a + s) for a, s in live)
+    for (lo1, hi1), (lo2, _hi2) in zip(intervals, intervals[1:]):
+        assert hi1 <= lo2
+
+
+def test_free_and_reuse_same_class():
+    heap = make_heap()
+    address = heap.malloc(64, core_id=1)
+    heap.free(address)
+    again = heap.malloc(64, core_id=1)
+    assert again == address  # slot reused from the local free list
+
+
+def test_per_core_heaps_are_independent():
+    heap = make_heap()
+    a = heap.malloc(64, core_id=0)
+    b = heap.malloc(64, core_id=1)
+    # Different cores draw from different superblocks.
+    assert abs(a - b) >= SUPERBLOCK_SIZE or a // SUPERBLOCK_SIZE != b // SUPERBLOCK_SIZE
+
+
+def test_large_allocation_bypasses_classes():
+    heap = make_heap()
+    big = max(SIZE_CLASSES) + 1
+    address = heap.malloc(big)
+    assert heap.allocation_size(address) == big
+    heap.free(address)
+
+
+def test_double_free_rejected():
+    heap = make_heap()
+    address = heap.malloc(32)
+    heap.free(address)
+    with pytest.raises(ValueError):
+        heap.free(address)
+
+
+def test_free_unknown_address_rejected():
+    heap = make_heap()
+    with pytest.raises(ValueError):
+        heap.free(12345)
+
+
+def test_out_of_memory_raises():
+    heap = HeapAllocator(base=0, capacity=SUPERBLOCK_SIZE, num_cores=1)
+    with pytest.raises(OutOfMemoryError):
+        heap.malloc(SUPERBLOCK_SIZE * 2)
+
+
+def test_live_bytes_and_peak_tracking():
+    heap = make_heap()
+    a = heap.malloc(1000)
+    peak_a = heap.peak_live_bytes
+    heap.free(a)
+    assert heap.live_bytes() == 0
+    assert heap.peak_live_bytes == peak_a
+
+
+def test_superblock_returned_after_drain():
+    heap = make_heap(capacity=8 * SUPERBLOCK_SIZE)
+    # Fill several superblocks of one class, then free everything;
+    # hysteresis keeps one cached, the rest return to the global heap.
+    per_block = SUPERBLOCK_SIZE // 1024
+    addresses = [heap.malloc(1024, core_id=0) for _ in range(3 * per_block)]
+    out_before = heap.global_heap.superblocks_out
+    for address in addresses:
+        heap.free(address)
+    assert heap.global_heap.superblocks_out < out_before
+
+
+def test_coalescing_allows_big_after_frees():
+    heap = make_heap(capacity=4 * SUPERBLOCK_SIZE)
+    big = SUPERBLOCK_SIZE + 1  # large class
+    a = heap.malloc(big)
+    b = heap.malloc(big)
+    heap.free(a)
+    heap.free(b)
+    # After coalescing, an even bigger allocation fits.
+    c = heap.malloc(2 * big)
+    assert heap.allocation_size(c) == 2 * big
+
+
+@given(
+    st.lists(
+        st.tuples(st.integers(1, 50000), st.integers(0, 3), st.booleans()),
+        min_size=1,
+        max_size=150,
+    )
+)
+@settings(max_examples=50, deadline=None)
+def test_random_alloc_free_never_overlaps(operations):
+    heap = make_heap()
+    live = {}
+    for size, core, should_free in operations:
+        address = heap.malloc(size, core_id=core)
+        effective = heap.allocation_size(address)
+        for other, other_size in live.items():
+            assert address + effective <= other or other + other_size <= address
+        if should_free:
+            heap.free(address)
+        else:
+            live[address] = effective
+    for address in live:
+        heap.free(address)
+    assert heap.live_bytes() == 0

@@ -1,0 +1,121 @@
+"""Tests for the software-coherent cache models."""
+
+import pytest
+
+from repro.memory import Cache, CacheConfig, MacroCacheHierarchy
+
+
+def small_cache(ways=2, sets=4, line=64):
+    return Cache(CacheConfig(size=ways * sets * line, line_size=line,
+                             associativity=ways))
+
+
+def test_miss_then_hit():
+    cache = small_cache()
+    hit, _wb = cache.access(0x100)
+    assert not hit
+    hit, _wb = cache.access(0x100)
+    assert hit
+    assert cache.stats.hits == 1 and cache.stats.misses == 1
+
+
+def test_same_line_different_bytes_hit():
+    cache = small_cache()
+    cache.access(0x100)
+    hit, _ = cache.access(0x13F)  # same 64 B line
+    assert hit
+
+
+def test_lru_eviction():
+    cache = small_cache(ways=2, sets=1)
+    lines = [0, 64, 128]  # all map to set 0
+    cache.access(lines[0])
+    cache.access(lines[1])
+    cache.access(lines[0])  # refresh 0
+    cache.access(lines[2])  # evicts line 64 (LRU)
+    assert cache.lookup(lines[0])
+    assert not cache.lookup(lines[1])
+    assert cache.lookup(lines[2])
+
+
+def test_dirty_eviction_counts_writeback():
+    cache = small_cache(ways=1, sets=1)
+    cache.access(0, write=True)
+    _hit, writebacks = cache.access(64)
+    assert writebacks == 1
+    assert cache.stats.writebacks == 1
+
+
+def test_flush_range_writes_back_dirty_only():
+    cache = small_cache()
+    cache.access(0, write=True)
+    cache.access(64, write=False)
+    written = cache.flush_range(0, 128)
+    assert written == 1
+    assert not cache.lookup(0) and not cache.lookup(64)
+
+
+def test_invalidate_drops_without_writeback():
+    cache = small_cache()
+    cache.access(0, write=True)
+    dropped = cache.invalidate_range(0, 64)
+    assert dropped == 1
+    assert cache.stats.writebacks == 0
+    assert not cache.lookup(0)
+
+
+def test_flush_all():
+    cache = small_cache()
+    for line in range(0, 512, 64):
+        cache.access(line, write=True)
+    written = cache.flush_all()
+    assert written == 8
+    assert not any(cache.lookup(line) for line in range(0, 512, 64))
+
+
+def test_geometry_validation():
+    with pytest.raises(ValueError):
+        CacheConfig(size=1000, line_size=64, associativity=4)
+
+
+class TestHierarchy:
+    def make(self):
+        return MacroCacheHierarchy(
+            core_ids=range(8),
+            l1d_config=CacheConfig(size=16 * 1024),
+            l2_config=CacheConfig(size=256 * 1024, associativity=8,
+                                  hit_cycles=12),
+            ddr_latency_cycles=110,
+        )
+
+    def test_cost_tiers(self):
+        hierarchy = self.make()
+        cold = hierarchy.access(0, 0x1000)  # L1 miss, L2 miss
+        warm_l1 = hierarchy.access(0, 0x1000)
+        assert cold == 1 + 12 + 110
+        assert warm_l1 == 1
+
+    def test_l2_shared_between_cores(self):
+        hierarchy = self.make()
+        hierarchy.access(0, 0x2000)  # fills L2
+        cost_other_core = hierarchy.access(1, 0x2000)  # L1 miss, L2 hit
+        assert cost_other_core == 1 + 12
+
+    def test_no_hardware_coherence_between_l1s(self):
+        hierarchy = self.make()
+        hierarchy.access(0, 0x3000, write=True)
+        hierarchy.access(1, 0x3000)
+        # Both L1s now hold the line; nothing invalidated the writer's
+        # copy — software must manage this (checked by the coherence
+        # tool, not the cache).
+        assert hierarchy.l1d[0].lookup(0x3000)
+        assert hierarchy.l1d[1].lookup(0x3000)
+
+    def test_flush_and_invalidate_cost(self):
+        hierarchy = self.make()
+        hierarchy.access(0, 0x4000, write=True)
+        flush_cost = hierarchy.flush(0, 0x4000, 64)
+        assert flush_cost >= 1
+        assert not hierarchy.l1d[0].lookup(0x4000)
+        inval_cost = hierarchy.invalidate(0, 0x4000, 128)
+        assert inval_cost >= 2

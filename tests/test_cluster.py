@@ -1,0 +1,129 @@
+"""Tests for the multi-DPU cluster, fabric and rack model."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import (
+    Cluster,
+    FabricConfig,
+    IBFabric,
+    PAPER_RACK,
+    RackSpec,
+    cluster_filter_count,
+    cluster_hll,
+)
+from repro.sim import Engine, SimulationError
+
+
+class TestFabric:
+    def test_message_roundtrip(self):
+        engine = Engine()
+        fabric = IBFabric(engine, 4)
+
+        def sender():
+            yield from fabric.send(0, 2, "payload", 4096)
+
+        def receiver():
+            src, payload = yield from fabric.receive(2)
+            return src, payload
+
+        engine.process(sender())
+        proc = engine.process(receiver())
+        assert engine.run_until_complete(proc) == (0, "payload")
+
+    def test_latency_components_charged(self):
+        engine = Engine()
+        config = FabricConfig()
+        fabric = IBFabric(engine, 2, config)
+
+        def roundtrip():
+            yield from fabric.send(0, 1, None, 4096)
+            yield from fabric.receive(1)
+            return engine.now
+
+        elapsed = engine.run_until_complete(engine.process(roundtrip()))
+        floor = (
+            config.a9_send_overhead_cycles
+            + config.fabric_latency_cycles
+            + config.a9_receive_overhead_cycles
+            + 4096 / config.link_bytes_per_cycle
+        )
+        assert elapsed >= floor
+
+    def test_egress_link_serializes(self):
+        engine = Engine()
+        fabric = IBFabric(engine, 2, FabricConfig(a9_send_overhead_cycles=0))
+
+        def sender():
+            yield from fabric.send(0, 1, "a", 40960)
+            yield from fabric.send(0, 1, "b", 40960)
+
+        def receiver():
+            first = yield from fabric.receive(1)
+            second = yield from fabric.receive(1)
+            return first[1], second[1]
+
+        engine.process(sender())
+        proc = engine.process(receiver())
+        assert engine.run_until_complete(proc) == ("a", "b")
+        assert fabric.bytes_sent == 81920
+
+    def test_endpoint_validation(self):
+        fabric = IBFabric(Engine(), 2)
+        with pytest.raises(SimulationError):
+            next(fabric.send(0, 5, None, 8))
+
+
+class TestClusterScaleOut:
+    def test_distributed_hll_matches_single_node_merge(self):
+        rng = np.random.default_rng(1)
+        pool = rng.integers(0, 2**63, 20000, dtype=np.uint64)
+        shards = [rng.choice(pool, 15000) for _ in range(4)]
+        truth = len(np.unique(np.concatenate(shards)))
+        cluster = Cluster(num_dpus=4)
+        result = cluster_hll(cluster, shards)
+        assert abs(result.value - truth) / truth < 0.06
+        assert result.network_bytes == 4 * 4096  # one register file each
+        assert result.num_dpus == 4
+
+    def test_distributed_filter_count_exact(self):
+        rng = np.random.default_rng(2)
+        shards = [rng.integers(0, 1000, 60000).astype(np.int32)
+                  for _ in range(3)]
+        cluster = Cluster(num_dpus=3)
+        result = cluster_filter_count(cluster, shards, 250, 499)
+        expected = sum(
+            int(((shard >= 250) & (shard <= 499)).sum()) for shard in shards
+        )
+        assert result.value == expected
+
+    def test_shard_count_validated(self):
+        cluster = Cluster(num_dpus=2)
+        with pytest.raises(ValueError):
+            cluster_filter_count(
+                cluster, [np.zeros(8, dtype=np.int32)], 0, 1
+            )
+
+    def test_cluster_wattage(self):
+        cluster = Cluster(num_dpus=8)
+        assert cluster.total_watts() == 8 * 6.0
+
+
+class TestRackSpec:
+    def test_paper_rack_claims(self):
+        """§1: >10 TB/s aggregate bandwidth and >10 TB capacity in a
+        42U rack within the 20 kW budget."""
+        assert PAPER_RACK.num_dpus == 1440
+        assert PAPER_RACK.aggregate_bandwidth_tbps > 10.0
+        assert PAPER_RACK.total_capacity_tb > 10.0
+        assert PAPER_RACK.within_budget()
+
+    def test_sub_second_terascale_scan(self):
+        """§1's design question: analytics on terabytes in sub-second
+        latencies within a rack's power budget."""
+        assert PAPER_RACK.seconds_to_scan(10.0) < 1.0
+
+    def test_power_arithmetic(self):
+        spec = RackSpec(num_dpus=2, dpu_watts=6, dram_watts_per_channel=3,
+                        network_watts_per_dpu=4)
+        assert spec.total_watts == 26.0

@@ -1,0 +1,169 @@
+"""Tests for the software-coherence checker and serialized RPC."""
+
+import pytest
+
+from repro.core import DPU
+from repro.runtime import (
+    CoherenceChecker,
+    dpu_serialized,
+    install_serialized,
+)
+
+
+class TestChecker:
+    def test_clean_single_core_traffic_ok(self):
+        checker = CoherenceChecker()
+        checker.write(0, 0x100, 8)
+        checker.read(0, 0x100, 8)
+        assert checker.ok()
+
+    def test_stale_read_detected(self):
+        checker = CoherenceChecker()
+        checker.read(1, 0x200, 8)  # core 1 caches the line
+        checker.write(0, 0x200, 8)
+        checker.read(1, 0x200, 8)  # stale: no flush/invalidate between
+        assert not checker.ok()
+        assert any(v.kind == "stale-read" for v in checker.violations)
+
+    def test_flush_invalidate_protocol_is_clean(self):
+        checker = CoherenceChecker()
+        checker.write(0, 0x300, 8)
+        checker.flush(0, 0x300, 8)
+        checker.invalidate(1, 0x300, 8)
+        checker.read(1, 0x300, 8)
+        assert checker.ok(), checker.report()
+
+    def test_missing_flush_still_stale(self):
+        checker = CoherenceChecker()
+        checker.read(1, 0x340, 8)
+        checker.write(0, 0x340, 8)
+        checker.invalidate(1, 0x340, 8)  # reader invalidated, writer
+        checker.read(1, 0x340, 8)        # never flushed: still stale
+        assert any(v.kind == "stale-read" for v in checker.violations)
+
+    def test_lost_write_detected(self):
+        checker = CoherenceChecker()
+        checker.write(0, 0x400, 8)
+        checker.write(1, 0x400, 8)  # both hold the line dirty
+        assert any(v.kind == "lost-write" for v in checker.violations)
+
+    def test_false_sharing_detected(self):
+        checker = CoherenceChecker()
+        checker.read(1, 0x440, 8)   # core 1 caches bytes 0x440..
+        checker.write(0, 0x468, 8)  # core 0 writes same 64 B line
+        assert any(v.kind == "false-sharing" for v in checker.violations)
+
+    def test_line_aligned_variables_avoid_false_sharing(self):
+        # The paper's compiler change: align globals to line boundaries.
+        checker = CoherenceChecker()
+        checker.read(1, 0x480, 8)
+        checker.write(0, 0x4C0, 8)  # next line
+        assert checker.ok()
+
+    def test_redundant_flush_counted(self):
+        checker = CoherenceChecker()
+        checker.read(0, 0x500, 8)
+        checker.flush(0, 0x500, 8)  # clean line: redundant
+        assert checker.redundant_flushes == 1
+        assert checker.useful_flushes == 0
+
+    def test_useful_flush_counted(self):
+        checker = CoherenceChecker()
+        checker.write(0, 0x540, 8)
+        checker.flush(0, 0x540, 8)
+        assert checker.useful_flushes == 1
+
+    def test_multi_line_range_ops(self):
+        checker = CoherenceChecker()
+        checker.write(0, 0x600, 256)  # 4 lines dirty
+        checker.flush(0, 0x600, 256)
+        assert checker.useful_flushes == 4
+
+    def test_report_format(self):
+        checker = CoherenceChecker()
+        checker.write(0, 0, 8)
+        checker.write(1, 0, 8)
+        report = checker.report()
+        assert "lost-write" in report
+        assert "violation" in report
+
+
+class TestSerializedRpc:
+    def test_protocol_produces_no_violations(self):
+        """The paper's 5-step dpu_serialized dance keeps the checker
+        clean even with cached traffic on both sides."""
+        dpu = DPU()
+        checker = CoherenceChecker()
+        args_region = dpu.alloc(64)
+        result_region = dpu.alloc(64)
+
+        def manipulator(args):
+            checker.read(5, args_region, 64)  # owner reads the args
+            checker.write(5, result_region, 64)  # owner writes results
+            return result_region
+
+        install_serialized(
+            dpu, 5, "mutate",
+            manipulator,
+            args_visitor=lambda args: [(args_region, 64)],
+            return_visitor=lambda result: [(result_region, 64)],
+            checker=checker,
+        )
+
+        def kernel(ctx):
+            checker.write(0, args_region, 64)  # caller prepares args
+            result = yield from dpu_serialized(
+                ctx, 5, "mutate", args_region,
+                args_visitor=lambda args: [(args_region, 64)],
+                return_visitor=lambda result: [(result_region, 64)],
+                checker=checker,
+            )
+            checker.read(0, result_region, 64)  # caller reads results
+            return result
+
+        value = dpu.launch(kernel, cores=[0]).values[0]
+        assert value == result_region
+        assert checker.ok(), checker.report()
+
+    def test_skipping_protocol_is_caught(self):
+        """Without the flushes, the same exchange trips the checker —
+        the tool exists precisely to find this."""
+        dpu = DPU()
+        checker = CoherenceChecker()
+        region = dpu.alloc(64)
+
+        def manipulator(args):
+            checker.read(5, region, 64)
+            return None
+
+        dpu.ate.install_handler(5, "raw", manipulator)
+
+        def kernel(ctx):
+            checker.write(0, region, 64)  # cached write, never flushed
+            yield from ctx.software_rpc(5, "raw", region)
+
+        dpu.launch(kernel, cores=[0])
+        assert not checker.ok()
+
+    def test_serialized_rpc_charges_cache_maintenance(self):
+        dpu = DPU()
+        region = dpu.alloc(4096)
+        install_serialized(
+            dpu, 3, "touch", lambda args: None,
+            args_visitor=lambda args: [(region, 4096)],
+        )
+
+        def bare(ctx):
+            yield from ctx.software_rpc(3, "touch", None)
+
+        def with_protocol(ctx):
+            yield from dpu_serialized(
+                ctx, 3, "touch", None,
+                args_visitor=lambda args: [(region, 4096)],
+            )
+
+        dpu_a = DPU()
+        install_serialized(dpu_a, 3, "touch", lambda args: None)
+        bare_cycles = dpu_a.launch(bare, cores=[0]).cycles
+        protocol_cycles = dpu.launch(with_protocol, cores=[0]).cycles
+        assert protocol_cycles > bare_cycles

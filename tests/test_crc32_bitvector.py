@@ -1,0 +1,107 @@
+"""Tests for CRC32/Murmur hashing and bit-vector helpers."""
+
+import zlib
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bitvector import (
+    bitvector_words,
+    nlz64,
+    ntz64,
+    pack_bits,
+    popcount64,
+    selected_indices,
+    unpack_bits,
+)
+from repro.core.crc32 import (
+    crc32_bytes,
+    crc32_column,
+    crc32_u32,
+    crc32_u64,
+    murmur64,
+)
+
+
+class TestCrc32:
+    def test_matches_zlib(self):
+        for data in (b"", b"a", b"hello world", bytes(range(256))):
+            assert crc32_bytes(data) == zlib.crc32(data)
+
+    def test_u32_u64_are_little_endian_byte_crcs(self):
+        assert crc32_u32(0x12345678) == zlib.crc32(
+            (0x12345678).to_bytes(4, "little")
+        )
+        assert crc32_u64(0xDEADBEEFCAFEF00D) == zlib.crc32(
+            (0xDEADBEEFCAFEF00D).to_bytes(8, "little")
+        )
+
+    @pytest.mark.parametrize("dtype", [np.uint8, np.uint16, np.uint32, np.uint64])
+    def test_column_matches_scalar(self, dtype):
+        rng = np.random.default_rng(1)
+        info = np.iinfo(dtype)
+        column = rng.integers(0, int(info.max), 64, dtype=dtype)
+        hashes = crc32_column(column)
+        width = column.dtype.itemsize
+        for value, digest in zip(column.tolist(), hashes.tolist()):
+            assert digest == crc32_bytes(int(value).to_bytes(width, "little"))
+
+    def test_column_rejects_odd_widths(self):
+        with pytest.raises(ValueError):
+            crc32_column(np.zeros(4, dtype=[("a", "u1", 3)]))
+
+    def test_seed_chains(self):
+        whole = crc32_bytes(b"abcdef")
+        chained = crc32_bytes(b"def", seed=crc32_bytes(b"abc"))
+        assert whole == chained
+
+    def test_murmur64_reference_values(self):
+        # fmix64 fixed points and known outputs.
+        assert murmur64(0) == 0
+        assert murmur64(1) != murmur64(2)
+        assert murmur64(123456789) < 2**64
+
+
+class TestBitvector:
+    def test_pack_unpack_roundtrip_simple(self):
+        bits = np.array([True, False, True, True] + [False] * 100)
+        words = pack_bits(bits)
+        assert np.array_equal(unpack_bits(words, len(bits)), bits)
+
+    @given(st.lists(st.booleans(), min_size=0, max_size=300))
+    @settings(max_examples=100, deadline=None)
+    def test_pack_unpack_roundtrip_property(self, bools):
+        bits = np.array(bools, dtype=bool)
+        words = pack_bits(bits)
+        assert len(words) == bitvector_words(len(bits))
+        assert np.array_equal(unpack_bits(words, len(bits)), bits)
+
+    def test_bit_order_is_little_endian(self):
+        bits = np.zeros(64, dtype=bool)
+        bits[0] = True
+        assert int(pack_bits(bits)[0]) == 1
+        bits = np.zeros(64, dtype=bool)
+        bits[63] = True
+        assert int(pack_bits(bits)[0]) == 1 << 63
+
+    def test_selected_indices(self):
+        bits = np.zeros(130, dtype=bool)
+        bits[[0, 64, 129]] = True
+        assert list(selected_indices(pack_bits(bits), 130)) == [0, 64, 129]
+
+    def test_popcount(self):
+        assert popcount64(0) == 0
+        assert popcount64(2**64 - 1) == 64
+        assert popcount64(0b1011) == 3
+
+    @given(st.integers(min_value=1, max_value=2**64 - 1))
+    @settings(max_examples=200, deadline=None)
+    def test_ntz_nlz_against_bit_length(self, value):
+        assert ntz64(value) == (value & -value).bit_length() - 1
+        assert nlz64(value) == 64 - value.bit_length()
+
+    def test_zero_conventions(self):
+        assert ntz64(0) == 64
+        assert nlz64(0) == 64

@@ -1,0 +1,181 @@
+"""Tests for DMS descriptors: Table 2 bit layout, Table 1 rules."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dms import (
+    DESCRIPTOR_CAPABILITIES,
+    DESCRIPTOR_SIZE,
+    Descriptor,
+    DescriptorError,
+    DescriptorType,
+    PartitionMode,
+    PartitionSpec,
+    ddr_to_dmem,
+    dmem_to_ddr,
+    loop,
+)
+
+
+class TestTable2Encoding:
+    def test_descriptor_is_16_bytes(self):
+        descriptor = ddr_to_dmem(256, 4, 0x1000, 0x200, notify_event=3)
+        assert len(descriptor.encode()) == DESCRIPTOR_SIZE == 16
+
+    def test_roundtrip_all_fields(self):
+        descriptor = Descriptor(
+            dtype=DescriptorType.DDR_TO_DMEM,
+            rows=4096,
+            col_width=8,
+            ddr_addr=0x3_1234_5670,
+            dmem_addr=0x1F00,
+            gather_src=True,
+            scatter_dst=False,
+            rle=True,
+            src_addr_inc=True,
+            dst_addr_inc=False,
+            wait_event=5,
+            notify_event=17,
+            link_addr=0xBEEF,
+        )
+        decoded = Descriptor.decode(descriptor.encode())
+        for field in (
+            "dtype", "rows", "col_width", "ddr_addr", "dmem_addr",
+            "gather_src", "scatter_dst", "rle", "src_addr_inc",
+            "dst_addr_inc", "wait_event", "notify_event", "link_addr",
+        ):
+            assert getattr(decoded, field) == getattr(descriptor, field), field
+
+    def test_type_field_in_top_nibble_of_word0(self):
+        raw = ddr_to_dmem(1, 4, 0, 0).encode()
+        word0 = int.from_bytes(raw[0:4], "little")
+        assert (word0 >> 28) == DescriptorType.DDR_TO_DMEM.value
+
+    def test_rows_and_dmem_addr_in_word2(self):
+        raw = ddr_to_dmem(0x1234, 4, 0, 0x5678).encode()
+        word2 = int.from_bytes(raw[8:12], "little")
+        assert (word2 >> 16) == 0x1234
+        assert (word2 & 0xFFFF) == 0x5678
+
+    def test_ddr_addr_split_36_bits(self):
+        address = 0xA_BCDE_F01C  # 36-bit with low nibble 0xC
+        raw = ddr_to_dmem(1, 4, address, 0).encode()
+        word1 = int.from_bytes(raw[4:8], "little")
+        word3 = int.from_bytes(raw[12:16], "little")
+        assert (word1 & 0xF) == 0xC
+        assert word3 == address >> 4
+
+    def test_none_events_encode_as_slot_31(self):
+        raw = ddr_to_dmem(1, 4, 0, 0).encode()
+        word0 = int.from_bytes(raw[0:4], "little")
+        assert (word0 >> 21) & 0x1F == 31  # notify
+        assert (word0 >> 16) & 0x1F == 31  # wait
+        assert Descriptor.decode(raw).notify_event is None
+
+    @given(
+        rows=st.integers(1, 0xFFFF),
+        width=st.sampled_from([1, 2, 4, 8]),
+        ddr=st.integers(0, (1 << 36) - 1),
+        dmem=st.integers(0, 0xFFFF),
+        notify=st.one_of(st.none(), st.integers(0, 30)),
+        wait=st.one_of(st.none(), st.integers(0, 30)),
+        flags=st.tuples(*([st.booleans()] * 4)),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_roundtrip_property(self, rows, width, ddr, dmem, notify, wait,
+                                flags):
+        gather, scatter, src_inc, dst_inc = flags
+        descriptor = Descriptor(
+            dtype=DescriptorType.DDR_TO_DMEM,
+            rows=rows, col_width=width, ddr_addr=ddr, dmem_addr=dmem,
+            gather_src=gather, scatter_dst=scatter,
+            src_addr_inc=src_inc, dst_addr_inc=dst_inc,
+            wait_event=wait, notify_event=notify,
+        )
+        assert Descriptor.decode(descriptor.encode()) == descriptor
+
+    def test_only_ddr_dmem_forms_have_table2_encoding(self):
+        descriptor = Descriptor(
+            dtype=DescriptorType.DDR_TO_DMS, rows=4, col_width=4
+        )
+        with pytest.raises(DescriptorError):
+            descriptor.encode()
+
+
+class TestTable1Capabilities:
+    def test_all_seven_data_directions_present(self):
+        data_types = [t for t in DescriptorType if t.is_data]
+        assert len(data_types) == 7
+        assert set(DESCRIPTOR_CAPABILITIES) == set(data_types)
+
+    def test_gather_only_on_ddr_dmem(self):
+        with pytest.raises(DescriptorError):
+            Descriptor(dtype=DescriptorType.DDR_TO_DMS, rows=1, col_width=4,
+                       gather_src=True)
+
+    def test_partition_only_on_dms_paths(self):
+        spec = PartitionSpec(mode=PartitionMode.HASH)
+        with pytest.raises(DescriptorError):
+            Descriptor(dtype=DescriptorType.DDR_TO_DMEM, rows=1, col_width=4,
+                       partition=spec)
+
+    def test_key_column_only_on_ddr_to_dms(self):
+        with pytest.raises(DescriptorError):
+            Descriptor(dtype=DescriptorType.DDR_TO_DMEM, rows=1, col_width=4,
+                       is_key_column=True)
+        Descriptor(dtype=DescriptorType.DDR_TO_DMS, rows=1, col_width=4,
+                   is_key_column=True)
+
+
+class TestValidation:
+    def test_bad_column_width(self):
+        with pytest.raises(DescriptorError):
+            ddr_to_dmem(1, 3, 0, 0)
+
+    def test_rows_field_is_16_bits(self):
+        with pytest.raises(DescriptorError):
+            ddr_to_dmem(1 << 16, 4, 0, 0)
+
+    def test_ddr_addr_is_36_bits(self):
+        with pytest.raises(DescriptorError):
+            ddr_to_dmem(1, 4, 1 << 36, 0)
+
+    def test_event_range(self):
+        with pytest.raises(DescriptorError):
+            ddr_to_dmem(1, 4, 0, 0, notify_event=31)
+
+    def test_loop_validation(self):
+        loop(2, 100)
+        with pytest.raises(DescriptorError):
+            loop(0, 100)
+        with pytest.raises(DescriptorError):
+            loop(1, -1)
+
+    def test_internal_mem_names(self):
+        with pytest.raises(DescriptorError):
+            Descriptor(dtype=DescriptorType.DMEM_TO_DMS, rows=1, col_width=4,
+                       internal_mem="nonsense")
+
+
+class TestPartitionSpec:
+    def test_hash_fanout(self):
+        assert PartitionSpec(mode=PartitionMode.HASH, radix_bits=5).fanout == 32
+
+    def test_range_bounds_must_ascend(self):
+        with pytest.raises(DescriptorError):
+            PartitionSpec(mode=PartitionMode.RANGE, bounds=(5, 3))
+
+    def test_range_bounds_limit_32(self):
+        PartitionSpec(mode=PartitionMode.RANGE, bounds=tuple(range(32)))
+        with pytest.raises(DescriptorError):
+            PartitionSpec(mode=PartitionMode.RANGE, bounds=tuple(range(33)))
+
+    def test_radix_bits_bounds(self):
+        with pytest.raises(DescriptorError):
+            PartitionSpec(mode=PartitionMode.RADIX, radix_bits=0)
+
+    def test_dmem_to_ddr_constructor(self):
+        descriptor = dmem_to_ddr(8, 8, 0x100, 0x40, notify_event=2)
+        assert descriptor.dtype is DescriptorType.DMEM_TO_DDR
+        assert descriptor.transfer_bytes == 64

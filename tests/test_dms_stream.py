@@ -1,0 +1,271 @@
+"""Tests for DMS streaming: DMAD lists, loops, flow control, gather."""
+
+import numpy as np
+import pytest
+
+from repro.core import DPU, DPU_40NM
+from repro.core.bitvector import pack_bits
+from repro.dms import (
+    Descriptor,
+    DescriptorType,
+    DmsHardwareError,
+    ddr_to_dmem,
+    dmem_to_ddr,
+    loop,
+)
+
+
+@pytest.fixture
+def dpu():
+    return DPU()
+
+
+def test_simple_ddr_to_dmem_moves_real_bytes(dpu):
+    data = np.arange(256, dtype=np.uint32)
+    address = dpu.store_array(data)
+
+    def kernel(ctx):
+        ctx.push(ddr_to_dmem(256, 4, address, 0, notify_event=0))
+        yield from ctx.wfe(0)
+        return ctx.dmem.view(0, 1024, np.uint32).copy()
+
+    result = dpu.launch(kernel, cores=[0])
+    assert np.array_equal(result.values[0], data)
+
+
+def test_dmem_to_ddr_writes_back(dpu):
+    target = dpu.alloc(1024)
+
+    def kernel(ctx):
+        ctx.dmem.write(0, np.full(256, 7, dtype=np.uint32))
+        ctx.push(dmem_to_ddr(256, 4, target, 0, notify_event=1))
+        yield from ctx.wfe(1)
+
+    dpu.launch(kernel, cores=[3])
+    assert np.array_equal(
+        dpu.load_array(target, 256, np.uint32), np.full(256, 7, np.uint32)
+    )
+
+
+def test_listing1_loop_descriptor_streams_whole_buffer(dpu):
+    """The paper's Listing 1: 3 descriptors stream megabytes."""
+    data = np.arange(64 * 1024, dtype=np.uint32)  # 256 KB
+    address = dpu.store_array(data)
+    iterations = len(data) * 4 // 2048
+
+    def kernel(ctx):
+        ctx.push(ddr_to_dmem(256, 4, address, 0, notify_event=0,
+                             src_addr_inc=True))
+        ctx.push(ddr_to_dmem(256, 4, address, 1024, notify_event=1,
+                             src_addr_inc=True))
+        ctx.push(loop(2, iterations - 1))
+        total = 0
+        buf = 0
+        for _ in range(2 * iterations):
+            yield from ctx.wfe(buf)
+            total += int(ctx.dmem.view(buf * 1024, 1024, np.uint32).sum())
+            ctx.clear_event(buf)
+            buf = 1 - buf
+        return total
+
+    result = dpu.launch(kernel, cores=[0])
+    assert result.values[0] == int(data.sum())
+
+
+def test_flow_control_backpressure_blocks_refill(dpu):
+    """A descriptor whose notify event is still set must not refill
+    the buffer (the §3.1 back-pressure rule)."""
+    data = np.arange(512, dtype=np.uint32)
+    address = dpu.store_array(data)
+
+    def kernel(ctx):
+        ctx.push(ddr_to_dmem(256, 4, address, 0, notify_event=0,
+                             src_addr_inc=True))
+        ctx.push(ddr_to_dmem(256, 4, address, 0, notify_event=0,
+                             src_addr_inc=True))
+        yield from ctx.wfe(0)
+        first = ctx.dmem.view(0, 1024, np.uint32).copy()
+        # Stall long enough that an un-gated refill would have landed.
+        yield from ctx.compute(5000)
+        still = ctx.dmem.view(0, 1024, np.uint32).copy()
+        assert np.array_equal(first, still), "buffer overwritten early"
+        ctx.clear_event(0)
+        yield from ctx.wfe(0)
+        second = ctx.dmem.view(0, 1024, np.uint32).copy()
+        return first, second
+
+    first, second = dpu.launch(kernel, cores=[0]).values[0]
+    assert np.array_equal(first, data[:256])
+    assert np.array_equal(second, data[256:])
+
+
+def test_wait_event_gates_descriptor(dpu):
+    data = np.arange(64, dtype=np.uint32)
+    address = dpu.store_array(data)
+
+    def kernel(ctx):
+        ctx.push(
+            ddr_to_dmem(64, 4, address, 0, notify_event=1, wait_event=2)
+        )
+        yield from ctx.compute(2000)
+        assert not ctx.events.is_set(1), "descriptor ran before its gate"
+        ctx.set_event(2)
+        yield from ctx.wfe(1)
+        return True
+
+    assert dpu.launch(kernel, cores=[0]).values[0]
+
+
+def test_gather_with_bitvector(dpu):
+    rows = 512
+    data = np.arange(rows, dtype=np.uint64)
+    address = dpu.store_array(data)
+    mask = np.zeros(rows, dtype=bool)
+    mask[::7] = True
+    expected = data[mask]
+
+    def kernel(ctx):
+        words = pack_bits(mask)
+        ctx.dmem.write(8192, words)
+        ctx.push(
+            Descriptor(
+                dtype=DescriptorType.DMEM_TO_DMS,
+                rows=len(words), col_width=8, dmem_addr=8192,
+                internal_mem="bv",
+            )
+        )
+        ctx.push(
+            Descriptor(
+                dtype=DescriptorType.DDR_TO_DMEM,
+                rows=rows, col_width=8, ddr_addr=address, dmem_addr=0,
+                gather_src=True, notify_event=0,
+            )
+        )
+        yield from ctx.wfe(0)
+        return ctx.dmem.view(0, len(expected) * 8, np.uint64).copy()
+
+    result = dpu.launch(kernel, cores=[0])
+    assert np.array_equal(result.values[0], expected)
+
+
+def test_scatter_with_bitvector(dpu):
+    rows = 256
+    target = dpu.alloc(rows * 8)
+    mask = np.zeros(rows, dtype=bool)
+    mask[[3, 50, 100, 255]] = True
+    payload = np.array([11, 22, 33, 44], dtype=np.uint64)
+
+    def kernel(ctx):
+        ctx.dmem.write(8192, pack_bits(mask))
+        ctx.push(Descriptor(dtype=DescriptorType.DMEM_TO_DMS,
+                            rows=4, col_width=8, dmem_addr=8192,
+                            internal_mem="bv"))
+        ctx.dmem.write(0, payload)
+        ctx.push(Descriptor(dtype=DescriptorType.DMEM_TO_DDR,
+                            rows=rows, col_width=8, ddr_addr=target,
+                            dmem_addr=0, scatter_dst=True, notify_event=0))
+        yield from ctx.wfe(0)
+
+    dpu.launch(kernel, cores=[0])
+    written = dpu.load_array(target, rows, np.uint64)
+    assert list(written[[3, 50, 100, 255]]) == [11, 22, 33, 44]
+    assert written.sum() == payload.sum()
+
+
+def test_strided_read(dpu):
+    matrix = np.arange(64 * 4, dtype=np.uint32).reshape(64, 4)
+    address = dpu.store_array(matrix)
+
+    def kernel(ctx):
+        # Column 2 of a row-major matrix: stride 16 B between elements.
+        ctx.push(
+            Descriptor(
+                dtype=DescriptorType.DDR_TO_DMEM,
+                rows=64, col_width=4, ddr_addr=address + 8, dmem_addr=0,
+                ddr_stride=16, notify_event=0,
+            )
+        )
+        yield from ctx.wfe(0)
+        return ctx.dmem.view(0, 256, np.uint32).copy()
+
+    result = dpu.launch(kernel, cores=[0])
+    assert np.array_equal(result.values[0], matrix[:, 2])
+
+
+def test_rtl_gather_bug_raises_on_concurrent_gathers():
+    dpu = DPU(DPU_40NM.with_updates(rtl_gather_bug=True))
+    rows = 2048
+    data = np.arange(rows, dtype=np.uint64)
+    address = dpu.store_array(data)
+    mask = np.ones(rows, dtype=bool)
+
+    def kernel(ctx):
+        ctx.dmem.write(16384, pack_bits(mask[:rows]))
+        ctx.push(Descriptor(dtype=DescriptorType.DMEM_TO_DMS,
+                            rows=rows // 64, col_width=8, dmem_addr=16384,
+                            internal_mem="bv"))
+        ctx.push(Descriptor(dtype=DescriptorType.DDR_TO_DMEM,
+                            rows=rows, col_width=8, ddr_addr=address,
+                            dmem_addr=0, gather_src=True, notify_event=0))
+        yield from ctx.wfe(0)
+
+    with pytest.raises(DmsHardwareError, match="gather"):
+        dpu.launch(kernel, cores=[0, 1])
+
+
+def test_gather_fixed_silicon_allows_concurrency():
+    dpu = DPU(DPU_40NM.with_updates(rtl_gather_bug=False))
+    rows = 2048
+    data = np.arange(rows, dtype=np.uint64)
+    address = dpu.store_array(data)
+    mask = np.ones(rows, dtype=bool)
+
+    def kernel(ctx):
+        ctx.dmem.write(16384, pack_bits(mask))
+        ctx.push(Descriptor(dtype=DescriptorType.DMEM_TO_DMS,
+                            rows=rows // 64, col_width=8, dmem_addr=16384,
+                            internal_mem="bv"))
+        ctx.push(Descriptor(dtype=DescriptorType.DDR_TO_DMEM,
+                            rows=rows, col_width=8, ddr_addr=address,
+                            dmem_addr=0, gather_src=True, notify_event=0))
+        yield from ctx.wfe(0)
+        return int(ctx.dmem.view(0, rows * 8, np.uint64)[5])
+
+    result = dpu.launch(kernel, cores=[0, 1])
+    assert result.values == [5, 5]
+
+
+def test_aggregate_stream_bandwidth_above_9_gbps():
+    """Figure 11's headline: >9 GB/s at 8 KB buffers on 32 cores."""
+    dpu = DPU()
+    per_core = 128 * 1024
+    nrows = per_core // 4
+    sources = {c: dpu.store_array(np.zeros(nrows, dtype=np.uint32))
+               for c in range(32)}
+
+    def kernel(ctx):
+        source = sources[ctx.core_id]
+        iterations = nrows // 2048 // 2
+        ctx.push(ddr_to_dmem(2048, 4, source, 0, notify_event=0,
+                             src_addr_inc=True))
+        ctx.push(ddr_to_dmem(2048, 4, source, 8192, notify_event=1,
+                             src_addr_inc=True))
+        ctx.push(loop(2, iterations - 1))
+        buf = 0
+        for _ in range(2 * iterations):
+            yield from ctx.wfe(buf)
+            ctx.clear_event(buf)
+            buf = 1 - buf
+
+    result = dpu.launch(kernel)
+    gbps = result.gbps(32 * per_core)
+    assert 9.0 < gbps < 12.8  # paper: >9 GB/s, below DDR3 peak
+
+
+def test_rle_not_modelled_is_explicit(dpu):
+    def kernel(ctx):
+        ctx.push(ddr_to_dmem(16, 4, 4096, 0, rle=True, notify_event=0))
+        yield from ctx.wfe(0)
+
+    with pytest.raises(Exception, match="RLE"):
+        dpu.launch(kernel, cores=[0])

@@ -1,0 +1,190 @@
+"""Tests for the dpCore interpreter: semantics and timing rules."""
+
+import numpy as np
+import pytest
+
+from repro.core import DpCoreInterpreter, assemble
+from repro.core.crc32 import crc32_u32, crc32_u64
+from repro.core.dpcore import MISPREDICT_PENALTY, mul_latency
+from repro.memory.dmem import Scratchpad
+
+
+def run(source, dmem_bytes=None, max_cycles=10**7):
+    interpreter = DpCoreInterpreter(assemble(source), Scratchpad(0))
+    if dmem_bytes is not None:
+        interpreter.dmem.write(0, dmem_bytes)
+    result = interpreter.run(max_cycles)
+    return interpreter, result
+
+
+class TestSemantics:
+    def test_arithmetic(self):
+        itp, _ = run("li r1, 7\nli r2, 5\nadd r3, r1, r2\nsub r4, r1, r2\n"
+                     "mul r5, r1, r2\nhalt\n")
+        assert itp.regs[3] == 12 and itp.regs[4] == 2 and itp.regs[5] == 35
+
+    def test_r0_hardwired_zero(self):
+        itp, _ = run("li r0, 99\nadd r1, r0, r0\nhalt\n")
+        assert itp.read_reg(0) == 0 and itp.regs[1] == 0
+
+    def test_signed_unsigned_compares(self):
+        itp, _ = run(
+            "li r1, -1\nli r2, 1\nslt r3, r1, r2\nsltu r4, r1, r2\nhalt\n"
+        )
+        assert itp.regs[3] == 1  # -1 < 1 signed
+        assert itp.regs[4] == 0  # 0xFFFF.. > 1 unsigned
+
+    def test_shifts(self):
+        itp, _ = run(
+            "li r1, -8\nsrai r2, r1, 1\nsrli r3, r1, 60\nslli r4, r1, 1\nhalt\n"
+        )
+        assert itp.regs[2] == (-4) & (2**64 - 1)
+        assert itp.regs[3] == 15
+        assert itp.regs[4] == (-16) & (2**64 - 1)
+
+    def test_div_rem_signs_and_zero(self):
+        itp, _ = run(
+            "li r1, -7\nli r2, 2\ndiv r3, r1, r2\nrem r4, r1, r2\n"
+            "div r5, r1, r0\nhalt\n"
+        )
+        assert itp.regs[3] == (-3) & (2**64 - 1)  # trunc toward zero
+        assert itp.regs[4] == (-1) & (2**64 - 1)
+        assert itp.regs[5] == 2**64 - 1  # div by zero
+
+    def test_loads_stores_widths_and_sign_extension(self):
+        itp, _ = run(
+            """
+            li r1, 0x80
+            sb r1, 0(r0)
+            lb r2, 0(r0)
+            lbu r3, 0(r0)
+            li r4, 0x8000
+            sh r4, 8(r0)
+            lh r5, 8(r0)
+            lhu r6, 8(r0)
+            halt
+            """
+        )
+        assert itp.regs[2] == (-128) & (2**64 - 1)
+        assert itp.regs[3] == 0x80
+        assert itp.regs[5] == (-32768) & (2**64 - 1)
+        assert itp.regs[6] == 0x8000
+
+    def test_crc32_instructions_match_reference(self):
+        itp, _ = run(
+            "li r1, 0x12345678\nli r2, 0\ncrc32w r2, r1\n"
+            "li r3, 0\ncrc32d r3, r1\nhalt\n"
+        )
+        assert itp.regs[2] == crc32_u32(0x12345678)
+        assert itp.regs[3] == crc32_u64(0x12345678)
+
+    def test_popc(self):
+        itp, _ = run("li r1, 0xF0F0\npopc r2, r1\nhalt\n")
+        assert itp.regs[2] == 8
+
+    def test_filt_accumulates_bitvector(self):
+        itp, _ = run(
+            """
+            li r1, 10
+            setfl r1
+            li r1, 20
+            setfh r1
+            li r2, 15
+            filt r3, r2
+            li r2, 25
+            filt r4, r2
+            rdbv r5
+            halt
+            """
+        )
+        assert itp.regs[3] == 1 and itp.regs[4] == 0
+        # Two FILTs: bits shift in from the top: 01 in the top bits.
+        assert itp.regs[5] == 1 << 62
+
+    def test_bvld_and_bvext(self):
+        dmem = np.zeros(8, dtype=np.uint8)
+        dmem_words = np.array([0b10100], dtype=np.uint64).view(np.uint8)
+        itp, _ = run(
+            "bvld 0(r0)\nbvext r1\nbvext r2\nbvext r3\nhalt\n",
+            dmem_bytes=dmem_words,
+        )
+        assert itp.regs[1] == 2
+        assert itp.regs[2] == 4
+        assert itp.regs[3] == 2**64 - 1  # empty sentinel
+
+    def test_jal_jr_roundtrip(self):
+        itp, _ = run(
+            """
+            jal r31, func
+            li r2, 1
+            halt
+            func:
+            li r1, 9
+            jr r31
+            """
+        )
+        assert itp.regs[1] == 9 and itp.regs[2] == 1
+
+
+class TestTiming:
+    def test_dual_issue_pairs_alu_with_lsu(self):
+        # Independent ALU+LSU pairs retire together.
+        _, serial = run("li r1, 1\nli r2, 2\nli r3, 3\nli r4, 4\nhalt\n")
+        _, paired = run(
+            "li r1, 1\nld r2, 0(r0)\nli r3, 3\nld r4, 8(r0)\nhalt\n"
+        )
+        assert paired.dual_issues == 2
+        assert paired.cycles < serial.cycles + 2  # pairs saved cycles
+
+    def test_raw_hazard_blocks_pairing(self):
+        _, result = run("ld r1, 0(r0)\naddi r2, r1, 1\nhalt\n")
+        assert result.dual_issues == 0
+
+    def test_backward_branch_predicted_taken(self):
+        # A counted loop mispredicts only on exit.
+        _, result = run(
+            "li r1, 8\nloop: addi r1, r1, -1\nbne r1, r0, loop\nhalt\n"
+        )
+        assert result.branches == 8
+        assert result.mispredicts == 1  # the final not-taken
+
+    def test_forward_branch_predicted_not_taken(self):
+        _, taken = run("li r1, 1\nbeq r1, r1, skip\nnop\nskip: halt\n")
+        _, not_taken = run("li r1, 1\nbeq r1, r0, skip\nnop\nskip: halt\n")
+        assert taken.mispredicts == 1
+        assert not_taken.mispredicts == 0
+
+    def test_mispredict_penalty_charged(self):
+        _, result = run("li r1, 1\nbeq r1, r1, skip\nnop\nskip: halt\n")
+        # li + beq + halt = 3 issue slots + penalty.
+        assert result.cycles == 3 + MISPREDICT_PENALTY
+
+    def test_mul_latency_operand_dependent(self):
+        assert mul_latency(3, 5) < mul_latency(2**40, 2**40)
+        assert mul_latency(0xFF51AFD7ED558CCD, 0xFF51AFD7ED558CCD) >= 10
+
+    def test_mul_stalls_pipeline(self):
+        _, small = run("li r1, 3\nli r2, 5\nmul r3, r1, r2\nhalt\n")
+        _, large = run(
+            "li r1, 0xFF51AFD7ED558CCD\nli r2, 0xC4CEB9FE1A85EC53\n"
+            "mul r3, r1, r2\nhalt\n"
+        )
+        assert large.cycles > small.cycles
+
+    def test_ntz_idiom_is_4_cycles(self):
+        # popc((x & -x) - 1): the paper's §5.4 claim.
+        _, result = run(
+            "sub r2, r0, r1\nand r2, r1, r2\naddi r2, r2, -1\n"
+            "popc r3, r2\nhalt\n"
+        )
+        # 4 instructions, all serially dependent ALU ops + halt.
+        assert result.cycles - 1 == 4
+
+    def test_ipc_reporting(self):
+        _, result = run("li r1, 1\nld r2, 0(r0)\nhalt\n")
+        assert 0 < result.ipc <= 2.0
+
+    def test_max_cycles_stops_infinite_loop(self):
+        _, result = run("loop: j loop\n", max_cycles=100)
+        assert not result.halted
+        assert result.cycles >= 100

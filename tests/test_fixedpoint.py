@@ -1,0 +1,126 @@
+"""Tests for Q10.22 fixed-point arithmetic, incl. property tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fixedpoint import (
+    FXP_MAX,
+    FXP_MIN,
+    FXP_ONE,
+    from_fixed,
+    fxp_abs,
+    fxp_add,
+    fxp_div,
+    fxp_mul,
+    fxp_neg,
+    fxp_sub,
+    saturate,
+    to_fixed,
+)
+
+# Values representable without saturation: |x| < 2^9.
+reals = st.floats(
+    min_value=-500.0, max_value=500.0, allow_nan=False, allow_infinity=False
+)
+
+
+def test_one_is_2_pow_22():
+    assert to_fixed(1.0) == FXP_ONE == 1 << 22
+
+
+def test_roundtrip_precision():
+    for value in (0.0, 0.5, -0.25, 1.0 / 3.0, 255.999, -511.0):
+        assert from_fixed(to_fixed(value)) == pytest.approx(value, abs=2**-22)
+
+
+@given(reals)
+@settings(max_examples=200, deadline=None)
+def test_roundtrip_error_bounded(value):
+    assert abs(from_fixed(to_fixed(value)) - value) <= 2**-22
+
+
+halves = st.floats(
+    min_value=-250.0, max_value=250.0, allow_nan=False, allow_infinity=False
+)
+
+
+@given(halves, halves)
+@settings(max_examples=200, deadline=None)
+def test_add_matches_float(a, b):
+    result = from_fixed(fxp_add(to_fixed(a), to_fixed(b)))
+    assert result == pytest.approx(a + b, abs=2**-21)
+
+
+@given(st.floats(min_value=-20, max_value=20), st.floats(min_value=-20, max_value=20))
+@settings(max_examples=200, deadline=None)
+def test_mul_matches_float(a, b):
+    result = from_fixed(fxp_mul(to_fixed(a), to_fixed(b)))
+    assert result == pytest.approx(a * b, abs=2**-20 * (1 + abs(a) + abs(b)))
+
+
+@given(reals)
+@settings(max_examples=100, deadline=None)
+def test_neg_is_involution(a):
+    fixed = to_fixed(a)
+    if fixed not in (FXP_MIN,):  # FXP_MIN negation saturates
+        assert fxp_neg(fxp_neg(fixed)) == fixed
+
+
+def test_saturation_on_overflow():
+    assert to_fixed(1e9) == FXP_MAX
+    assert to_fixed(-1e9) == FXP_MIN
+    assert fxp_add(FXP_MAX, FXP_MAX) == FXP_MAX
+    assert fxp_sub(FXP_MIN, FXP_ONE) == FXP_MIN
+    assert fxp_mul(to_fixed(500), to_fixed(500)) == FXP_MAX
+
+
+def test_abs_saturates_min():
+    assert fxp_abs(FXP_MIN) == FXP_MAX
+    assert fxp_abs(to_fixed(-2.5)) == to_fixed(2.5)
+
+
+def test_div_basic():
+    assert from_fixed(fxp_div(to_fixed(1.0), to_fixed(4.0))) == pytest.approx(
+        0.25, abs=2**-22
+    )
+    assert from_fixed(fxp_div(to_fixed(-3.0), to_fixed(2.0))) == pytest.approx(
+        -1.5, abs=2**-22
+    )
+
+
+def test_div_by_zero_saturates_by_sign():
+    assert fxp_div(to_fixed(1.0), 0) == FXP_MAX
+    assert fxp_div(to_fixed(-1.0), 0) == FXP_MIN
+    assert fxp_div(0, 0) == FXP_MAX
+
+
+def test_vectorized_matches_scalar():
+    rng = np.random.default_rng(0)
+    a = rng.uniform(-100, 100, 64)
+    b = rng.uniform(-100, 100, 64)
+    fa, fb = to_fixed(a), to_fixed(b)
+    for index in range(64):
+        assert int(fxp_mul(fa, fb)[index]) == fxp_mul(
+            int(fa[index]), int(fb[index])
+        )
+        assert int(fxp_add(fa, fb)[index]) == fxp_add(
+            int(fa[index]), int(fb[index])
+        )
+        assert int(fxp_div(fa, fb)[index]) == fxp_div(
+            int(fa[index]), int(fb[index])
+        )
+
+
+def test_vectorized_div_by_zero():
+    num = to_fixed(np.array([1.0, -1.0, 0.0]))
+    den = to_fixed(np.array([0.0, 0.0, 0.0]))
+    out = fxp_div(num, den)
+    assert list(out) == [FXP_MAX, FXP_MIN, FXP_MAX]
+
+
+def test_saturate_array():
+    values = np.array([FXP_MAX + 10, FXP_MIN - 10, 5], dtype=np.int64)
+    clamped = saturate(values)
+    assert list(clamped) == [FXP_MAX, FXP_MIN, 5]

@@ -1,0 +1,105 @@
+"""Tests for the dpCore assembler and ISA tables."""
+
+import pytest
+
+from repro.core import OPCODES, IsaError, assemble
+from repro.core.isa import Unit
+
+
+def test_basic_program_assembles():
+    program = assemble(
+        """
+        li   r1, 10
+        addi r1, r1, -1
+        bne  r1, r0, 1f  # not a label; removed below
+        halt
+        """.replace("1f", "loop")  # keep the source readable
+        .replace("bne  r1, r0, loop", "bne r1, r0, start")
+        .replace("li   r1, 10", "start: li r1, 10")
+    )
+    assert len(program) == 4
+    assert program.labels["start"] == 0
+    assert program[2].target == 0
+
+
+def test_label_on_own_line():
+    program = assemble("top:\n  nop\n  j top\n")
+    assert program.labels["top"] == 0
+    assert program[1].target == 0
+
+
+def test_comments_stripped():
+    program = assemble("nop # comment\nnop ; other\nnop // third\n")
+    assert len(program) == 3
+
+
+def test_memref_operands():
+    program = assemble("lw r5, 12(r3)\nsw r5, -4(r2)\n")
+    load, store = program.instructions
+    assert (load.rd, load.rs, load.imm) == (5, 3, 12)
+    assert (store.rt, store.rs, store.imm) == (5, 2, -4)
+
+
+def test_hex_immediates():
+    program = assemble("li r1, 0xFF51AFD7ED558CCD\n")
+    assert program[0].imm == 0xFF51AFD7ED558CCD
+
+
+def test_unknown_opcode_rejected():
+    with pytest.raises(IsaError, match="unknown opcode"):
+        assemble("frobnicate r1, r2\n")
+
+
+def test_wrong_operand_count_rejected():
+    with pytest.raises(IsaError, match="expects operands"):
+        assemble("add r1, r2\n")
+
+
+def test_bad_register_rejected():
+    with pytest.raises(IsaError):
+        assemble("add r1, r2, r32\n")
+
+
+def test_undefined_label_rejected():
+    with pytest.raises(IsaError, match="undefined label"):
+        assemble("j nowhere\n")
+
+
+def test_duplicate_label_rejected():
+    with pytest.raises(IsaError, match="duplicate label"):
+        assemble("a:\nnop\na:\nnop\n")
+
+
+def test_listing_roundtrips():
+    source = "start: li r1, 5\nloop: addi r1, r1, -1\nbne r1, r0, loop\nhalt\n"
+    program = assemble(source)
+    listing = program.listing()
+    reassembled = assemble(listing)
+    assert len(reassembled) == len(program)
+    assert reassembled.labels == program.labels
+
+
+def test_opcode_table_units():
+    assert OPCODES["add"].unit is Unit.ALU
+    assert OPCODES["ld"].unit is Unit.LSU
+    assert OPCODES["bne"].unit is Unit.BRANCH
+    assert OPCODES["halt"].unit is Unit.SYSTEM
+
+
+def test_analytics_instructions_single_cycle():
+    # Paper §2.2: BVLD, FILT, CRC32 are single-cycle.
+    for mnemonic in ("filt", "crc32w", "crc32d", "popc", "bvld"):
+        assert OPCODES[mnemonic].latency == 1
+
+
+def test_multiplier_is_multicycle_and_serializing():
+    assert OPCODES["mul"].latency > 1
+    assert OPCODES["mul"].serializing
+
+
+def test_reads_writes_tracking():
+    program = assemble("add r1, r2, r3\nsw r1, 0(r4)\ncrc32w r5, r6\n")
+    add, store, crc = program.instructions
+    assert set(add.reads()) == {2, 3} and add.writes() == (1,)
+    assert 1 in store.reads() and store.writes() == ()
+    assert set(crc.reads()) == {6, 5} and crc.writes() == (5,)  # seed in rd

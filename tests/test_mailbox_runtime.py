@@ -1,0 +1,202 @@
+"""Tests for the MBC mailbox and the runtime parallel primitives."""
+
+import pytest
+
+from repro.core import A9_ID, DPU, M0_ID, NUM_MAILBOXES
+from repro.runtime import (
+    AteBarrier,
+    AteMutex,
+    DmemLayout,
+    SharedCounter,
+    WorkQueue,
+    chunk_ranges,
+    static_partition,
+)
+
+
+@pytest.fixture
+def dpu():
+    return DPU()
+
+
+class TestMailbox:
+    def test_send_receive_roundtrip(self, dpu):
+        def sender(ctx):
+            yield from ctx.mbox_send(1, {"ptr": 0x1000})
+
+        def receiver(ctx):
+            src, payload = yield from ctx.mbox_receive()
+            return src, payload
+
+        def kernel(ctx):
+            if ctx.core_id == 0:
+                return (yield from sender(ctx))
+            return (yield from receiver(ctx))
+
+        result = dpu.launch(lambda ctx: (yield from kernel(ctx)), cores=[0, 1])
+        assert result.values[1] == (0, {"ptr": 0x1000})
+
+    def test_fifo_per_receiver(self, dpu):
+        def sender(ctx):
+            for index in range(4):
+                yield from ctx.mbox_send(2, index)
+
+        def receiver(ctx):
+            out = []
+            for _ in range(4):
+                _src, payload = yield from ctx.mbox_receive()
+                out.append(payload)
+            return out
+
+        def kernel(ctx):
+            if ctx.core_id == 0:
+                return (yield from sender(ctx))
+            return (yield from receiver(ctx))
+
+        result = dpu.launch(lambda ctx: (yield from kernel(ctx)), cores=[0, 2])
+        assert result.values[1] == [0, 1, 2, 3]
+
+    def test_costs_charged(self, dpu):
+        def kernel(ctx):
+            yield from ctx.mbox_send(0, "self")
+            yield from ctx.mbox_receive()
+
+        result = dpu.launch(kernel, cores=[0])
+        assert result.cycles >= (
+            dpu.config.mbc_send_cycles + dpu.config.mbc_interrupt_cycles
+        )
+
+    def test_a9_and_m0_have_mailboxes(self, dpu):
+        assert A9_ID == 32 and M0_ID == 33 and NUM_MAILBOXES == 34
+        dpu.mailbox._check(A9_ID)
+        dpu.mailbox._check(M0_ID)
+        with pytest.raises(ValueError):
+            dpu.mailbox._check(34)
+
+    def test_try_receive_nonblocking(self, dpu):
+        ok, _item = dpu.mailbox.try_receive(0)
+        assert not ok
+
+
+class TestSharedCounter:
+    def test_fetch_add_sequence(self, dpu):
+        counter = SharedCounter(dpu, owner=0, dmem_offset=0, initial=100)
+
+        def kernel(ctx):
+            old = yield from counter.fetch_add(ctx, 10)
+            return old
+
+        dpu.launch(kernel, cores=[1])
+        assert counter.peek() == 110
+
+
+class TestMutex:
+    def test_mutual_exclusion_protects_critical_section(self, dpu):
+        mutex = AteMutex(dpu, owner=0, dmem_offset=0)
+        shared = {"value": 0, "in_section": 0, "max_in_section": 0}
+
+        def kernel(ctx):
+            for _ in range(3):
+                yield from mutex.acquire(ctx)
+                shared["in_section"] += 1
+                shared["max_in_section"] = max(
+                    shared["max_in_section"], shared["in_section"]
+                )
+                yield from ctx.compute(100)  # non-atomic read-modify-write
+                shared["value"] += 1
+                shared["in_section"] -= 1
+                yield from mutex.release(ctx)
+
+        dpu.launch(kernel, cores=range(8))
+        assert shared["value"] == 24
+        assert shared["max_in_section"] == 1
+        assert mutex.holder() is None
+
+
+class TestBarrier:
+    def test_all_cores_reach_before_any_proceeds(self, dpu):
+        barrier = AteBarrier(dpu, range(16), counter_offset=0, flag_offset=16)
+        arrivals = []
+        departures = []
+
+        def kernel(ctx):
+            yield from ctx.compute(ctx.core_id * 37)  # stagger arrivals
+            arrivals.append(dpu.engine.now)
+            yield from barrier.wait(ctx)
+            departures.append(dpu.engine.now)
+
+        dpu.launch(kernel, cores=range(16))
+        assert max(arrivals) <= min(departures)
+
+    def test_barrier_reusable_across_phases(self, dpu):
+        barrier = AteBarrier(dpu, range(8), counter_offset=0, flag_offset=16)
+        phases = []
+
+        def kernel(ctx):
+            for phase in range(3):
+                yield from ctx.compute(ctx.core_id * 11 + phase)
+                yield from barrier.wait(ctx)
+                if ctx.core_id == 0:
+                    phases.append(dpu.engine.now)
+
+        dpu.launch(kernel, cores=range(8))
+        assert len(phases) == 3
+        assert phases == sorted(phases)
+
+
+class TestWorkQueue:
+    def test_each_chunk_claimed_exactly_once(self, dpu):
+        queue = WorkQueue(dpu, owner=0, dmem_offset=0, num_chunks=50)
+        claimed = []
+
+        def kernel(ctx):
+            while True:
+                chunk = yield from queue.claim(ctx)
+                if chunk is None:
+                    return
+                claimed.append(chunk)
+                yield from ctx.compute(10 + (chunk % 7) * 30)
+
+        dpu.launch(kernel, cores=range(8))
+        assert sorted(claimed) == list(range(50))
+
+    def test_empty_queue_returns_none(self, dpu):
+        queue = WorkQueue(dpu, owner=0, dmem_offset=0, num_chunks=0)
+
+        def kernel(ctx):
+            chunk = yield from queue.claim(ctx)
+            return chunk
+
+        assert dpu.launch(kernel, cores=[0]).values[0] is None
+
+
+class TestTaskHelpers:
+    def test_static_partition_covers_everything(self):
+        pieces = [static_partition(100, 7, p) for p in range(7)]
+        assert pieces[0][0] == 0 and pieces[-1][1] == 100
+        for (lo1, hi1), (lo2, _hi2) in zip(pieces, pieces[1:]):
+            assert hi1 == lo2
+        sizes = [hi - lo for lo, hi in pieces]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_static_partition_validates(self):
+        with pytest.raises(ValueError):
+            static_partition(10, 0, 0)
+        with pytest.raises(ValueError):
+            static_partition(10, 4, 4)
+
+    def test_chunk_ranges(self):
+        assert list(chunk_ranges(0, 10, 4)) == [(0, 4), (4, 8), (8, 10)]
+        assert list(chunk_ranges(5, 5, 4)) == []
+        with pytest.raises(ValueError):
+            list(chunk_ranges(0, 10, 0))
+
+    def test_dmem_layout_alignment_and_overflow(self):
+        layout = DmemLayout(size=1024)
+        first = layout.take(100, align=64)
+        second = layout.take(8)
+        assert first == 0
+        assert second % 8 == 0 and second >= 100
+        with pytest.raises(MemoryError):
+            layout.take(2000)
+        assert layout.remaining < 1024

@@ -1,0 +1,136 @@
+"""Cross-cutting property-based tests on core invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.streaming import stream_columns
+from repro.core import DPU
+from repro.dms import PartitionMode, PartitionSpec, compute_cids
+from repro.dms.descriptor import DescriptorError
+from repro.runtime.task import static_partition
+from repro.sim import Engine
+
+
+class TestEngineDeterminism:
+    @given(st.lists(st.integers(0, 1000), min_size=1, max_size=30))
+    @settings(max_examples=50, deadline=None)
+    def test_same_program_same_trace(self, delays):
+        """Two runs of the same process structure produce identical
+        event orders — the property every simulation result rests on."""
+
+        def trace(run_engine):
+            order = []
+
+            def worker(tag, delay):
+                yield run_engine.timeout(delay)
+                order.append((tag, run_engine.now))
+
+            for tag, delay in enumerate(delays):
+                run_engine.process(worker(tag, delay))
+            run_engine.run()
+            return order
+
+        assert trace(Engine()) == trace(Engine())
+
+
+class TestPartitionProperties:
+    @given(
+        keys=st.lists(st.integers(0, 2**32 - 1), min_size=1, max_size=200),
+        radix_bits=st.integers(1, 6),
+        mode=st.sampled_from([PartitionMode.HASH, PartitionMode.RADIX]),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_cids_within_fanout_and_deterministic(self, keys, radix_bits,
+                                                  mode):
+        column = np.asarray(keys, dtype=np.uint32)
+        spec = PartitionSpec(mode=mode, radix_bits=radix_bits)
+        cids = compute_cids(column, spec)
+        assert cids.min() >= 0
+        assert cids.max() < spec.fanout
+        assert np.array_equal(cids, compute_cids(column, spec))
+
+    @given(
+        keys=st.lists(st.integers(-1000, 1000), min_size=1, max_size=100),
+        bounds=st.lists(st.integers(-900, 900), min_size=1, max_size=32,
+                        unique=True),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_range_cids_are_monotone_in_key(self, keys, bounds):
+        column = np.asarray(sorted(keys), dtype=np.int64)
+        spec = PartitionSpec(
+            mode=PartitionMode.RANGE, bounds=tuple(sorted(bounds)),
+            radix_bits=5,
+        )
+        cids = compute_cids(column, spec)
+        assert np.all(np.diff(cids.astype(np.int64)) >= 0)  # monotone
+
+    @given(st.lists(st.integers(0, 2**20), min_size=1, max_size=100))
+    @settings(max_examples=50, deadline=None)
+    def test_equal_keys_get_equal_cids(self, keys):
+        column = np.asarray(keys * 2, dtype=np.uint32)  # every key twice
+        spec = PartitionSpec(mode=PartitionMode.HASH, radix_bits=5)
+        cids = compute_cids(column, spec)
+        half = len(keys)
+        assert np.array_equal(cids[:half], cids[half:])
+
+
+class TestStaticPartitionProperties:
+    @given(st.integers(0, 10000), st.integers(1, 64))
+    @settings(max_examples=100, deadline=None)
+    def test_partition_is_exact_cover(self, total, parts):
+        ranges = [static_partition(total, parts, p) for p in range(parts)]
+        assert ranges[0][0] == 0
+        assert ranges[-1][1] == total
+        for (lo1, hi1), (lo2, _) in zip(ranges, ranges[1:]):
+            assert hi1 == lo2
+        sizes = [hi - lo for lo, hi in ranges]
+        assert max(sizes) - min(sizes) <= 1
+
+
+class TestStreamingRoundtrip:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_random_shapes_deliver_exact_bytes(self, seed):
+        rng = np.random.default_rng(seed)
+        rows = int(rng.integers(1, 6000))
+        tile = int(rng.integers(64, 1024))
+        dtype = rng.choice([np.uint8, np.uint16, np.uint32, np.int32])
+        dpu = DPU()
+        info = np.iinfo(dtype)
+        values = rng.integers(
+            info.min, int(info.max), rows
+        ).astype(dtype)
+        address = dpu.store_array(values)
+        chunks = []
+
+        def kernel(ctx):
+            def process(t, lo, hi, arrays):
+                chunks.append(arrays[0].copy())
+                return 1
+
+            yield from stream_columns(
+                ctx, [(address, dtype)], rows, tile, process
+            )
+
+        dpu.launch(kernel, cores=[0])
+        assert np.array_equal(np.concatenate(chunks), values)
+
+
+class TestDescriptorFuzz:
+    @given(
+        rows=st.integers(-5, 1 << 17),
+        width=st.integers(0, 16),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_invalid_geometry_never_constructs(self, rows, width):
+        from repro.dms import Descriptor, DescriptorType
+        valid_rows = 1 <= rows < (1 << 16)
+        valid_width = width in (1, 2, 4, 8)
+        try:
+            Descriptor(dtype=DescriptorType.DDR_TO_DMEM, rows=rows,
+                       col_width=width)
+            constructed = True
+        except DescriptorError:
+            constructed = False
+        assert constructed == (valid_rows and valid_width)

@@ -1,0 +1,247 @@
+"""Tests for shared-resource primitives (FIFO, bandwidth, events)."""
+
+import pytest
+
+from repro.sim import (
+    BandwidthServer,
+    BinaryEvent,
+    Engine,
+    Resource,
+    SimulationError,
+    Store,
+)
+
+
+def run(engine, generator):
+    return engine.run_until_complete(engine.process(generator))
+
+
+class TestResource:
+    def test_grants_up_to_capacity_immediately(self):
+        engine = Engine()
+        resource = Resource(engine, capacity=2)
+        first = resource.acquire()
+        second = resource.acquire()
+        third = resource.acquire()
+        engine.run()
+        assert first.triggered and second.triggered
+        assert not third.triggered
+
+    def test_release_wakes_fifo_order(self):
+        engine = Engine()
+        resource = Resource(engine, capacity=1)
+        granted = []
+
+        def holder():
+            yield resource.acquire()
+            yield engine.timeout(10)
+            resource.release()
+
+        def waiter(tag):
+            yield resource.acquire()
+            granted.append((tag, engine.now))
+            resource.release()
+
+        engine.process(holder())
+        engine.process(waiter("a"))
+        engine.process(waiter("b"))
+        engine.run()
+        assert [tag for tag, _t in granted] == ["a", "b"]
+
+    def test_release_without_acquire_raises(self):
+        engine = Engine()
+        resource = Resource(engine, capacity=1)
+        with pytest.raises(SimulationError):
+            resource.release()
+
+    def test_bad_capacity(self):
+        with pytest.raises(SimulationError):
+            Resource(Engine(), capacity=0)
+
+
+class TestStore:
+    def test_put_then_get(self):
+        engine = Engine()
+        store = Store(engine)
+
+        def worker():
+            yield store.put("x")
+            value = yield store.get()
+            return value
+
+        assert run(engine, worker()) == "x"
+
+    def test_get_blocks_until_put(self):
+        engine = Engine()
+        store = Store(engine)
+
+        def producer():
+            yield engine.timeout(50)
+            yield store.put("late")
+
+        def consumer():
+            value = yield store.get()
+            return value, engine.now
+
+        engine.process(producer())
+        value, at = run(engine, consumer())
+        assert value == "late"
+        assert at == 50
+
+    def test_fifo_ordering(self):
+        engine = Engine()
+        store = Store(engine)
+
+        def worker():
+            for item in (1, 2, 3):
+                yield store.put(item)
+            out = []
+            for _ in range(3):
+                out.append((yield store.get()))
+            return out
+
+        assert run(engine, worker()) == [1, 2, 3]
+
+    def test_capacity_blocks_putter(self):
+        engine = Engine()
+        store = Store(engine, capacity=1)
+        progress = []
+
+        def producer():
+            yield store.put("a")
+            progress.append("a-in")
+            yield store.put("b")
+            progress.append("b-in")
+
+        def consumer():
+            yield engine.timeout(10)
+            yield store.get()
+
+        engine.process(producer())
+        engine.process(consumer())
+        engine.run()
+        assert progress == ["a-in", "b-in"]
+        assert len(store) == 1  # "b" admitted after "a" drained
+
+    def test_try_get(self):
+        engine = Engine()
+        store = Store(engine)
+        assert store.try_get() == (False, None)
+        store.put("item")
+        engine.run()
+        assert store.try_get() == (True, "item")
+
+
+class TestBandwidthServer:
+    def test_transfer_duration(self):
+        engine = Engine()
+        server = BandwidthServer(engine, bytes_per_cycle=16)
+
+        def worker():
+            yield server.transfer(1600)
+
+        run(engine, worker())
+        assert engine.now == 100
+
+    def test_serial_queueing_under_contention(self):
+        engine = Engine()
+        server = BandwidthServer(engine, bytes_per_cycle=16)
+        finishes = []
+
+        def client(tag):
+            yield server.transfer(160)
+            finishes.append((tag, engine.now))
+
+        for tag in range(3):
+            engine.process(client(tag))
+        engine.run()
+        assert [t for _tag, t in finishes] == [10, 20, 30]
+
+    def test_overhead_charged_per_transfer(self):
+        engine = Engine()
+        server = BandwidthServer(engine, bytes_per_cycle=16, overhead_cycles=5)
+
+        def worker():
+            yield server.transfer(160)
+
+        run(engine, worker())
+        assert engine.now == 15
+
+    def test_utilization_accounting(self):
+        engine = Engine()
+        server = BandwidthServer(engine, bytes_per_cycle=16)
+
+        def worker():
+            yield server.transfer(160)
+            yield engine.timeout(10)  # idle
+
+        run(engine, worker())
+        assert server.utilization() == pytest.approx(0.5)
+        assert server.bytes_served == 160
+        assert server.transfers_served == 1
+
+    def test_zero_rate_rejected(self):
+        with pytest.raises(SimulationError):
+            BandwidthServer(Engine(), bytes_per_cycle=0)
+
+
+class TestBinaryEvent:
+    def test_wait_on_set_event_is_immediate(self):
+        engine = Engine()
+        flag = BinaryEvent(engine)
+        flag.set()
+
+        def worker():
+            yield flag.wait()
+            return engine.now
+
+        assert run(engine, worker()) == 0
+
+    def test_wait_blocks_until_set(self):
+        engine = Engine()
+        flag = BinaryEvent(engine)
+
+        def setter():
+            yield engine.timeout(25)
+            flag.set()
+
+        def waiter():
+            yield flag.wait()
+            return engine.now
+
+        engine.process(setter())
+        assert run(engine, waiter()) == 25
+
+    def test_wait_clear_blocks_until_cleared(self):
+        engine = Engine()
+        flag = BinaryEvent(engine)
+        flag.set()
+
+        def clearer():
+            yield engine.timeout(30)
+            flag.clear()
+
+        def waiter():
+            yield flag.wait_clear()
+            return engine.now
+
+        engine.process(clearer())
+        assert run(engine, waiter()) == 30
+
+    def test_clear_then_set_wakes_new_waiters_only_on_set(self):
+        engine = Engine()
+        flag = BinaryEvent(engine)
+        flag.set()
+        flag.clear()
+        assert not flag.is_set
+
+        def waiter():
+            yield flag.wait()
+            return True
+
+        def setter():
+            yield engine.timeout(5)
+            flag.set()
+
+        engine.process(setter())
+        assert run(engine, waiter()) is True

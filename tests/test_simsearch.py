@@ -1,0 +1,115 @@
+"""Tests for similarity search (SpMM over a tiled inverted index)."""
+
+import numpy as np
+import pytest
+
+from repro.apps.simsearch import (
+    build_tiled_index,
+    dpu_simsearch,
+    xeon_simsearch,
+)
+from repro.apps.sql import efficiency_gain
+from repro.baseline import XeonModel
+from repro.core import DPU
+from repro.workloads.corpus import generate_corpus
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return generate_corpus(
+        num_docs=1500, vocab=8000, num_queries=48, query_terms=6, seed=9
+    )
+
+
+@pytest.fixture(scope="module")
+def tiled(workload):
+    return build_tiled_index(workload.index, tile_docs=128)
+
+
+class TestTiledIndex:
+    def test_segments_partition_the_postings(self, tiled):
+        covered = np.zeros(len(tiled.postings), dtype=bool)
+        for (tile, _term), (lo, hi) in tiled.segments.items():
+            assert not covered[lo:hi].any(), "overlapping segments"
+            covered[lo:hi] = True
+            assert 0 <= tile < tiled.num_tiles
+        assert covered.all()
+
+    def test_postings_sorted_by_tile(self, tiled):
+        docs = tiled.postings[:, 0].astype(np.int64)
+        tiles = docs // tiled.tile_docs
+        assert np.all(np.diff(tiles) >= 0)
+
+    def test_tile_starts_consistent(self, tiled):
+        docs = tiled.postings[:, 0].astype(np.int64)
+        for tile in range(tiled.num_tiles):
+            lo, hi = tiled.tile_starts[tile], tiled.tile_starts[tile + 1]
+            if lo < hi:
+                assert docs[lo] // tiled.tile_docs == tile
+                assert docs[hi - 1] // tiled.tile_docs == tile
+
+    def test_nnz_preserved(self, workload, tiled):
+        assert len(tiled.postings) == workload.index.nnz
+
+    def test_bad_tile_size(self, workload):
+        with pytest.raises(ValueError):
+            build_tiled_index(workload.index, tile_docs=0)
+
+
+class TestSearch:
+    @pytest.fixture(scope="class")
+    def platform(self, workload, tiled):
+        dpu = DPU()
+        address = dpu.store_array(tiled.postings)
+        return dpu, address
+
+    def test_dynamic_finds_source_documents(self, workload, tiled, platform):
+        dpu, address = platform
+        result = dpu_simsearch(dpu, workload, tiled, address, variant="dynamic")
+        hits = sum(
+            1 for q, top in result.value.items()
+            if top and top[0][1] == workload.query_truth[q]
+        )
+        assert hits >= 0.9 * len(workload.query_truth)
+
+    def test_naive_and_dynamic_agree(self, workload, tiled, platform):
+        dpu, address = platform
+        dynamic = dpu_simsearch(dpu, workload, tiled, address, variant="dynamic")
+        naive = dpu_simsearch(dpu, workload, tiled, address, variant="naive")
+        for query in dynamic.value:
+            assert [d for _s, d in dynamic.value[query]] == [
+                d for _s, d in naive.value[query]
+            ]
+
+    def test_naive_wastes_bandwidth(self, workload, tiled, platform):
+        """§5.2: the fixed-buffer fetches discard almost everything."""
+        dpu, address = platform
+        naive = dpu_simsearch(dpu, workload, tiled, address, variant="naive")
+        assert naive.detail["utilization"] < 0.2
+        dynamic = dpu_simsearch(dpu, workload, tiled, address, variant="dynamic")
+        assert dynamic.detail["utilization"] == pytest.approx(1.0)
+        assert (
+            dynamic.detail["effective_gbps"]
+            > 5 * naive.detail["effective_gbps"]
+        )
+
+    def test_xeon_agrees_on_top1(self, workload, tiled):
+        result = xeon_simsearch(XeonModel(), workload, tiled)
+        hits = sum(
+            1 for q, top in result.value.items()
+            if top and top[0][1] == workload.query_truth[q]
+        )
+        assert hits >= 0.9 * len(workload.query_truth)
+
+    def test_gain_in_paper_band(self, workload, tiled, platform):
+        """§5.2: ~3.9x perf/watt for the dynamic-tile variant."""
+        dpu, address = platform
+        dynamic = dpu_simsearch(dpu, workload, tiled, address, variant="dynamic")
+        xeon = xeon_simsearch(XeonModel(), workload, tiled)
+        gain = efficiency_gain(dynamic, xeon)
+        assert 1.5 < gain < 8.0
+
+    def test_bad_variant(self, workload, tiled, platform):
+        dpu, address = platform
+        with pytest.raises(ValueError):
+            dpu_simsearch(dpu, workload, tiled, address, variant="magic")

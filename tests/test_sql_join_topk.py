@@ -1,0 +1,130 @@
+"""Tests for join operators and top-k."""
+
+import numpy as np
+import pytest
+
+from repro.apps.sql import (
+    Between,
+    Table,
+    bitmap_filter,
+    dpu_partitioned_join_count,
+    dpu_topk,
+    key_bitmap,
+    lookup_filter,
+    xeon_join_count,
+    xeon_topk,
+)
+from repro.baseline import XeonModel
+from repro.core import DPU
+
+
+class TestKeyBitmap:
+    def test_bits_set_for_selected_keys(self):
+        bitmap = key_bitmap(np.array([0, 5, 63, 64, 99]), domain=100)
+        bits = np.unpackbits(bitmap.view(np.uint8), bitorder="little")[:100]
+        assert list(np.nonzero(bits)[0]) == [0, 5, 63, 64, 99]
+
+    def test_bitmap_filter_semijoin(self):
+        bitmap = key_bitmap(np.array([2, 4]), domain=8)
+        row_filter = bitmap_filter("k", bitmap)
+        columns = {"k": np.array([0, 2, 3, 4, 7])}
+        assert list(row_filter.mask_fn(columns)) == [
+            False, True, False, True, False,
+        ]
+
+    def test_bitmap_filter_with_extra_predicate(self):
+        bitmap = key_bitmap(np.array([1, 2, 3]), domain=8)
+        row_filter = bitmap_filter("k", bitmap, extra=Between("v", 10, 20))
+        columns = {
+            "k": np.array([1, 2, 5]),
+            "v": np.array([15, 50, 15]),
+        }
+        assert list(row_filter.mask_fn(columns)) == [True, False, False]
+        assert "v" in row_filter.columns and "k" in row_filter.columns
+
+    def test_lookup_filter(self):
+        table = np.array([0, 1, 0, 1], dtype=np.uint8)
+        row_filter = lookup_filter("k", table, lambda v: v == 1)
+        columns = {"k": np.array([0, 1, 2, 3])}
+        assert list(row_filter.mask_fn(columns)) == [False, True, False, True]
+
+
+class TestPartitionedJoin:
+    def test_match_count_equals_numpy(self):
+        rng = np.random.default_rng(0)
+        build = Table("b", {"k": rng.integers(0, 500, 2000).astype(np.int32)})
+        probe = Table("p", {"k": rng.integers(0, 500, 8000).astype(np.int32)})
+        dpu = DPU()
+        result = dpu_partitioned_join_count(
+            dpu, build.to_dpu(dpu), "k", probe.to_dpu(dpu), "k"
+        )
+        expected = 0
+        counts = np.bincount(build.column("k"), minlength=500)
+        expected = int(counts[probe.column("k")].sum())
+        assert result.value == expected
+
+    def test_xeon_join_matches(self):
+        rng = np.random.default_rng(1)
+        build = rng.integers(0, 100, 500).astype(np.int64)
+        probe = rng.integers(0, 100, 3000).astype(np.int64)
+        result = xeon_join_count(XeonModel(), build, probe)
+        counts = np.bincount(build, minlength=100)
+        assert result.value == int(counts[probe].sum())
+
+    def test_disjoint_keys_join_to_zero(self):
+        dpu = DPU()
+        build = Table("b", {"k": np.arange(0, 100, dtype=np.int32)})
+        probe = Table("p", {"k": np.arange(1000, 1100, dtype=np.int32)})
+        result = dpu_partitioned_join_count(
+            dpu, build.to_dpu(dpu), "k", probe.to_dpu(dpu), "k"
+        )
+        assert result.value == 0
+
+
+class TestTopK:
+    def test_values_match_numpy(self):
+        rng = np.random.default_rng(2)
+        table = Table("t", {"v": rng.integers(0, 10**6, 50000).astype(np.int64)})
+        dpu = DPU()
+        result = dpu_topk(dpu, table.to_dpu(dpu), "v", k=10)
+        expected = np.sort(table.column("v"))[::-1][:10]
+        got = [value for value, _row in result.value]
+        assert got == list(expected.astype(float))
+
+    def test_row_ids_point_at_values(self):
+        rng = np.random.default_rng(3)
+        table = Table("t", {"v": rng.permutation(10000).astype(np.int64)})
+        dpu = DPU()
+        result = dpu_topk(dpu, table.to_dpu(dpu), "v", k=5)
+        for value, row in result.value:
+            assert table.column("v")[row] == value
+
+    def test_negative_values_handled(self):
+        table = Table("t", {
+            "v": np.array([-5, -2, -100, -1, -50], dtype=np.int32)
+        })
+        dpu = DPU()
+        result = dpu_topk(dpu, table.to_dpu(dpu), "v", k=2)
+        assert [v for v, _r in result.value] == [-1.0, -2.0]
+
+    def test_k_larger_than_table(self):
+        table = Table("t", {"v": np.array([3, 1, 2], dtype=np.int32)})
+        dpu = DPU()
+        result = dpu_topk(dpu, table.to_dpu(dpu), "v", k=10)
+        assert [v for v, _r in result.value] == [3.0, 2.0, 1.0]
+
+    def test_k_validation(self):
+        dpu = DPU()
+        table = Table("t", {"v": np.array([1], dtype=np.int32)})
+        with pytest.raises(ValueError):
+            dpu_topk(dpu, table.to_dpu(dpu), "v", k=0)
+
+    def test_xeon_topk_same_values(self):
+        rng = np.random.default_rng(4)
+        table = Table("t", {"v": rng.integers(0, 10**6, 20000).astype(np.int64)})
+        dpu = DPU()
+        dpu_result = dpu_topk(dpu, table.to_dpu(dpu), "v", k=8)
+        xeon_result = xeon_topk(XeonModel(), table, "v", k=8)
+        assert [v for v, _ in dpu_result.value] == [
+            v for v, _ in xeon_result.value
+        ]

@@ -1,0 +1,97 @@
+"""Tests for the statistics recorder used by every hardware model."""
+
+import pytest
+
+from repro.sim import SampleSeries, StatsRecorder
+
+
+class TestSampleSeries:
+    def test_summary_statistics(self):
+        series = SampleSeries("lat")
+        for value in (10, 20, 30, 40):
+            series.add(value)
+        assert series.count == 4
+        assert series.total == 100
+        assert series.mean == 25
+        assert series.minimum == 10
+        assert series.maximum == 40
+        assert series.stddev == pytest.approx(12.909944, rel=1e-6)
+
+    def test_percentile_nearest_rank(self):
+        series = SampleSeries("lat")
+        for value in range(1, 101):
+            series.add(value)
+        assert series.percentile(0.5) == 50
+        assert series.percentile(0.99) == 99
+        assert series.percentile(1.0) == 100
+        assert series.percentile(0.0) == 1
+
+    def test_percentile_bounds_checked(self):
+        series = SampleSeries("lat")
+        series.add(1)
+        with pytest.raises(ValueError):
+            series.percentile(1.5)
+
+    def test_empty_series_degenerate(self):
+        series = SampleSeries("empty")
+        assert series.mean == 0.0
+        assert series.stddev == 0.0
+        assert series.percentile(0.5) == 0.0
+
+
+class TestStatsRecorder:
+    def test_counters_accumulate(self):
+        stats = StatsRecorder()
+        stats.count("bytes", 100)
+        stats.count("bytes", 50)
+        stats.count("messages")
+        assert stats.counter("bytes") == 150
+        assert stats.counter("messages") == 1
+        assert stats.counter("missing") == 0
+
+    def test_series_created_on_demand(self):
+        stats = StatsRecorder()
+        stats.sample("rtt", 30)
+        stats.sample("rtt", 50)
+        assert stats.get_series("rtt").mean == 40
+
+    def test_merge_folds_counters_and_series(self):
+        a = StatsRecorder()
+        b = StatsRecorder()
+        a.count("x", 1)
+        b.count("x", 2)
+        a.sample("s", 10)
+        b.sample("s", 20)
+        a.merge(b)
+        assert a.counter("x") == 3
+        assert a.get_series("s").count == 2
+
+    def test_snapshot_flattens(self):
+        stats = StatsRecorder()
+        stats.count("n", 5)
+        stats.sample("s", 7)
+        snap = stats.snapshot()
+        assert snap["n"] == 5
+        assert snap["s.mean"] == 7
+        assert snap["s.count"] == 1
+
+    def test_dpu_populates_stats(self):
+        """The SoC feeds its recorder during real runs."""
+        import numpy as np
+        from repro.core import DPU
+        from repro.dms import ddr_to_dmem
+
+        dpu = DPU()
+        address = dpu.store_array(np.zeros(256, dtype=np.uint32))
+
+        def kernel(ctx):
+            ctx.push(ddr_to_dmem(256, 4, address, 0, notify_event=0))
+            yield from ctx.wfe(0)
+            yield from ctx.fetch_add(
+                1, dpu.address_map.dmem_address(1, 0), 1
+            )
+
+        dpu.launch(kernel, cores=[0])
+        assert dpu.stats.counter("dms.bytes_read") == 1024
+        assert dpu.stats.counter("ate.messages") == 1
+        assert dpu.ddr_channel.utilization() > 0
