@@ -37,6 +37,7 @@ from .dms import (
     PartitionMode,
     PartitionSpec,
 )
+from .faults import FaultInjector, FaultPlan
 from .sim import Engine, SimulationError
 
 __version__ = "1.0.0"
@@ -51,6 +52,8 @@ __all__ = [
     "DescriptorType",
     "DpCoreInterpreter",
     "Engine",
+    "FaultInjector",
+    "FaultPlan",
     "LaunchResult",
     "PartitionLayout",
     "PartitionMode",

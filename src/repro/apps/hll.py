@@ -24,7 +24,7 @@ contents.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from typing import Dict, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -225,19 +225,24 @@ def dpu_hll(
     chunk_values: int = 8192,
     cycles_per_value: Optional[float] = None,
     host_values: Optional[np.ndarray] = None,
+    cores: Optional[Sequence[int]] = None,
 ) -> DpuOpResult:
     """Estimate the cardinality of a u64 column in DPU DDR.
 
     Work stealing over chunks (ATE fetch-add), DMS-streamed values,
-    per-core sketches merged at core 0 over the mailbox.
+    per-core sketches merged at the first listed core over the
+    mailbox. ``cores`` restricts the launch to a subset (e.g. the
+    survivors from :func:`repro.runtime.failover.surviving_cores`);
+    the fetch-add cursor redistributes the missing cores' chunks, so
+    the estimate is bit-identical at any core count.
     """
     if host_values is None:
         host_values = dpu.load_array(values_addr, num_values, np.uint64)
     if cycles_per_value is None:
         cycles_per_value = measure_hash_loop(hash_fn, zero_count, 128)
     num_chunks = -(-num_values // chunk_values)
-    queue = WorkQueue(dpu, owner=0, dmem_offset=0, num_chunks=num_chunks)
-    cores = list(dpu.config.core_ids)
+    cores = list(cores) if cores is not None else list(dpu.config.core_ids)
+    queue = WorkQueue(dpu, owner=cores[0], dmem_offset=0, num_chunks=num_chunks)
     hash_bits = 32 if hash_fn == "crc32" else 64
 
     def kernel(ctx):

@@ -16,6 +16,16 @@ can issue, run independent instructions, and block for the reply
 later (:meth:`Ate.issue` / waiting the returned event) — the paper's
 recommended throughput trick under Figure 2.
 
+**Resilience.** When the fault plan enables the ``ate.drop`` or
+``ate.delay`` sites, every request carries a per-source sequence
+number and the requester arms a timeout: a lost or late message is
+retransmitted with exponential backoff, and the receiving engine
+deduplicates by sequence number — it replays the cached reply instead
+of re-executing, so load/store/FAA/CAS stay exactly-once (idempotent
+under retry) and results remain byte-correct. The one-outstanding-
+request rule is preserved: the issue slot is held across retries.
+Retry exhaustion fails the completion event with :class:`AteError`.
+
 Atomicity is by ownership: every operation on addresses owned by core
 *C* executes serially in *C*'s ATE engine, so fetch-and-add and CAS
 are linearizable per owner, exactly the guarantee the hardware gives.
@@ -28,6 +38,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Optional
 
 from ..core.config import DPUConfig
+from ..faults import FaultInjector
 from ..memory.address import AddressMap
 from ..memory.ddr import DDRMemory
 from ..memory.dmem import Scratchpad
@@ -38,7 +49,8 @@ __all__ = ["Ate", "RpcKind", "AteError"]
 
 
 class AteError(Exception):
-    """Protocol misuse (unknown handler, bad address, double issue)."""
+    """Protocol misuse or failure (unknown handler, bad address,
+    retry exhaustion under fault injection)."""
 
 
 class RpcKind(enum.Enum):
@@ -65,6 +77,7 @@ class _Message:
     args: Any = None
     reply: SimEvent = None  # type: ignore[assignment]
     issued_at: float = 0.0
+    seq: int = 0
 
 
 class Ate:
@@ -78,6 +91,7 @@ class Ate:
         ddr_memory: DDRMemory,
         scratchpads: Dict[int, Scratchpad],
         stats: Optional[StatsRecorder] = None,
+        faults: Optional[FaultInjector] = None,
     ) -> None:
         self.engine = engine
         self.config = config
@@ -85,6 +99,7 @@ class Ate:
         self.ddr_memory = ddr_memory
         self.scratchpads = scratchpads
         self.stats = stats if stats is not None else StatsRecorder()
+        self.faults = faults if faults is not None else FaultInjector()
         self.topology = CrossbarTopology(config)
         self._inboxes: Dict[int, Store] = {
             core: Store(engine) for core in config.core_ids
@@ -103,8 +118,17 @@ class Ate:
         self.interrupt_debt: Dict[int, float] = {
             core: 0.0 for core in config.core_ids
         }
+        # Retry protocol state (consulted only under fault injection):
+        # per-source sequence counter, and per-destination cache of the
+        # last executed (seq, value) per source for dedup on resend.
+        self._seq: Dict[int, int] = {core: 0 for core in config.core_ids}
+        self._reply_cache: Dict[int, Dict[int, tuple]] = {
+            core: {} for core in config.core_ids
+        }
         for core in config.core_ids:
-            engine.process(self._engine_loop(core), name=f"ate[{core}]")
+            engine.process(
+                self._engine_loop(core), name=f"ate[{core}]", daemon=True
+            )
 
     # -- software interface -------------------------------------------------
 
@@ -133,6 +157,7 @@ class Ate:
         slot = self._issue_slots[src]
         yield slot.acquire()
         reply = self.engine.event()
+        self._seq[src] += 1
         message = _Message(
             kind=kind,
             src=src,
@@ -144,11 +169,19 @@ class Ate:
             args=args,
             reply=reply,
             issued_at=self.engine.now,
+            seq=self._seq[src],
         )
         yield self.engine.timeout(self.topology.one_way_cycles(src, dst))
-        yield self._inboxes[dst].put(message)
         completion = self.engine.event()
-        reply.add_callback(lambda ev: self._finish(slot, completion, ev))
+        if self._fault_mode():
+            yield from self._transmit(message, "request")
+            self.engine.process(
+                self._await_with_retry(slot, message, completion),
+                name=f"ate.retry[{src}->{dst}]",
+            )
+        else:
+            yield self._inboxes[dst].put(message)
+            reply.add_callback(lambda ev: self._finish(slot, completion, ev))
         return completion
 
     def _finish(self, slot: Resource, completion: SimEvent, reply: SimEvent) -> None:
@@ -157,6 +190,63 @@ class Ate:
             completion.fail(reply.exception)
         else:
             completion.succeed(reply.value)
+
+    # -- retry protocol (active only when faults target the ATE) -----------
+
+    def _fault_mode(self) -> bool:
+        return self.faults.active("ate.drop") or self.faults.active("ate.delay")
+
+    def _transmit(self, message: _Message, leg: str):
+        """One crossbar traversal that may be delayed or lost."""
+        label = (
+            f"{leg} {message.kind.value} {message.src}->{message.dst} "
+            f"seq={message.seq}"
+        )
+        if self.faults.roll("ate.delay", detail=label):
+            yield self.engine.timeout(self.faults.delay_cycles("ate.delay"))
+        if self.faults.roll("ate.drop", detail=label):
+            self.stats.count("ate.dropped", 1)
+            return
+        yield self._inboxes[message.dst].put(message)
+
+    def _await_with_retry(self, slot: Resource, message: _Message,
+                          completion: SimEvent):
+        """Requester-side driver: timeout, exponential backoff, resend.
+
+        Holds the issue slot for the whole exchange so the paper's
+        one-outstanding-request rule survives retransmission.
+        """
+        reply = message.reply
+        timeout_cycles = self.config.ate_rpc_timeout_cycles
+        attempt = 0
+        try:
+            while True:
+                deadline = self.engine.timeout(timeout_cycles << attempt)
+                index, value = yield self.engine.any_of([reply, deadline])
+                if index == 0:
+                    slot.release()
+                    completion.succeed(value)
+                    return
+                attempt += 1
+                if attempt > self.config.ate_rpc_max_retries:
+                    slot.release()
+                    completion.fail(
+                        AteError(
+                            f"ATE {message.kind.value} {message.src}->"
+                            f"{message.dst} seq={message.seq} gave up after "
+                            f"{attempt - 1} retries"
+                        )
+                    )
+                    return
+                self.stats.count("ate.retries", 1)
+                yield from self._transmit(message, "retry")
+        except (KeyboardInterrupt, SystemExit):
+            raise
+        except BaseException as error:
+            # A failed reply (e.g. AteError from the remote handler)
+            # propagates through the AnyOf; forward it to the caller.
+            slot.release()
+            completion.fail(error)
 
     def call(self, src: int, dst: int, kind: RpcKind, **kwargs):
         """Blocking request: issue and stall for the value."""
@@ -217,8 +307,18 @@ class Ate:
 
     def _engine_loop(self, core_id: int):
         inbox = self._inboxes[core_id]
+        cache = self._reply_cache[core_id]
         while True:
             message: _Message = yield inbox.get()
+            if message.seq and cache.get(message.src, (0,))[0] == message.seq:
+                # Duplicate of an already-executed request (its reply
+                # was lost or late): replay the cached reply without
+                # re-executing, keeping atomics exactly-once.
+                yield self.engine.timeout(self.config.ate_hw_execute_cycles)
+                self.stats.count("ate.duplicates", 1)
+                if message.reply is not None:
+                    self._send_reply(message, value=cache[message.src][1])
+                continue
             execute = self.config.ate_hw_execute_cycles
             if message.kind.is_atomic:
                 execute += self.config.ate_amo_extra_cycles
@@ -234,6 +334,8 @@ class Ate:
                 if message.reply is not None:
                     self._send_reply(message, error=error)
                 continue
+            if message.seq:
+                cache[message.src] = (message.seq, value)
             # The injected operation appears as stalls in the remote
             # instruction stream; account it as interrupt debt.
             self.interrupt_debt[core_id] += execute
@@ -255,14 +357,38 @@ class Ate:
 
     def _send_reply(self, message: _Message, value: Any = None, error=None) -> None:
         latency = self.topology.one_way_cycles(message.dst, message.src)
+        if error is None and self._fault_mode():
+            # The reply leg is also lossy; a dropped reply triggers the
+            # requester's timeout and a (deduplicated) resend.
+            def reply_leg():
+                yield self.engine.timeout(latency)
+                yield from self._transmit_reply(message, value)
+
+            self.engine.process(reply_leg(), name="ate.reply")
+            return
 
         def deliver(_event) -> None:
+            if message.reply.triggered:
+                return  # a duplicate already satisfied the requester
             if error is not None:
                 message.reply.fail(error)
             else:
                 message.reply.succeed(value)
 
         self.engine.timeout(latency).add_callback(deliver)
+
+    def _transmit_reply(self, message: _Message, value: Any):
+        label = (
+            f"reply {message.kind.value} {message.dst}->{message.src} "
+            f"seq={message.seq}"
+        )
+        if self.faults.roll("ate.delay", detail=label):
+            yield self.engine.timeout(self.faults.delay_cycles("ate.delay"))
+        if self.faults.roll("ate.drop", detail=label):
+            self.stats.count("ate.dropped", 1)
+            return
+        if not message.reply.triggered:
+            message.reply.succeed(value)
 
     def _run_handler(self, core_id: int, message: _Message):
         handlers = self._handlers[core_id]

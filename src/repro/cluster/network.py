@@ -17,8 +17,9 @@ own DRAM space).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict, Tuple
+from typing import Any, Dict, Optional, Tuple
 
+from ..faults import FaultInjector
 from ..sim import BandwidthServer, Engine, SimulationError, Store
 
 __all__ = ["FabricConfig", "IBFabric"]
@@ -32,6 +33,7 @@ class FabricConfig:
     fabric_latency_cycles: int = 1200  # ~1.5 us switch+wire
     a9_send_overhead_cycles: int = 4000  # ~5 us verbs post + doorbell
     a9_receive_overhead_cycles: int = 4000
+    retransmit_timeout_cycles: int = 6000  # IB link-level retry wait
 
 
 class IBFabric:
@@ -42,11 +44,13 @@ class IBFabric:
         engine: Engine,
         num_endpoints: int,
         config: FabricConfig = FabricConfig(),
+        faults: Optional[FaultInjector] = None,
     ) -> None:
         if num_endpoints < 1:
             raise SimulationError(f"need >= 1 endpoint: {num_endpoints}")
         self.engine = engine
         self.config = config
+        self.faults = faults if faults is not None else FaultInjector()
         self.num_endpoints = num_endpoints
         self._egress = [
             BandwidthServer(engine, config.link_bytes_per_cycle,
@@ -63,6 +67,7 @@ class IBFabric:
         }
         self.messages_sent = 0
         self.bytes_sent = 0
+        self.retransmissions = 0
 
     def _check(self, endpoint: int) -> None:
         if not 0 <= endpoint < self.num_endpoints:
@@ -83,9 +88,17 @@ class IBFabric:
         self.bytes_sent += nbytes
 
         # The message propagates and queues on the destination's
-        # ingress link without blocking the sender further.
+        # ingress link without blocking the sender further. A link
+        # flap (the ``net.drop`` fault site) loses the message in the
+        # fabric; IB link-level retry re-serializes it from the source
+        # after a timeout, so delivery is reliable but delayed.
         def deliver():
             yield self.engine.timeout(self.config.fabric_latency_cycles)
+            while self.faults.roll("net.drop", detail=f"link {src}->{dst}"):
+                self.retransmissions += 1
+                yield self.engine.timeout(self.config.retransmit_timeout_cycles)
+                yield self._egress[src].transfer(max(nbytes, 64))
+                yield self.engine.timeout(self.config.fabric_latency_cycles)
             yield self._ingress[dst].transfer(max(nbytes, 64))
             yield self._inboxes[dst].put((src, payload))
 

@@ -22,6 +22,7 @@ from typing import Callable, List, Optional, Sequence
 
 from ..core.config import DPU_40NM, DPUConfig
 from ..core.dpu import DPU
+from ..faults import FaultInjector, FaultPlan
 from ..sim import Engine
 from .network import FabricConfig, IBFabric
 
@@ -36,15 +37,22 @@ class Cluster:
         num_dpus: int,
         config: DPUConfig = DPU_40NM,
         fabric_config: FabricConfig = FabricConfig(),
+        fault_plan: "FaultPlan | None" = None,
     ) -> None:
         if num_dpus < 1:
             raise ValueError(f"need >= 1 DPU: {num_dpus}")
         self.engine = Engine()
         self.config = config
+        # One shared injector: the fault trace is cluster-global and
+        # deterministic across DPUs and the fabric.
+        self.faults = FaultInjector(fault_plan, self.engine)
         self.dpus: List[DPU] = [
-            DPU(config, engine=self.engine) for _ in range(num_dpus)
+            DPU(config, engine=self.engine, faults=self.faults)
+            for _ in range(num_dpus)
         ]
-        self.fabric = IBFabric(self.engine, num_dpus, fabric_config)
+        self.fabric = IBFabric(
+            self.engine, num_dpus, fabric_config, faults=self.faults
+        )
 
     @property
     def num_dpus(self) -> int:

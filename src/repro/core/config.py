@@ -39,6 +39,7 @@ class DPUConfig:
     ddr_num_banks: int = 8
     ddr_write_row_miss_factor: float = 0.25  # posted-write coalescing
     ddr_latency_cycles: int = 110  # cached-path fill latency
+    ecc_scrub_cycles: float = 6.0  # SECDED read-correct-writeback
     dmem_size: int = 32 * 1024
     l1d_size: int = 16 * 1024
     l1i_size: int = 8 * 1024
@@ -60,12 +61,16 @@ class DPUConfig:
     bv_banks: int = 4
     bv_bank_bytes: int = 4 * 1024
     rtl_gather_bug: bool = True  # first silicon's gather FIFO overflow
+    dms_crc_retries: int = 3  # descriptor replays before giving up
+    dms_crc_check_cycles: int = 4  # CRC SRAM lookup per validation
     # -- ATE ----------------------------------------------------------------
     ate_local_crossbar_cycles: int = 12  # within a macro, one way
     ate_global_crossbar_cycles: int = 22  # macro-to-macro hop, one way
     ate_hw_execute_cycles: int = 6  # remote pipeline injection
     ate_amo_extra_cycles: int = 4  # fetch-add / CAS ALU pass
     ate_sw_handler_overhead_cycles: int = 320  # interrupt+dispatch+return
+    ate_rpc_timeout_cycles: int = 4000  # requester reply timeout (fault mode)
+    ate_rpc_max_retries: int = 6  # resends before AteError
     # -- mailbox --------------------------------------------------------------
     mbc_send_cycles: int = 20
     mbc_interrupt_cycles: int = 60

@@ -21,6 +21,7 @@ import numpy as np
 
 from ..ate import Ate
 from ..dms import Descriptor, Dmac, Dmad, Dmax, EventFile
+from ..faults import FaultInjector, FaultPlan
 from ..memory import (
     AddressMap,
     CacheConfig,
@@ -78,10 +79,19 @@ class DPU:
         self,
         config: DPUConfig = DPU_40NM,
         engine: Optional[Engine] = None,
+        fault_plan: Optional[FaultPlan] = None,
+        faults: Optional[FaultInjector] = None,
     ) -> None:
         self.config = config
         self.engine = engine if engine is not None else Engine()
         self.stats = StatsRecorder()
+        # One injector per DPU unless the caller shares one (clusters
+        # pass a single injector so the fault trace is global).
+        self.faults = (
+            faults
+            if faults is not None
+            else FaultInjector(fault_plan, self.engine)
+        )
         self.address_map = AddressMap(
             ddr_capacity=config.ddr_capacity, num_cores=config.num_cores
         )
@@ -94,6 +104,8 @@ class DPU:
             row_size=config.ddr_row_size,
             num_banks=config.ddr_num_banks,
             write_row_miss_factor=config.ddr_write_row_miss_factor,
+            faults=self.faults,
+            ecc_scrub_cycles=config.ecc_scrub_cycles,
         )
         self.scratchpads: Dict[int, Scratchpad] = {
             core: Scratchpad(core, config.dmem_size) for core in config.core_ids
@@ -123,7 +135,7 @@ class DPU:
         self.dmads: Dict[int, Dmad] = {
             core: Dmad(
                 self.engine, core, self.dmac, self.event_files[core], config,
-                stats=self.stats,
+                stats=self.stats, faults=self.faults,
             )
             for core in config.core_ids
         }
@@ -134,6 +146,7 @@ class DPU:
             self.ddr,
             self.scratchpads,
             stats=self.stats,
+            faults=self.faults,
         )
         self.mailbox = MailboxController(self.engine, config, stats=self.stats)
         self.heap = HeapAllocator(

@@ -16,6 +16,15 @@ further dpCore involvement:
   chain can stream megabytes (Listing 1 / Figure 7);
 * **event descriptors** set/clear/wait events locally;
 * **config descriptors** program the DMAC's hash/range engine.
+
+**Resilience.** Descriptors live in DMEM and cross an SRAM/bus path
+the real hardware guards with its CRC32 units. When the fault plan
+enables the ``dms.descriptor`` site, each data descriptor is
+CRC-validated at dispatch: a corrupted fetch is detected (a single
+bit flip always perturbs CRC32) and the DMAD re-fetches and replays
+the descriptor, up to ``config.dms_crc_retries`` times, before
+failing the transfer with :class:`~repro.dms.dmac.DmsHardwareError`.
+The data path runs only on a clean fetch, so results stay byte-exact.
 """
 
 from __future__ import annotations
@@ -24,9 +33,11 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from ..core.config import DPUConfig
+from ..core.crc32 import crc32_bytes
+from ..faults import FaultInjector
 from ..sim import Engine, Resource, StatsRecorder, Store
 from .descriptor import Descriptor, DescriptorError, DescriptorType
-from .dmac import Dmac
+from .dmac import Dmac, DmsHardwareError
 from .events import EventFile
 
 __all__ = ["Dmad", "DmadChannel"]
@@ -57,6 +68,7 @@ class Dmad:
         event_file: EventFile,
         config: DPUConfig,
         stats: Optional[StatsRecorder] = None,
+        faults: Optional[FaultInjector] = None,
     ) -> None:
         self.engine = engine
         self.core_id = core_id
@@ -64,6 +76,7 @@ class Dmad:
         self.event_file = event_file
         self.config = config
         self.stats = stats if stats is not None else StatsRecorder()
+        self.faults = faults if faults is not None else FaultInjector()
         self.channels = [DmadChannel(i) for i in range(self.NUM_CHANNELS)]
         self._wakeups = [Store(engine) for _ in range(self.NUM_CHANNELS)]
         self.outstanding = Resource(engine, config.dms_max_outstanding)
@@ -74,7 +87,9 @@ class Dmad:
         self._notify_tail: Dict[int, object] = {}
         for channel in self.channels:
             engine.process(
-                self._channel_loop(channel), name=f"dmad{core_id}.ch{channel.index}"
+                self._channel_loop(channel),
+                name=f"dmad{core_id}.ch{channel.index}",
+                daemon=True,
             )
 
     # -- software interface ----------------------------------------------
@@ -140,6 +155,8 @@ class Dmad:
 
     def _run_descriptor(self, descriptor: Descriptor, prep):
         try:
+            if self.faults.active("dms.descriptor"):
+                yield from self._validate_descriptor(descriptor)
             yield from self.dmac.execute(descriptor, self.core_id, prep)
         finally:
             self.outstanding.release()
@@ -147,6 +164,41 @@ class Dmad:
         if descriptor.notify_event is not None:
             self.event_file.set(descriptor.notify_event)
         self.stats.count("dmad.completed", 1)
+
+    def _validate_descriptor(self, descriptor: Descriptor):
+        """CRC-check the descriptor fetch; replay corrupted fetches.
+
+        A hit at the ``dms.descriptor`` site corrupts one fetch. For
+        Table-2-encodable descriptors the detection is modelled for
+        real: a bit of the 16-byte image is flipped and the CRC32
+        mismatch asserted. Each replay charges another descriptor
+        setup plus a CRC SRAM lookup; after ``dms_crc_retries``
+        consecutive corrupted fetches the transfer fails.
+        """
+        label = f"core {self.core_id} {descriptor.dtype.name}"
+        replays = 0
+        while self.faults.roll("dms.descriptor", detail=label):
+            try:
+                image = descriptor.encode()
+            except DescriptorError:
+                image = None
+            if image is not None:
+                bit = int(self.faults.choose("dms.descriptor", len(image) * 8, 1)[0])
+                corrupted = bytearray(image)
+                corrupted[bit // 8] ^= 1 << (bit % 8)
+                assert crc32_bytes(bytes(corrupted)) != crc32_bytes(image)
+            replays += 1
+            self.stats.count("dmad.crc_replays", 1)
+            if replays > self.config.dms_crc_retries:
+                raise DmsHardwareError(
+                    f"descriptor CRC mismatch persisted through "
+                    f"{self.config.dms_crc_retries} replays ({label}); "
+                    f"failing the completion event"
+                )
+            yield self.engine.timeout(
+                self.config.dms_descriptor_setup_cycles
+                + self.config.dms_crc_check_cycles
+            )
 
     def _handle_loop(self, channel: DmadChannel, descriptor: Descriptor) -> None:
         position = channel.pc

@@ -1,0 +1,17 @@
+"""Deterministic fault injection and the resilience machinery's knobs."""
+
+from .plan import (
+    FAULT_SITES,
+    FaultError,
+    FaultInjector,
+    FaultPlan,
+    FaultRecord,
+)
+
+__all__ = [
+    "FAULT_SITES",
+    "FaultError",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultRecord",
+]

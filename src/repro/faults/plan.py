@@ -1,0 +1,214 @@
+"""Seeded, deterministic fault injection for the DPU reproduction.
+
+Real PIM hardware ships with the reliability machinery this module
+exercises: SECDED ECC on the DDR interface, CRC32 units guarding the
+DMS descriptor path, retry protocols on the ATE and the inter-DPU
+fabric. The reproduction models the *happy path* bit-exactly; this
+module adds the unhappy one — without giving up determinism.
+
+Two pieces:
+
+* :class:`FaultPlan` — an immutable description of *what* to inject:
+  a seed plus a per-site fault rate. ``FaultPlan.none()`` is the
+  zero-overhead default: every injection point collapses to a single
+  ``False`` check and no RNG is ever constructed, so simulations with
+  injection disabled reproduce seed timings exactly.
+* :class:`FaultInjector` — the runtime object units consult at their
+  injection points. Each site draws from its own seeded PCG64 stream
+  (derived from ``seed`` and the site name), so the fault pattern at
+  one site is independent of how often another site rolls — the same
+  plan produces the same fault trace even as unrelated subsystems are
+  reconfigured.
+
+All nondeterminism in the simulator must flow through this module;
+CI greps the tree to enforce that no other module reaches for
+``random.random()`` or ``time.time()``.
+
+Injection-site catalogue (see docs/RESILIENCE.md):
+
+======================  ================================================
+site                    meaning of one "event"
+======================  ================================================
+``ddr.bitflip``         per-*bit* transient flip on a DDR transfer
+``dms.descriptor``      per-descriptor corruption on the DMAD fetch path
+``ate.drop``            per-leg loss of an ATE request or reply message
+``ate.delay``           per-leg stall of an ATE message in the crossbar
+``net.drop``            per-message loss on an inter-DPU fabric link
+``core.dead``           per-core hard failure, drawn once at launch
+======================  ================================================
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Tuple
+
+import numpy as np
+
+__all__ = [
+    "FAULT_SITES",
+    "FaultError",
+    "FaultPlan",
+    "FaultRecord",
+    "FaultInjector",
+]
+
+FAULT_SITES: Tuple[str, ...] = (
+    "ddr.bitflip",
+    "dms.descriptor",
+    "ate.drop",
+    "ate.delay",
+    "net.drop",
+    "core.dead",
+)
+
+
+class FaultError(Exception):
+    """Misuse of the fault framework (unknown site, bad rate)."""
+
+
+@dataclass(frozen=True)
+class FaultRecord:
+    """One injected fault, as it appears in the trace."""
+
+    site: str
+    cycle: float
+    detail: str = ""
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """What to inject: a seed and per-site rates.
+
+    Rates are probabilities per *event* — per bit for ``ddr.bitflip``,
+    per descriptor / message / core for the other sites. Sites absent
+    from ``rates`` (or at rate 0) are never consulted beyond a single
+    boolean check, which is how the zero-overhead-off guarantee holds.
+    """
+
+    seed: int = 0
+    rates: Mapping[str, float] = field(default_factory=dict)
+    ate_delay_mean_cycles: float = 2000.0  # mean stall of an ate.delay hit
+
+    def __post_init__(self) -> None:
+        for site, rate in self.rates.items():
+            if site not in FAULT_SITES:
+                raise FaultError(
+                    f"unknown fault site {site!r}; known sites: "
+                    f"{', '.join(FAULT_SITES)}"
+                )
+            if not 0.0 <= rate <= 1.0:
+                raise FaultError(f"rate for {site!r} must be in [0, 1]: {rate}")
+
+    @classmethod
+    def none(cls) -> "FaultPlan":
+        """The disabled plan: no site ever fires."""
+        return cls()
+
+    @classmethod
+    def uniform(cls, rate: float, seed: int = 0, sites=FAULT_SITES) -> "FaultPlan":
+        """One rate across ``sites`` (default: every site)."""
+        return cls(seed=seed, rates={site: rate for site in sites})
+
+    def rate(self, site: str) -> float:
+        if site not in FAULT_SITES:
+            raise FaultError(f"unknown fault site {site!r}")
+        return float(self.rates.get(site, 0.0))
+
+    @property
+    def enabled(self) -> bool:
+        return any(rate > 0.0 for rate in self.rates.values())
+
+    def with_rates(self, **rates: float) -> "FaultPlan":
+        """A copy with ``rates`` merged in (dots spelled as ``__``)."""
+        merged = dict(self.rates)
+        merged.update({site.replace("__", "."): r for site, r in rates.items()})
+        return FaultPlan(
+            seed=self.seed,
+            rates=merged,
+            ate_delay_mean_cycles=self.ate_delay_mean_cycles,
+        )
+
+
+class FaultInjector:
+    """The seeded oracle units consult at their injection points.
+
+    ``engine`` is optional and only used to timestamp the trace; an
+    injector without an engine records faults at cycle 0.
+    """
+
+    def __init__(
+        self,
+        plan: Optional[FaultPlan] = None,
+        engine=None,
+    ) -> None:
+        self.plan = plan if plan is not None else FaultPlan.none()
+        self.engine = engine
+        self.trace: List[FaultRecord] = []
+        self._streams: Dict[str, np.random.Generator] = {}
+
+    # -- stream management -------------------------------------------------
+
+    def _stream(self, site: str) -> np.random.Generator:
+        """Per-site PCG64 stream so sites cannot perturb one another."""
+        stream = self._streams.get(site)
+        if stream is None:
+            mix = zlib.crc32(site.encode("ascii"))
+            stream = np.random.Generator(
+                np.random.PCG64((int(self.plan.seed) << 32) ^ mix)
+            )
+            self._streams[site] = stream
+        return stream
+
+    @property
+    def enabled(self) -> bool:
+        return self.plan.enabled
+
+    def active(self, site: str) -> bool:
+        """Fast gate: is this site worth consulting at all?"""
+        return self.plan.rate(site) > 0.0
+
+    # -- draws --------------------------------------------------------------
+
+    def roll(self, site: str, detail: str = "") -> bool:
+        """One Bernoulli trial at the site's rate; records hits."""
+        rate = self.plan.rate(site)
+        if rate <= 0.0:
+            return False
+        if self._stream(site).random() >= rate:
+            return False
+        self.record(site, detail)
+        return True
+
+    def count(self, site: str, trials: int, detail: str = "") -> int:
+        """Number of faulting events among ``trials`` (binomial draw)."""
+        rate = self.plan.rate(site)
+        if rate <= 0.0 or trials <= 0:
+            return 0
+        hits = int(self._stream(site).binomial(trials, rate))
+        if hits:
+            self.record(site, detail or f"{hits}/{trials} events")
+        return hits
+
+    def choose(self, site: str, population: int, k: int) -> np.ndarray:
+        """``k`` distinct positions in ``[0, population)``, sorted."""
+        positions = self._stream(site).choice(population, size=k, replace=False)
+        return np.sort(positions)
+
+    def delay_cycles(self, site: str) -> int:
+        """Extra cycles for a delay-type fault (exponential, mean from
+        the plan); always at least one cycle."""
+        draw = self._stream(site).exponential(self.plan.ate_delay_mean_cycles)
+        return max(1, int(draw))
+
+    # -- trace ---------------------------------------------------------------
+
+    def record(self, site: str, detail: str = "") -> None:
+        now = float(self.engine.now) if self.engine is not None else 0.0
+        self.trace.append(FaultRecord(site=site, cycle=now, detail=detail))
+
+    def fault_count(self, site: Optional[str] = None) -> int:
+        if site is None:
+            return len(self.trace)
+        return sum(1 for record in self.trace if record.site == site)

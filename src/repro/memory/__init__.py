@@ -10,9 +10,14 @@ from .allocator import (
 from .cache import Cache, CacheConfig, CacheStats, MacroCacheHierarchy
 from .ddr import AXI_MAX_TRANSFER, DDRChannel, DDRMemory
 from .dmem import Scratchpad
+from .ecc import ECC_WORD_BITS, MachineCheckError, SecdedEcc, classify_flips
 
 __all__ = [
     "AXI_MAX_TRANSFER",
+    "ECC_WORD_BITS",
+    "MachineCheckError",
+    "SecdedEcc",
+    "classify_flips",
     "AddressMap",
     "AddressRangeError",
     "Cache",

@@ -15,10 +15,14 @@ Two orthogonal pieces:
 
 from __future__ import annotations
 
+from typing import Optional
+
 import numpy as np
 
+from ..faults import FaultInjector
 from ..sim import BandwidthServer, Engine, SimEvent
 from .address import AddressMap
+from .ecc import SecdedEcc
 
 __all__ = ["DDRMemory", "DDRChannel", "AXI_MAX_TRANSFER"]
 
@@ -90,8 +94,11 @@ class DDRChannel:
         row_size: int = 4096,
         num_banks: int = 8,
         write_row_miss_factor: float = 0.25,
+        faults: Optional[FaultInjector] = None,
+        ecc_scrub_cycles: float = 6.0,
     ) -> None:
         self.engine = engine
+        self.ecc = SecdedEcc(faults, scrub_cycles=ecc_scrub_cycles)
         self.server = BandwidthServer(
             engine, peak_bytes_per_cycle, overhead_cycles=0.0, name="ddr"
         )
@@ -125,6 +132,10 @@ class DDRChannel:
         if nbytes <= 0:
             return self.engine.timeout(0)
         overhead = float(extra_overhead_cycles)
+        if self.ecc.active:
+            # SECDED: correctable flips charge a scrub; a double flip
+            # in one codeword raises MachineCheckError to the caller.
+            overhead += self.ecc.check(address, nbytes)
         # Writes are posted: the controller's write buffer coalesces
         # and reorders them per bank, hiding most of the activate
         # latency scattered write streams would otherwise pay.

@@ -1,0 +1,101 @@
+"""SECDED ECC on the DDR interface.
+
+The DDR controller protects each 64-bit word with an 8-bit
+single-error-correct / double-error-detect Hamming code, the standard
+x72 DIMM arrangement. The model is behavioural, not bit-level:
+
+* a **single** flipped bit in a codeword is corrected in-line; the
+  controller charges a small scrub latency (read-correct-writeback)
+  and the data stays bit-exact, so application results are unchanged;
+* **two or more** flips in one codeword exceed SECDED's correction
+  ability; the controller signals a machine check, surfaced to the
+  simulated software as :class:`MachineCheckError` — the runtime may
+  catch it and retry or fail the job.
+
+Flips are drawn from the seeded :mod:`repro.faults` injector at the
+``ddr.bitflip`` site with a per-bit rate, so a transfer of *n* bytes
+sees ``Binomial(8n, rate)`` flips, deterministically per seed.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..faults import FaultInjector
+
+__all__ = ["ECC_WORD_BITS", "MachineCheckError", "SecdedEcc", "classify_flips"]
+
+ECC_WORD_BITS = 64  # data bits per SECDED codeword (x72: 64d + 8c)
+
+
+class MachineCheckError(Exception):
+    """An uncorrectable (multi-bit) ECC error on a DDR transfer."""
+
+    def __init__(self, address: int, nbytes: int, words: Tuple[int, ...]) -> None:
+        self.address = address
+        self.nbytes = nbytes
+        self.words = words
+        super().__init__(
+            f"uncorrectable ECC error: multi-bit flips in codeword(s) "
+            f"{list(words)} of the {nbytes} B transfer at {address:#x}"
+        )
+
+
+def classify_flips(bit_positions: np.ndarray) -> Tuple[int, Tuple[int, ...]]:
+    """Split flipped bit positions into SECDED outcomes.
+
+    Returns ``(corrected, uncorrectable_words)``: the count of words
+    with exactly one flip (corrected in-line) and the word indexes
+    holding two or more flips (machine check).
+    """
+    if len(bit_positions) == 0:
+        return 0, ()
+    words, counts = np.unique(
+        np.asarray(bit_positions) // ECC_WORD_BITS, return_counts=True
+    )
+    corrected = int(np.count_nonzero(counts == 1))
+    uncorrectable = tuple(int(word) for word in words[counts >= 2])
+    return corrected, uncorrectable
+
+
+class SecdedEcc:
+    """Per-channel ECC state: counters plus the injection hook."""
+
+    SITE = "ddr.bitflip"
+
+    def __init__(
+        self,
+        faults: Optional[FaultInjector] = None,
+        scrub_cycles: float = 6.0,
+    ) -> None:
+        self.faults = faults if faults is not None else FaultInjector()
+        self.scrub_cycles = scrub_cycles
+        self.corrected = 0
+        self.uncorrectable = 0
+
+    @property
+    def active(self) -> bool:
+        return self.faults.active(self.SITE)
+
+    def check(self, address: int, nbytes: int) -> float:
+        """Draw flips for one transfer; return the scrub surcharge.
+
+        Raises :class:`MachineCheckError` when any codeword takes two
+        or more flips. Single flips are corrected silently (the data
+        path is untouched) at ``scrub_cycles`` each.
+        """
+        bits = nbytes * 8
+        flips = self.faults.count(
+            self.SITE, bits, detail=f"transfer {address:#x}+{nbytes}B"
+        )
+        if flips == 0:
+            return 0.0
+        positions = self.faults.choose(self.SITE, bits, flips)
+        corrected, uncorrectable = classify_flips(positions)
+        self.corrected += corrected
+        if uncorrectable:
+            self.uncorrectable += len(uncorrectable)
+            raise MachineCheckError(address, nbytes, uncorrectable)
+        return corrected * self.scrub_cycles

@@ -1,6 +1,7 @@
 """DPU software runtime: scheduling, ATE primitives, serialized RPC."""
 
 from .coherence import CoherenceChecker, Violation
+from .failover import resilient_launch, surviving_cores
 from .parallel import AteBarrier, AteMutex, SharedCounter, WorkQueue
 from .rpc import Region, dpu_serialized, install_serialized
 from .task import DmemLayout, chunk_ranges, static_partition
@@ -17,5 +18,7 @@ __all__ = [
     "chunk_ranges",
     "dpu_serialized",
     "install_serialized",
+    "resilient_launch",
     "static_partition",
+    "surviving_cores",
 ]

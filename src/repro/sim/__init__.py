@@ -3,11 +3,13 @@
 from .engine import (
     AllOf,
     AnyOf,
+    DeadlockError,
     Engine,
     Process,
     SimEvent,
     SimulationError,
     Timeout,
+    Watchdog,
 )
 from .resources import BandwidthServer, BinaryEvent, Resource, Store
 from .trace import SampleSeries, StatsRecorder
@@ -17,6 +19,7 @@ __all__ = [
     "AnyOf",
     "BandwidthServer",
     "BinaryEvent",
+    "DeadlockError",
     "Engine",
     "Process",
     "Resource",
@@ -26,4 +29,5 @@ __all__ = [
     "StatsRecorder",
     "Store",
     "Timeout",
+    "Watchdog",
 ]

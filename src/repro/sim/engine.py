@@ -16,6 +16,7 @@ bandwidth servers, mailbox stores) are layered on top in
 from __future__ import annotations
 
 import heapq
+import time
 from typing import Any, Callable, Generator, Iterable, List, Optional
 
 __all__ = [
@@ -26,11 +27,83 @@ __all__ = [
     "AllOf",
     "AnyOf",
     "SimulationError",
+    "DeadlockError",
+    "Watchdog",
 ]
 
 
 class SimulationError(Exception):
     """Raised for misuse of the simulation kernel (e.g. double-trigger)."""
+
+
+class DeadlockError(SimulationError):
+    """The modelled system can make no progress.
+
+    Raised when the event queue drains while processes still wait
+    (deadlock), or when a :class:`Watchdog` budget is exceeded
+    (livelock). ``blocked`` names the stuck processes so the failure
+    is diagnosable rather than a silent hang.
+    """
+
+    def __init__(self, message: str, blocked: Iterable["Process"] = ()) -> None:
+        self.blocked = list(blocked)
+        if self.blocked:
+            detail = "; ".join(
+                f"{process.name} waiting on {process._waiting_on!r}"
+                for process in self.blocked
+            )
+            message = f"{message} [blocked: {detail}]"
+        super().__init__(message)
+
+
+class Watchdog:
+    """Livelock guard: bounds on events processed and host wall time.
+
+    Attach with ``engine.watchdog = Watchdog(...)``; the engine calls
+    :meth:`check` once per dispatched event. Exceeding either budget
+    raises :class:`DeadlockError` naming the still-pending processes.
+    The wall clock (host ``time.monotonic``) never influences simulated
+    behaviour — it can only abort a runaway simulation.
+    """
+
+    def __init__(
+        self,
+        max_events: Optional[int] = None,
+        max_wall_seconds: Optional[float] = None,
+        wall_check_interval: int = 4096,
+    ) -> None:
+        if max_events is not None and max_events <= 0:
+            raise SimulationError(f"max_events must be positive: {max_events}")
+        if max_wall_seconds is not None and max_wall_seconds <= 0:
+            raise SimulationError(
+                f"max_wall_seconds must be positive: {max_wall_seconds}"
+            )
+        self.max_events = max_events
+        self.max_wall_seconds = max_wall_seconds
+        self.wall_check_interval = wall_check_interval
+        self.events_dispatched = 0
+        self._started_at: Optional[float] = None
+
+    def check(self, engine: "Engine") -> None:
+        self.events_dispatched += 1
+        if self.max_events is not None and self.events_dispatched > self.max_events:
+            raise DeadlockError(
+                f"livelock: watchdog event budget of {self.max_events} "
+                f"exceeded at t={engine.now}",
+                blocked=engine.blocked_processes(),
+            )
+        if self.max_wall_seconds is None:
+            return
+        if self._started_at is None:
+            self._started_at = time.monotonic()
+        if self.events_dispatched % self.wall_check_interval == 0:
+            elapsed = time.monotonic() - self._started_at
+            if elapsed > self.max_wall_seconds:
+                raise DeadlockError(
+                    f"livelock: watchdog wall-clock budget of "
+                    f"{self.max_wall_seconds} s exceeded at t={engine.now}",
+                    blocked=engine.blocked_processes(),
+                )
 
 
 class SimEvent:
@@ -73,6 +146,10 @@ class SimEvent:
         self.value = value
         self.exception = exception
         callbacks, self.callbacks = self.callbacks, None
+        if exception is not None and not callbacks:
+            # A failure nobody is waiting on yet: remember it so it
+            # surfaces at engine.run() end instead of vanishing.
+            self.engine._note_unobserved_failure(self)
         for callback in callbacks:
             self.engine._schedule(0, callback, self)
 
@@ -84,6 +161,8 @@ class SimEvent:
         ordering stays deterministic).
         """
         if self.triggered:
+            if self.exception is not None:
+                self.engine._forget_unobserved_failure(self)
             self.engine._schedule(0, callback, self)
         else:
             assert self.callbacks is not None
@@ -120,11 +199,22 @@ class Process(SimEvent):
     * another generator (run as a sub-process and waited on).
     """
 
-    def __init__(self, engine: "Engine", generator: Generator, name: str = "") -> None:
+    def __init__(
+        self,
+        engine: "Engine",
+        generator: Generator,
+        name: str = "",
+        daemon: bool = False,
+    ) -> None:
         super().__init__(engine)
         self.generator = generator
         self.name = name or getattr(generator, "__name__", "process")
+        # Daemon processes are service loops (ATE engines, DMAD
+        # walkers) expected to wait forever; deadlock diagnosis
+        # excludes them from the "blocked" report.
+        self.daemon = daemon
         self._waiting_on: Optional[SimEvent] = None
+        engine._register_process(self)
         engine._schedule(0, self._start, None)
 
     def _start(self, _ignored: Any) -> None:
@@ -146,6 +236,8 @@ class Process(SimEvent):
             has_waiters = bool(self.callbacks)
             self.fail(error)
             if not has_waiters:
+                # Surfacing immediately: no need to re-report at run() end.
+                self.engine._forget_unobserved_failure(self)
                 raise
             return
         event = self.engine._as_event(target)
@@ -224,6 +316,10 @@ class Engine:
         self.now: float = 0
         self._queue: List[tuple] = []
         self._sequence = 0
+        self.watchdog: Optional[Watchdog] = None
+        self._processes: List["Process"] = []
+        self._process_prune_at = 256
+        self._unobserved_failures: List[SimEvent] = []
 
     # -- scheduling ---------------------------------------------------
 
@@ -232,6 +328,45 @@ class Engine:
             self._queue, (self.now + delay, self._sequence, callback, argument)
         )
         self._sequence += 1
+
+    # -- bookkeeping for diagnosis --------------------------------------
+
+    def _register_process(self, process: "Process") -> None:
+        self._processes.append(process)
+        if len(self._processes) >= self._process_prune_at:
+            self._processes = [
+                p for p in self._processes if not p.triggered
+            ]
+            self._process_prune_at = max(256, 2 * len(self._processes))
+
+    def blocked_processes(self) -> List["Process"]:
+        """Pending non-daemon processes (for deadlock diagnosis)."""
+        return [
+            process
+            for process in self._processes
+            if not process.triggered and not process.daemon
+        ]
+
+    def _note_unobserved_failure(self, event: SimEvent) -> None:
+        self._unobserved_failures.append(event)
+
+    def _forget_unobserved_failure(self, event: SimEvent) -> None:
+        try:
+            self._unobserved_failures.remove(event)
+        except ValueError:
+            pass
+
+    def _raise_unobserved_failures(self) -> None:
+        if not self._unobserved_failures:
+            return
+        failures, self._unobserved_failures = self._unobserved_failures, []
+        detail = "; ".join(
+            f"{event!r}: {event.exception!r}" for event in failures
+        )
+        raise SimulationError(
+            f"{len(failures)} failed event(s) were never observed by any "
+            f"waiter: {detail}"
+        )
 
     def _as_event(self, target: Any) -> SimEvent:
         if isinstance(target, SimEvent):
@@ -252,9 +387,11 @@ class Engine:
         """An event succeeding ``delay`` cycles from now."""
         return Timeout(self, delay, value)
 
-    def process(self, generator: Generator, name: str = "") -> Process:
+    def process(
+        self, generator: Generator, name: str = "", daemon: bool = False
+    ) -> Process:
         """Start driving ``generator`` as a process."""
-        return Process(self, generator, name)
+        return Process(self, generator, name, daemon=daemon)
 
     def all_of(self, events: Iterable[SimEvent]) -> AllOf:
         return AllOf(self, events)
@@ -268,13 +405,16 @@ class Engine:
         Returns the simulation time at which the run stopped.
         """
         while self._queue:
-            time, _seq, callback, argument = self._queue[0]
-            if until is not None and time > until:
+            when, _seq, callback, argument = self._queue[0]
+            if until is not None and when > until:
                 self.now = until
                 return self.now
             heapq.heappop(self._queue)
-            self.now = time
+            self.now = when
             callback(argument)
+            if self.watchdog is not None:
+                self.watchdog.check(self)
+        self._raise_unobserved_failures()
         if until is not None:
             self.now = max(self.now, until)
         return self.now
@@ -288,14 +428,21 @@ class Engine:
         """
         while not process.triggered:
             if not self._queue:
-                raise SimulationError(
-                    f"deadlock: {process!r} never completed and no events remain"
+                raise DeadlockError(
+                    f"deadlock: {process!r} never completed and no events "
+                    f"remain",
+                    blocked=self.blocked_processes(),
                 )
             if self.now > limit:
-                raise SimulationError(f"simulation exceeded limit of {limit} cycles")
-            time, _seq, callback, argument = heapq.heappop(self._queue)
-            self.now = time
+                raise DeadlockError(
+                    f"livelock: simulation exceeded limit of {limit} cycles",
+                    blocked=self.blocked_processes(),
+                )
+            when, _seq, callback, argument = heapq.heappop(self._queue)
+            self.now = when
             callback(argument)
+            if self.watchdog is not None:
+                self.watchdog.check(self)
         if process.exception is not None:
             raise process.exception
         return process.value
