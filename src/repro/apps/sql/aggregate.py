@@ -346,8 +346,15 @@ def dpu_groupby(
     tile_rows: int = 2048,
     budget: Optional[DmemBudget] = None,
     broadcasts: Tuple[Broadcast, ...] = (),
+    governor=None,
 ) -> DpuOpResult:
-    """Group ``dtable`` by ``key`` computing ``aggs`` on the DPU."""
+    """Group ``dtable`` by ``key`` computing ``aggs`` on the DPU.
+
+    ``governor`` (a :class:`~repro.runtime.admission.MemoryGovernor`)
+    gates the software-partition strategy's DDR bucket footprint; see
+    :func:`_groupby_one_sw_round`. ``None`` preserves the ungoverned
+    plan and its timing exactly.
+    """
     budget = budget or DmemBudget()
     filt = _as_row_filter(row_filter)
     if isinstance(key, GroupKey):
@@ -383,7 +390,8 @@ def dpu_groupby(
                 "implemented (enough for tables to ~24 GB of groups)"
             )
         result, cycles, nbytes = _groupby_one_sw_round(
-            dpu, dtable, key, aggs, filt, tile_rows, broadcasts
+            dpu, dtable, key, aggs, filt, tile_rows, broadcasts,
+            governor=governor,
         )
     return DpuOpResult(
         value=result,
@@ -598,14 +606,58 @@ def _groupby_hw_partitioned(dpu, dtable, key, aggs, row_filter,
 
 
 def _groupby_one_sw_round(dpu, dtable, key, aggs, row_filter, tile_rows,
-                          broadcasts=()):
+                          broadcasts=(), governor=None):
     """Split into 32 DDR buckets by high hash bits (software, one
-    read+write round), then run the hardware path per bucket."""
+    read+write round), then run the hardware path per bucket.
+
+    The bucket regions double the table's DDR footprint. With a
+    :class:`~repro.runtime.admission.MemoryGovernor`, that footprint
+    is acquired as an up-front grant; a denied grant degrades to
+    row-chunked rounds — each chunk partitions and aggregates within
+    the granted budget, freeing its bucket regions before the next
+    chunk, and the per-chunk group tables merge associatively. Results
+    are identical, only cycles grow. Without a governor the code path
+    is exactly the single-round plan.
+    """
+    if governor is None:
+        return _groupby_sw_round_range(
+            dpu, dtable, key, aggs, row_filter, tile_rows, broadcasts,
+            0, dtable.num_rows, free_regions=False,
+        )
+    names = _needed_columns(key, aggs, row_filter)
+    refs = dtable.column_refs(names)
+    widths = [ref_dtype(spec).itemsize for _addr, spec in refs]
+    rows = dtable.num_rows
+    row_bytes = sum(widths)
+    need = rows * row_bytes + 32 * len(widths) * 8  # regions + alloc slack
+    floor = max(row_bytes * 32 * 64, 4096)
+    granted = governor.grant_or_largest(need, floor, site="sql.groupby.buckets")
+    chunks = max(1, -(-need // granted))
+    chunk_rows = -(-rows // chunks)
+    merged: GroupTable = {}
+    total_cycles = 0.0
+    total_nbytes = 0
+    for r0 in range(0, rows, chunk_rows):
+        r1 = min(rows, r0 + chunk_rows)
+        part, cycles, nbytes = _groupby_sw_round_range(
+            dpu, dtable, key, aggs, row_filter, tile_rows, broadcasts,
+            r0, r1, free_regions=True,
+        )
+        merged = merge_groups([merged, part], aggs)
+        total_cycles += cycles
+        total_nbytes += nbytes
+    governor.release_grant(granted)
+    return merged, total_cycles, total_nbytes
+
+
+def _groupby_sw_round_range(dpu, dtable, key, aggs, row_filter, tile_rows,
+                            broadcasts, r0, r1, free_regions):
+    """One software partition round over rows [r0, r1)."""
     names = _needed_columns(key, aggs, row_filter)
     refs = dtable.column_refs(names)
     dtypes = [ref_dtype(spec) for _addr, spec in refs]
     widths = [dtype.itemsize for dtype in dtypes]
-    rows = dtable.num_rows
+    rows = r1 - r0
     cores = list(dpu.config.core_ids)
     num_buckets = 32
     # DMEM budget: stream buffers below 20 KB, four 1.5 KB write
@@ -617,7 +669,7 @@ def _groupby_one_sw_round(dpu, dtable, key, aggs, row_filter, tile_rows,
 
     # Host-side sizing of bucket regions (models chained-block output
     # buffers): exact per-core x bucket counts.
-    key_host = dtable.table.column(key)
+    key_host = dtable.table.column(key)[r0:r1]
     bucket_of = ((crc32_column(key_host) >> np.uint32(5)) % num_buckets).astype(
         np.int64
     )
@@ -658,7 +710,7 @@ def _groupby_one_sw_round(dpu, dtable, key, aggs, row_filter, tile_rows,
             for col in range(len(widths))
         }
         shifted = [
-            (addr + lo * ref_width(spec), spec) for addr, spec in refs
+            (addr + (r0 + lo) * ref_width(spec), spec) for addr, spec in refs
         ]
         # Per-(bucket, column) combining buffers: values accumulate
         # until a staging-slot-sized run is ready, so DDR writes are
@@ -783,6 +835,16 @@ def _groupby_one_sw_round(dpu, dtable, key, aggs, row_filter, tile_rows,
         merged = merge_groups([merged, bucket_groups], aggs)
         total_cycles += cycles
         nbytes += sub_bytes
+        if free_regions:
+            # Governed mode: this bucket's regions are dead once its
+            # groups are merged — release them so the next chunk's
+            # allocations reuse the same footprint.
+            for col in range(len(widths)):
+                dpu.free(bucket_col_addr.pop((bucket, col)))
+    if free_regions:
+        for address in bucket_col_addr.values():
+            dpu.free(address)  # empty buckets never entered phase 2
+        bucket_col_addr.clear()
     return merged, total_cycles, nbytes
 
 

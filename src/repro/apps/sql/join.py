@@ -141,6 +141,7 @@ def dpu_partitioned_join_count(
     build_key: str,
     probe_dtable,
     probe_key: str,
+    governor=None,
 ) -> DpuOpResult:
     """Count matching pairs with a 32-way hardware-partitioned join.
 
@@ -149,6 +150,15 @@ def dpu_partitioned_join_count(
     from its build partition and probes its probe partition. Matches
     are counted (the common kernel under semijoin/aggregate plans);
     rows move for real through the partition pipeline.
+
+    With a :class:`~repro.runtime.admission.MemoryGovernor`, the build
+    hash-table footprint (key + count per build row) is acquired as an
+    up-front grant. A denied grant degrades to a segmented join: the
+    build side is split into segments that fit the granted budget and
+    the probe side is re-streamed once per segment — match counts are
+    additive across disjoint build segments, so the result is exact;
+    only cycles (and bytes streamed) grow. Without a governor the code
+    path and its timing are exactly the single-pass plan.
     """
     cores = list(dpu.config.core_ids)
     spec = PartitionSpec(mode=PartitionMode.HASH, radix_bits=5)
@@ -208,103 +218,144 @@ def dpu_partitioned_join_count(
                 yield from ctx.compute(200)
             yield position  # wave boundary marker (consumed by kernel)
 
-    def kernel(ctx):
-        is_driver = ctx.core_id == driver
-        matches = 0
-        build_table = {}
+    # Memory grant: each build row costs a key plus a count slot in
+    # the per-core hash tables. Under pressure, shrink to build
+    # segments that fit the grant (probe side re-streamed per segment).
+    build_row_cost = build_width + 8
+    segments = 1
+    granted = 0
+    if governor is not None:
+        need = max(build_rows, 1) * build_row_cost
+        chunk = max(1, min(2048, dpu.config.cmem_bank_bytes // build_width))
+        floor = min(need, chunk * build_row_cost)
+        granted = governor.grant_or_largest(need, floor=floor,
+                                            site="sql.join.build")
+        segments = max(1, -(-need // granted))
 
-        # Phase 1: partition the build side (usually one wave).
-        build_wave_rows = int(len(cores) * (build_capacity / build_width) / 2)
-        probe_wave_rows = int(len(cores) * (probe_capacity / probe_width) / 2)
+    def make_kernel(seg_ref, seg_build_rows):
+        def kernel(ctx):
+            is_driver = ctx.core_id == driver
+            matches = 0
+            build_table = {}
 
-        def run_phase(ref, rows, layout, wave_rows, consume):
-            if is_driver:
-                ctx.push(
-                    Descriptor(
-                        dtype=DescriptorType.HASH_CONFIG,
-                        partition=spec,
-                        partition_layout=layout,
+            # Phase 1: partition the build side (usually one wave).
+            build_wave_rows = int(
+                len(cores) * (build_capacity / build_width) / 2
+            )
+            probe_wave_rows = int(
+                len(cores) * (probe_capacity / probe_width) / 2
+            )
+
+            def run_phase(ref, rows, layout, wave_rows, consume):
+                if is_driver:
+                    ctx.push(
+                        Descriptor(
+                            dtype=DescriptorType.HASH_CONFIG,
+                            partition=spec,
+                            partition_layout=layout,
+                        )
                     )
-                )
-                driver_gen = partition_waves(
-                    ctx, ref, rows, layout, wave_rows, None
-                )
-                while True:
-                    try:
-                        step = next(driver_gen)
-                    except StopIteration:
-                        break
-                    if isinstance(step, int):
-                        # Wave complete: everyone consumes, then reset.
-                        for core in cores:
-                            if core != driver:
-                                yield from ctx.mbox_send(core, ("wave",))
+                    driver_gen = partition_waves(
+                        ctx, ref, rows, layout, wave_rows, None
+                    )
+                    while True:
+                        try:
+                            step = next(driver_gen)
+                        except StopIteration:
+                            break
+                        if isinstance(step, int):
+                            # Wave complete: everyone consumes, then reset.
+                            for core in cores:
+                                if core != driver:
+                                    yield from ctx.mbox_send(core, ("wave",))
+                            yield from consume()
+                            for _ in range(len(cores) - 1):
+                                yield from ctx.mbox_receive()
+                            layout.reset()
+                            for core in cores:
+                                dpu.scratchpads[core].view(
+                                    layout.count_offset, 4, np.uint32
+                                )[0] = 0
+                            done = False
+                            for core in cores:
+                                if core != driver:
+                                    yield from ctx.mbox_send(core, ("go",))
+                        else:
+                            yield step
+                    for core in cores:
+                        if core != driver:
+                            yield from ctx.mbox_send(core, ("phase-done",))
+                else:
+                    while True:
+                        _src, message = yield from ctx.mbox_receive()
+                        if message[0] == "phase-done":
+                            break
                         yield from consume()
-                        for _ in range(len(cores) - 1):
-                            yield from ctx.mbox_receive()
-                        layout.reset()
-                        for core in cores:
-                            dpu.scratchpads[core].view(
-                                layout.count_offset, 4, np.uint32
-                            )[0] = 0
-                        done = False
-                        for core in cores:
-                            if core != driver:
-                                yield from ctx.mbox_send(core, ("go",))
-                    else:
-                        yield step
-                for core in cores:
-                    if core != driver:
-                        yield from ctx.mbox_send(core, ("phase-done",))
-            else:
-                while True:
-                    _src, message = yield from ctx.mbox_receive()
-                    if message[0] == "phase-done":
-                        break
-                    yield from consume()
-                    yield from ctx.mbox_send(driver, ("ack",))
-                    yield from ctx.mbox_receive()  # ("go",)
+                        yield from ctx.mbox_send(driver, ("ack",))
+                        yield from ctx.mbox_receive()  # ("go",)
 
-        def consume_build():
-            count = int(
-                ctx.dmem.view(build_layout.count_offset, 4, np.uint32)[0]
+            def consume_build():
+                count = int(
+                    ctx.dmem.view(build_layout.count_offset, 4, np.uint32)[0]
+                )
+                raw = ctx.dmem.view(0, count * build_width, np.uint8).copy()
+                keys = raw.view(build_dtype)
+                for key in keys.tolist():
+                    build_table[key] = build_table.get(key, 0) + 1
+                yield from ctx.compute(count * JOIN_BUILD_CYCLES_PER_ROW)
+
+            def consume_probe():
+                nonlocal matches
+                count = int(
+                    ctx.dmem.view(probe_layout.count_offset, 4, np.uint32)[0]
+                )
+                raw = ctx.dmem.view(
+                    build_capacity, count * probe_width, np.uint8
+                ).copy()
+                keys = raw.view(probe_dtype)
+                for key in keys.tolist():
+                    matches += build_table.get(key, 0)
+                yield from ctx.compute(count * JOIN_PROBE_CYCLES_PER_ROW)
+
+            yield from run_phase(
+                seg_ref, seg_build_rows, build_layout, build_wave_rows,
+                consume_build,
             )
-            raw = ctx.dmem.view(0, count * build_width, np.uint8).copy()
-            keys = raw.view(build_dtype)
-            for key in keys.tolist():
-                build_table[key] = build_table.get(key, 0) + 1
-            yield from ctx.compute(count * JOIN_BUILD_CYCLES_PER_ROW)
-
-        def consume_probe():
-            nonlocal matches
-            count = int(
-                ctx.dmem.view(probe_layout.count_offset, 4, np.uint32)[0]
+            yield from run_phase(
+                probe_ref, probe_rows, probe_layout, probe_wave_rows,
+                consume_probe,
             )
-            raw = ctx.dmem.view(
-                build_capacity, count * probe_width, np.uint8
-            ).copy()
-            keys = raw.view(probe_dtype)
-            for key in keys.tolist():
-                matches += build_table.get(key, 0)
-            yield from ctx.compute(count * JOIN_PROBE_CYCLES_PER_ROW)
+            return matches
 
-        yield from run_phase(
-            build_ref, build_rows, build_layout, build_wave_rows, consume_build
-        )
-        yield from run_phase(
-            probe_ref, probe_rows, probe_layout, probe_wave_rows, consume_probe
-        )
-        return matches
+        return kernel
 
-    launch = dpu.launch(kernel, cores=cores)
-    total_matches = sum(launch.values)
-    nbytes = build_rows * build_width + probe_rows * probe_width
+    seg_rows_max = -(-build_rows // segments) if build_rows else 0
+    total_matches = 0
+    total_cycles = 0.0
+    ran_segments = 0
+    for seg in range(segments):
+        b0 = seg * seg_rows_max
+        seg_build_rows = min(seg_rows_max, build_rows - b0)
+        if segments > 1 and seg_build_rows <= 0:
+            break
+        seg_ref = (build_ref[0] + b0 * build_width, build_ref[1])
+        launch = dpu.launch(
+            make_kernel(seg_ref, seg_build_rows), cores=cores
+        )
+        total_matches += sum(launch.values)
+        total_cycles += launch.cycles
+        ran_segments += 1
+    if governor is not None and granted:
+        governor.release_grant(granted)
+    nbytes = (build_rows * build_width
+              + ran_segments * probe_rows * probe_width)
     return DpuOpResult(
         value=total_matches,
-        cycles=launch.cycles,
+        cycles=total_cycles,
         config=dpu.config,
         bytes_streamed=nbytes,
-        detail={"build_rows": build_rows, "probe_rows": probe_rows},
+        detail={"build_rows": build_rows, "probe_rows": probe_rows,
+                "build_segments": ran_segments},
     )
 
 

@@ -77,9 +77,20 @@ def dpu_sort(
     dtable: DpuTable,
     column: str,
     descending: bool = False,
+    governor=None,
 ) -> DpuOpResult:
     """Sort one integer column; returns the sorted array (read back
-    from simulated DDR) plus timing."""
+    from simulated DDR) plus timing.
+
+    With a :class:`~repro.runtime.admission.MemoryGovernor`, the
+    per-core spill scratch (32x the column size in the eager plan) is
+    acquired as an up-front grant. A denied grant degrades to an
+    external sort: the column is split into segments that fit the
+    granted budget, each segment is range-partition sorted, and the
+    sorted segments are merged at modelled DMS streaming cost — the
+    result stays byte-exact, only cycles grow. Without a governor the
+    code path (and its timing) is exactly the eager plan.
+    """
     ref = dtable.column_ref(column)
     dtype = ref_dtype(ref[1])
     width = dtype.itemsize
@@ -102,8 +113,6 @@ def dpu_sort(
         count_offset=count_offset,
     )
     out_addr = dpu.alloc(max(rows * width, 8))
-    # Per-core spill scratch for partitions larger than DMEM.
-    spill_addr = {core: dpu.alloc(max(rows * width, 8)) for core in cores}
     driver = cores[0]
     chunk_rows = min(2040, dpu.config.cmem_bank_bytes // width)
     # Wave sizing against the most loaded core, from the sample's
@@ -112,103 +121,161 @@ def dpu_sort(
     wave_rows = int(per_core_rows / max(2.0 * max_share, 2.0 / len(cores)))
     wave_chunks = max(1, wave_rows // chunk_rows)
 
-    def kernel(ctx):
-        is_driver = ctx.core_id == driver
-        collected: List[np.ndarray] = []
-        spilled = 0
-        if is_driver:
-            # Sampling pass to program the range engine.
-            yield from ctx.compute(sample_size * _SAMPLE_CYCLES_PER_VALUE)
-            ctx.push(Descriptor(dtype=DescriptorType.RANGE_CONFIG,
-                                partition=spec, partition_layout=layout))
-        chunk_starts = list(range(0, rows, chunk_rows))
-        wave_start = 0
-        while True:
-            wave = chunk_starts[wave_start : wave_start + wave_chunks]
-            if is_driver:
-                for start in wave:
-                    count = min(chunk_rows, rows - start)
-                    ctx.push(Descriptor(
-                        dtype=DescriptorType.DDR_TO_DMS, rows=count,
-                        col_width=width, ddr_addr=ref[0] + start * width,
-                        is_key_column=True,
-                    ))
-                    ctx.push(Descriptor(dtype=DescriptorType.DMS_TO_DMS,
-                                        partition=spec))
-                    ctx.push(Descriptor(dtype=DescriptorType.DMS_TO_DMEM,
-                                        partition=spec))
-                while not ctx.dmad.idle():
-                    yield from ctx.compute(200)
-                for core in cores:
-                    if core != driver:
-                        yield from ctx.mbox_send(core, ("wave",))
-            else:
-                yield from ctx.mbox_receive()
-            # Spill this wave's partition rows to DDR scratch.
-            count = int(ctx.dmem.view(count_offset, 4, np.uint32)[0])
-            if count:
-                raw = ctx.dmem.view(0, count * width, np.uint8).copy()
-                values = raw.view(dtype)
-                collected.append(values.copy())
-                ctx.push(Descriptor(
-                    dtype=DescriptorType.DMEM_TO_DDR, rows=count,
-                    col_width=width,
-                    ddr_addr=spill_addr[ctx.core_id] + spilled * width,
-                    dmem_addr=0, notify_event=6,
-                ), channel=1)
-                yield from ctx.wfe(6)
-                ctx.clear_event(6)
-                spilled += count
-            done = wave_start + wave_chunks >= len(chunk_starts)
-            if is_driver:
-                for _ in range(len(cores) - 1):
-                    yield from ctx.mbox_receive()
-                layout.reset()
-                for core in cores:
-                    dpu.scratchpads[core].view(count_offset, 4, np.uint32)[0] = 0
-                for core in cores:
-                    if core != driver:
-                        yield from ctx.mbox_send(core, ("next", done))
-            else:
-                yield from ctx.mbox_send(driver, ("ack",))
-                yield from ctx.mbox_receive()
-            wave_start += wave_chunks
-            if done:
-                break
-        # Local sort: stream the spill back through DMEM in runs and
-        # merge (charged as n log2 n element-levels + the re-read).
-        mine = (np.concatenate(collected) if collected
-                else np.empty(0, dtype=dtype))
-        if len(mine):
-            levels = max(1, int(np.ceil(np.log2(max(2, len(mine))))))
-            yield from ctx.compute(
-                len(mine) * levels * _SORT_CYCLES_PER_ELEMENT_LEVEL
-                + len(mine) * width / 16.0  # spill re-read stream
-            )
-            mine = np.sort(mine)
-            if descending:
-                mine = mine[::-1]
-        return mine
+    # Memory grant: the eager plan reserves a full column-size spill
+    # per core. Under pressure, shrink to segments that fit the grant.
+    spill_need = len(cores) * max(rows * width, 8)
+    segments = 1
+    granted = 0
+    if governor is not None:
+        floor = len(cores) * max(chunk_rows * width, 8)
+        granted = governor.grant_or_largest(
+            spill_need, floor=floor, site="sql.sort.spill"
+        )
+        segments = max(1, -(-spill_need // granted))
 
-    launch = dpu.launch(kernel, cores=cores)
-    runs = launch.values if not descending else launch.values[::-1]
-    # Write the runs to the output region in partition order and
-    # charge the final sequential write.
-    offset = 0
-    total_cycles = launch.cycles
-    for run in runs:
-        if run is None or len(run) == 0:
-            continue
-        dpu.ddr.write(out_addr + offset, np.ascontiguousarray(run))
-        offset += len(run) * width
-    total_cycles += rows * width / 16.0  # output write at line rate
+    def run_segment(seg_row0: int, seg_rows: int, spill_addr, seg_descending):
+        """Partition-sort rows [seg_row0, seg_row0+seg_rows)."""
+
+        def kernel(ctx):
+            is_driver = ctx.core_id == driver
+            collected: List[np.ndarray] = []
+            spilled = 0
+            if is_driver:
+                # Sampling pass to program the range engine.
+                yield from ctx.compute(sample_size * _SAMPLE_CYCLES_PER_VALUE)
+                ctx.push(Descriptor(dtype=DescriptorType.RANGE_CONFIG,
+                                    partition=spec, partition_layout=layout))
+            chunk_starts = list(range(0, seg_rows, chunk_rows))
+            wave_start = 0
+            while True:
+                wave = chunk_starts[wave_start : wave_start + wave_chunks]
+                if is_driver:
+                    for start in wave:
+                        count = min(chunk_rows, seg_rows - start)
+                        ctx.push(Descriptor(
+                            dtype=DescriptorType.DDR_TO_DMS, rows=count,
+                            col_width=width,
+                            ddr_addr=ref[0] + (seg_row0 + start) * width,
+                            is_key_column=True,
+                        ))
+                        ctx.push(Descriptor(dtype=DescriptorType.DMS_TO_DMS,
+                                            partition=spec))
+                        ctx.push(Descriptor(dtype=DescriptorType.DMS_TO_DMEM,
+                                            partition=spec))
+                    while not ctx.dmad.idle():
+                        yield from ctx.compute(200)
+                    for core in cores:
+                        if core != driver:
+                            yield from ctx.mbox_send(core, ("wave",))
+                else:
+                    yield from ctx.mbox_receive()
+                # Spill this wave's partition rows to DDR scratch.
+                count = int(ctx.dmem.view(count_offset, 4, np.uint32)[0])
+                if count:
+                    raw = ctx.dmem.view(0, count * width, np.uint8).copy()
+                    values = raw.view(dtype)
+                    collected.append(values.copy())
+                    ctx.push(Descriptor(
+                        dtype=DescriptorType.DMEM_TO_DDR, rows=count,
+                        col_width=width,
+                        ddr_addr=spill_addr[ctx.core_id] + spilled * width,
+                        dmem_addr=0, notify_event=6,
+                    ), channel=1)
+                    yield from ctx.wfe(6)
+                    ctx.clear_event(6)
+                    spilled += count
+                done = wave_start + wave_chunks >= len(chunk_starts)
+                if is_driver:
+                    for _ in range(len(cores) - 1):
+                        yield from ctx.mbox_receive()
+                    layout.reset()
+                    for core in cores:
+                        dpu.scratchpads[core].view(
+                            count_offset, 4, np.uint32
+                        )[0] = 0
+                    for core in cores:
+                        if core != driver:
+                            yield from ctx.mbox_send(core, ("next", done))
+                else:
+                    yield from ctx.mbox_send(driver, ("ack",))
+                    yield from ctx.mbox_receive()
+                wave_start += wave_chunks
+                if done:
+                    break
+            # Local sort: stream the spill back through DMEM in runs and
+            # merge (charged as n log2 n element-levels + the re-read).
+            mine = (np.concatenate(collected) if collected
+                    else np.empty(0, dtype=dtype))
+            if len(mine):
+                levels = max(1, int(np.ceil(np.log2(max(2, len(mine))))))
+                yield from ctx.compute(
+                    len(mine) * levels * _SORT_CYCLES_PER_ELEMENT_LEVEL
+                    + len(mine) * width / 16.0  # spill re-read stream
+                )
+                mine = np.sort(mine)
+                if seg_descending:
+                    mine = mine[::-1]
+            return mine
+
+        return dpu.launch(kernel, cores=cores)
+
+    if segments == 1:
+        # Eager plan: full per-core spill scratch, one partition pass.
+        spill_addr = {core: dpu.alloc(max(rows * width, 8)) for core in cores}
+        launch = run_segment(0, rows, spill_addr, descending)
+        runs = launch.values if not descending else launch.values[::-1]
+        # Write the runs to the output region in partition order and
+        # charge the final sequential write.
+        offset = 0
+        total_cycles = launch.cycles
+        for run in runs:
+            if run is None or len(run) == 0:
+                continue
+            dpu.ddr.write(out_addr + offset, np.ascontiguousarray(run))
+            offset += len(run) * width
+        total_cycles += rows * width / 16.0  # output write at line rate
+    else:
+        # External sort under memory pressure: each segment's spill
+        # fits the grant; sorted segments are then merged at DMS
+        # streaming cost (one read+write pass per merge level).
+        seg_rows_max = -(-rows // segments)
+        total_cycles = 0.0
+        seg_arrays: List[np.ndarray] = []
+        for seg in range(segments):
+            seg_row0 = seg * seg_rows_max
+            seg_rows = min(seg_rows_max, rows - seg_row0)
+            if seg_rows <= 0:
+                break
+            spill_addr = {
+                core: dpu.alloc(max(seg_rows * width, 8)) for core in cores
+            }
+            launch = run_segment(seg_row0, seg_rows, spill_addr, False)
+            total_cycles += launch.cycles
+            parts = [run for run in launch.values
+                     if run is not None and len(run)]
+            seg_arrays.append(
+                np.concatenate(parts) if parts else np.empty(0, dtype=dtype)
+            )
+            for address in spill_addr.values():
+                dpu.free(address)
+        merged = (np.sort(np.concatenate(seg_arrays)) if seg_arrays
+                  else np.empty(0, dtype=dtype))
+        if descending:
+            merged = merged[::-1]
+        merge_passes = max(1, int(np.ceil(np.log2(max(2, segments)))))
+        total_cycles += merge_passes * 2 * rows * width / 16.0
+        dpu.ddr.write(out_addr, np.ascontiguousarray(merged))
+        total_cycles += rows * width / 16.0  # output write at line rate
+    if governor is not None and granted:
+        governor.release_grant(granted)
     sorted_values = dpu.load_array(out_addr, rows, dtype)
     return DpuOpResult(
         value=sorted_values,
         cycles=total_cycles,
         config=dpu.config,
         bytes_streamed=rows * width * 3,  # partition read + spill + out
-        detail={"bounds": len(bounds), "rows": rows},
+        detail={"bounds": len(bounds), "rows": rows,
+                "spill_segments": segments},
     )
 
 

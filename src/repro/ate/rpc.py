@@ -50,7 +50,37 @@ __all__ = ["Ate", "RpcKind", "AteError"]
 
 class AteError(Exception):
     """Protocol misuse or failure (unknown handler, bad address,
-    retry exhaustion under fault injection)."""
+    retry exhaustion under fault injection).
+
+    Carries structured context — the failing ``site``, simulation
+    ``sim_time``, ``retry_count`` already burned, and an ``occupancy``
+    snapshot of the relevant queues — so recovery code can branch on
+    fields instead of message text.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        site: str = "",
+        sim_time: Optional[float] = None,
+        retry_count: int = 0,
+        occupancy: Optional[Dict] = None,
+    ) -> None:
+        self.site = site
+        self.sim_time = sim_time
+        self.retry_count = retry_count
+        self.occupancy = dict(occupancy) if occupancy else {}
+        detail = []
+        if site:
+            detail.append(f"site={site}")
+        if sim_time is not None:
+            detail.append(f"t={sim_time:.0f}")
+        if retry_count:
+            detail.append(f"retries={retry_count}")
+        if detail:
+            message = f"{message} [{' '.join(detail)}]"
+        super().__init__(message)
 
 
 class RpcKind(enum.Enum):
@@ -101,8 +131,12 @@ class Ate:
         self.stats = stats if stats is not None else StatsRecorder()
         self.faults = faults if faults is not None else FaultInjector()
         self.topology = CrossbarTopology(config)
+        # Receiving request FIFOs, bounded to the hardware SRAM depth:
+        # a put into a full inbox blocks in the crossbar until the
+        # engine drains an entry, backpressuring fan-in senders.
         self._inboxes: Dict[int, Store] = {
-            core: Store(engine) for core in config.core_ids
+            core: Store(engine, capacity=config.ate_inbox_depth or None)
+            for core in config.core_ids
         }
         self._issue_slots: Dict[int, Resource] = {
             core: Resource(engine, 1) for core in config.core_ids
@@ -180,9 +214,32 @@ class Ate:
                 name=f"ate.retry[{src}->{dst}]",
             )
         else:
-            yield self._inboxes[dst].put(message)
+            yield from self._inbox_put(dst, message)
             reply.add_callback(lambda ev: self._finish(slot, completion, ev))
         return completion
+
+    def _inbox_put(self, dst: int, message: _Message):
+        """Deliver into a bounded inbox, accounting backpressure.
+
+        Stall counters are emitted only when the sender actually
+        blocked, so the uncontended stats snapshot is unchanged."""
+        inbox = self._inboxes[dst]
+        if inbox.capacity is not None and len(inbox.items) >= inbox.capacity:
+            began = self.engine.now
+            yield inbox.put(message)
+            waited = self.engine.now - began
+            if waited > 0:
+                self.stats.count("ate.inbox_stall_cycles", waited)
+                self.stats.count("ate.inbox_stalls", 1)
+        else:
+            yield inbox.put(message)
+        self.stats.peak("ate.inbox_occupancy_peak", inbox.peak_occupancy)
+
+    def inbox_occupancy(self) -> Dict[int, int]:
+        """Cores with queued requests -> queue depth (diagnostics)."""
+        return {
+            core: len(store) for core, store in self._inboxes.items() if len(store)
+        }
 
     def _finish(self, slot: Resource, completion: SimEvent, reply: SimEvent) -> None:
         slot.release()
@@ -207,7 +264,7 @@ class Ate:
         if self.faults.roll("ate.drop", detail=label):
             self.stats.count("ate.dropped", 1)
             return
-        yield self._inboxes[message.dst].put(message)
+        yield from self._inbox_put(message.dst, message)
 
     def _await_with_retry(self, slot: Resource, message: _Message,
                           completion: SimEvent):
@@ -234,7 +291,16 @@ class Ate:
                         AteError(
                             f"ATE {message.kind.value} {message.src}->"
                             f"{message.dst} seq={message.seq} gave up after "
-                            f"{attempt - 1} retries"
+                            f"{attempt - 1} retries",
+                            site=f"ate.issue[{message.src}->{message.dst}]",
+                            sim_time=self.engine.now,
+                            retry_count=attempt - 1,
+                            occupancy={
+                                "dst_inbox": len(self._inboxes[message.dst]),
+                                "dst_blocked_putters": self._inboxes[
+                                    message.dst
+                                ].blocked_putters,
+                            },
                         )
                     )
                     return
@@ -274,7 +340,7 @@ class Ate:
             issued_at=self.engine.now,
         )
         yield self.engine.timeout(self.topology.one_way_cycles(src, dst))
-        yield self._inboxes[dst].put(message)
+        yield from self._inbox_put(dst, message)
         slot.release()
 
     # Convenience wrappers used throughout the runtime and apps.
@@ -396,7 +462,9 @@ class Ate:
         if handler is None:
             raise AteError(
                 f"core {core_id} has no software RPC handler "
-                f"{message.handler!r} installed"
+                f"{message.handler!r} installed",
+                site=f"ate.handler[{core_id}]",
+                sim_time=self.engine.now,
             )
         result = handler(message.args)
         if hasattr(result, "send") and hasattr(result, "throw"):
@@ -431,7 +499,11 @@ class Ate:
             return self.scratchpads[core].read_u64(offset)
         if self.address_map.is_ddr(address):
             return self.ddr_memory.read_u64(address)
-        raise AteError(f"ATE address {address:#x} is neither DDR nor DMEM")
+        raise AteError(
+            f"ATE address {address:#x} is neither DDR nor DMEM",
+            site=f"ate.read[{owner}]",
+            sim_time=self.engine.now,
+        )
 
     def _write64(self, owner: int, address: int, value: int) -> None:
         if self.address_map.is_dmem(address):
@@ -441,4 +513,8 @@ class Ate:
         if self.address_map.is_ddr(address):
             self.ddr_memory.write_u64(address, value)
             return
-        raise AteError(f"ATE address {address:#x} is neither DDR nor DMEM")
+        raise AteError(
+            f"ATE address {address:#x} is neither DDR nor DMEM",
+            site=f"ate.write[{owner}]",
+            sim_time=self.engine.now,
+        )

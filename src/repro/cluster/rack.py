@@ -53,10 +53,32 @@ class Cluster:
         self.fabric = IBFabric(
             self.engine, num_dpus, fabric_config, faults=self.faults
         )
+        # Optional coordinator-side admission gate for cluster jobs
+        # (see repro.runtime.admission); None = pre-existing behaviour.
+        self.admission = None
 
     @property
     def num_dpus(self) -> int:
         return len(self.dpus)
+
+    def set_admission(self, controller):
+        """Attach an :class:`~repro.runtime.admission.AdmissionController`
+        gating every ``cluster_*`` job at the coordinator."""
+        self.admission = controller
+        return controller
+
+    def admit_job(self, site: str):
+        """Run the admission gate on the shared engine; returns the
+        ticket (``None`` with no controller attached). Raises
+        :class:`~repro.runtime.admission.OverloadError` when shed."""
+        if self.admission is None:
+            return None
+        process = self.engine.process(self.admission.acquire(site))
+        return self.engine.run_until_complete(process)
+
+    def release_job(self) -> None:
+        if self.admission is not None:
+            self.admission.release()
 
     def run(self, processes, limit_cycles: float = 10**13):
         """Drive the shared engine until every process completes."""

@@ -42,6 +42,9 @@ class ScaleOutResult:
     num_dpus: int
     clock_hz: float
     network_bytes: int
+    # Admission outcome (see repro.runtime.admission): True when the
+    # coordinator admitted this job at reduced per-DPU core fanout.
+    degraded: bool = False
 
     @property
     def seconds(self) -> float:
@@ -85,44 +88,54 @@ def cluster_hll(
         )
     engine = cluster.engine
     start = engine.now
+    # Admission gate (queue time counts toward the job's latency; a
+    # shed raises OverloadError before any DPU does work).
+    ticket = cluster.admit_job("cluster.hll")
     coordinator = 0
     register_bytes = (1 << precision)
 
-    processes = []
-    for index, (dpu, shard) in enumerate(zip(cluster.dpus, shards)):
-        address = dpu.store_array(shard)
-        # The sketch phase is embarrassingly parallel; running each
-        # DPU's launch on the shared clock in turn only costs fidelity
-        # on overlap the phase does not have. The exchange phase below
-        # (mailbox -> A9 -> fabric -> coordinator) is fully concurrent.
-        local_result = dpu_hll(
-            dpu, address, len(shard), precision=precision, hash_fn=hash_fn
-        )
-        registers = local_result.detail["registers"]
-
-        def sender(dpu=dpu, index=index, registers=registers):
-            core = dpu.context(0)
-            yield from core.mbox_send(A9_ID, registers)
-
-        processes.append(engine.process(sender()))
-        processes.append(
-            engine.process(
-                _a9_uplink(dpu, cluster.fabric, index, coordinator,
-                           register_bytes)
+    try:
+        processes = []
+        for index, (dpu, shard) in enumerate(zip(cluster.dpus, shards)):
+            cores = (ticket.fanout(list(dpu.config.core_ids))
+                     if ticket is not None else None)
+            address = dpu.store_array(shard)
+            # The sketch phase is embarrassingly parallel; running each
+            # DPU's launch on the shared clock in turn only costs
+            # fidelity on overlap the phase does not have. The exchange
+            # phase below (mailbox -> A9 -> fabric -> coordinator) is
+            # fully concurrent.
+            local_result = dpu_hll(
+                dpu, address, len(shard), precision=precision,
+                hash_fn=hash_fn, cores=cores,
             )
+            registers = local_result.detail["registers"]
+
+            def sender(dpu=dpu, index=index, registers=registers):
+                core = dpu.context(0)
+                yield from core.mbox_send(A9_ID, registers)
+
+            processes.append(engine.process(sender()))
+            processes.append(
+                engine.process(
+                    _a9_uplink(dpu, cluster.fabric, index, coordinator,
+                               register_bytes)
+                )
+            )
+
+        def merge(accumulator, registers):
+            if accumulator is None:
+                return registers.copy()
+            np.maximum(accumulator, registers, out=accumulator)
+            return accumulator
+
+        collector = engine.process(
+            _a9_collector(cluster, coordinator, cluster.num_dpus, merge)
         )
-
-    def merge(accumulator, registers):
-        if accumulator is None:
-            return registers.copy()
-        np.maximum(accumulator, registers, out=accumulator)
-        return accumulator
-
-    collector = engine.process(
-        _a9_collector(cluster, coordinator, cluster.num_dpus, merge)
-    )
-    processes.append(collector)
-    cluster.run(processes)
+        processes.append(collector)
+        cluster.run(processes)
+    finally:
+        cluster.release_job()
     merged = collector.value
     sketch = HllSketch(precision, merged)
     return ScaleOutResult(
@@ -131,6 +144,7 @@ def cluster_hll(
         num_dpus=cluster.num_dpus,
         clock_hz=cluster.config.clock_hz,
         network_bytes=cluster.fabric.bytes_sent,
+        degraded=bool(ticket.degraded) if ticket is not None else False,
     )
 
 
@@ -147,38 +161,46 @@ def cluster_filter_count(
         )
     engine = cluster.engine
     start = engine.now
+    ticket = cluster.admit_job("cluster.filter_count")
     coordinator = 0
     predicate = Between("v", lo, hi)
 
-    processes = []
-    for index, (dpu, shard) in enumerate(zip(cluster.dpus, shards)):
-        table = Table(f"shard{index}", {"v": shard})
-        result = dpu_filter(dpu, table.to_dpu(dpu), predicate)
-        count = int(result.detail["selected"])
+    try:
+        processes = []
+        for index, (dpu, shard) in enumerate(zip(cluster.dpus, shards)):
+            cores = (ticket.fanout(list(dpu.config.core_ids))
+                     if ticket is not None else None)
+            table = Table(f"shard{index}", {"v": shard})
+            result = dpu_filter(dpu, table.to_dpu(dpu), predicate,
+                                cores=cores)
+            count = int(result.detail["selected"])
 
-        def sender(dpu=dpu, count=count):
-            core = dpu.context(0)
-            yield from core.mbox_send(A9_ID, count)
+            def sender(dpu=dpu, count=count):
+                core = dpu.context(0)
+                yield from core.mbox_send(A9_ID, count)
 
-        processes.append(engine.process(sender()))
-        processes.append(
-            engine.process(
-                _a9_uplink(dpu, cluster.fabric, index, coordinator, 8)
+            processes.append(engine.process(sender()))
+            processes.append(
+                engine.process(
+                    _a9_uplink(dpu, cluster.fabric, index, coordinator, 8)
+                )
+            )
+
+        collector = engine.process(
+            _a9_collector(
+                cluster, coordinator, cluster.num_dpus,
+                lambda acc, count: (acc or 0) + count,
             )
         )
-
-    collector = engine.process(
-        _a9_collector(
-            cluster, coordinator, cluster.num_dpus,
-            lambda acc, count: (acc or 0) + count,
-        )
-    )
-    processes.append(collector)
-    cluster.run(processes)
+        processes.append(collector)
+        cluster.run(processes)
+    finally:
+        cluster.release_job()
     return ScaleOutResult(
         value=collector.value,
         cycles=engine.now - start,
         num_dpus=cluster.num_dpus,
         clock_hz=cluster.config.clock_hz,
         network_bytes=cluster.fabric.bytes_sent,
+        degraded=bool(ticket.degraded) if ticket is not None else False,
     )

@@ -63,6 +63,11 @@ class DPUConfig:
     rtl_gather_bug: bool = True  # first silicon's gather FIFO overflow
     dms_crc_retries: int = 3  # descriptor replays before giving up
     dms_crc_check_cycles: int = 4  # CRC SRAM lookup per validation
+    # Descriptor active lists live in a 1 KB DMEM ring per channel
+    # (64 x 16 B Table-2 images). A push beyond this occupancy stalls
+    # the issuing dpCore until the DMAD drains below the limit
+    # (credit-based backpressure); 0 disables the bound.
+    dmad_queue_depth: int = 64
     # -- ATE ----------------------------------------------------------------
     ate_local_crossbar_cycles: int = 12  # within a macro, one way
     ate_global_crossbar_cycles: int = 22  # macro-to-macro hop, one way
@@ -71,6 +76,11 @@ class DPUConfig:
     ate_sw_handler_overhead_cycles: int = 320  # interrupt+dispatch+return
     ate_rpc_timeout_cycles: int = 4000  # requester reply timeout (fault mode)
     ate_rpc_max_retries: int = 6  # resends before AteError
+    # Receiving ATE engine's request FIFO (two entries per peer core).
+    # A put into a full inbox blocks in the crossbar — the sender's
+    # message occupies its issue path until a slot frees, which is how
+    # fan-in overload backpressures the sources; 0 disables the bound.
+    ate_inbox_depth: int = 64
     # -- mailbox --------------------------------------------------------------
     mbc_send_cycles: int = 20
     mbc_interrupt_cycles: int = 60

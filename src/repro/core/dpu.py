@@ -153,7 +153,10 @@ class DPU:
             base=_HEAP_BASE,
             capacity=config.ddr_capacity - _HEAP_BASE,
             num_cores=config.num_cores,
+            engine=self.engine,
         )
+        # Optional admission gate for launches (see set_admission).
+        self.admission = None
         self.caches: List[MacroCacheHierarchy] = [
             MacroCacheHierarchy(
                 core_ids=range(
@@ -197,6 +200,17 @@ class DPU:
     def context(self, core_id: int) -> "CoreContext":
         return CoreContext(self, core_id)
 
+    def set_admission(self, controller) -> None:
+        """Attach an :class:`~repro.runtime.admission.AdmissionController`.
+
+        With a controller attached, every ``launch`` first passes the
+        admission gate: the job queues (simulated wait), is shed with
+        an ``OverloadError``, or runs at reduced fanout, per the
+        controller's policy. With none attached (the default) launch
+        takes exactly the ungated code path.
+        """
+        self.admission = controller
+
     def launch(
         self,
         kernel: Callable,
@@ -212,6 +226,30 @@ class DPU:
         (cooperative run-to-completion, no preemption — §4).
         """
         core_list = list(cores) if cores is not None else list(self.config.core_ids)
+        if self.admission is not None:
+            site = f"dpu.launch:{getattr(kernel, '__name__', 'kernel')}"
+            ticket = self.run_process(
+                self.admission.acquire(site), limit_cycles=limit_cycles
+            )
+            try:
+                core_list = ticket.fanout(core_list)
+                return self._launch_cores(
+                    kernel, args, core_list, per_core_args, limit_cycles
+                )
+            finally:
+                self.admission.release()
+        return self._launch_cores(
+            kernel, args, core_list, per_core_args, limit_cycles
+        )
+
+    def _launch_cores(
+        self,
+        kernel: Callable,
+        args: Sequence[Any],
+        core_list: List[int],
+        per_core_args: Optional[Dict[int, Sequence[Any]]],
+        limit_cycles: float,
+    ) -> LaunchResult:
         start = self.engine.now
         processes = []
         for core_id in core_list:
@@ -234,6 +272,40 @@ class DPU:
             end_cycle=self.engine.now,
             config=self.config,
         )
+
+    def spawn_job(
+        self,
+        kernel: Callable,
+        args: Sequence[Any] = (),
+        cores: Optional[Iterable[int]] = None,
+        per_core_args: Optional[Dict[int, Sequence[Any]]] = None,
+        site: Optional[str] = None,
+    ):
+        """Start one admission-gated multi-core job WITHOUT driving
+        the engine; returns a single process yielding the per-core
+        values. For coordinators running many concurrent jobs on a
+        shared engine — the admission gate (if attached) queues,
+        sheds, or degrades each job inside the simulation."""
+        core_list = list(cores) if cores is not None else list(self.config.core_ids)
+        label = site or f"dpu.job:{getattr(kernel, '__name__', 'kernel')}"
+
+        def job():
+            ticket = None
+            job_cores = core_list
+            if self.admission is not None:
+                ticket = yield from self.admission.acquire(label)
+                job_cores = ticket.fanout(job_cores)
+            try:
+                processes = self.spawn_kernels(
+                    kernel, args, job_cores, per_core_args
+                )
+                values = yield self.engine.all_of(processes)
+            finally:
+                if ticket is not None:
+                    self.admission.release()
+            return values
+
+        return self.engine.process(job(), name=label)
 
     def spawn_kernels(
         self,
@@ -307,11 +379,17 @@ class CoreContext:
         Software-RPC interrupt work that arrived since the last charge
         (ATE "interrupt debt") is drained into this charge, modelling
         handler execution stealing cycles from the application thread.
+        DMAD push backpressure (stall debt from pushes into a full
+        descriptor ring) is drained the same way.
         """
         debt = self.ate.interrupt_debt.get(self.core_id, 0.0)
         if debt:
             self.ate.interrupt_debt[self.core_id] = 0.0
             cycles += debt
+        stall = self.dmad.push_stall_debt
+        if stall:
+            self.dmad.push_stall_debt = 0.0
+            cycles += stall
         if cycles > 0:
             yield self.engine.timeout(cycles)
 
@@ -322,7 +400,16 @@ class CoreContext:
         self.dmad.push(descriptor, channel)
 
     def wfe(self, event_id: int):
-        """Wait-For-Event: block until DMS event ``event_id`` is set."""
+        """Wait-For-Event: block until DMS event ``event_id`` is set.
+
+        Any outstanding DMAD push stall (backpressure from a full
+        descriptor ring) is paid before the wait begins — the core
+        cannot reach the wfe until its stalled pushes retired.
+        """
+        stall = self.dmad.push_stall_debt
+        if stall:
+            self.dmad.push_stall_debt = 0.0
+            yield self.engine.timeout(stall)
         yield self.events.wait(event_id)
 
     def clear_event(self, event_id: int) -> None:

@@ -52,7 +52,37 @@ _WIDTH_DTYPE = {1: np.uint8, 2: np.uint16, 4: np.uint32, 8: np.uint64}
 
 
 class DmsHardwareError(Exception):
-    """A modelled hardware failure (e.g. the gather FIFO overflow)."""
+    """A modelled hardware failure (e.g. the gather FIFO overflow).
+
+    Carries structured context — the failing ``site``, simulation
+    ``sim_time``, ``retry_count`` of replays already burned, and an
+    ``occupancy`` snapshot of the relevant queues — so handlers can
+    decide to retry, shed, or serialize without parsing messages.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        site: str = "",
+        sim_time: Optional[float] = None,
+        retry_count: int = 0,
+        occupancy: Optional[Dict] = None,
+    ) -> None:
+        self.site = site
+        self.sim_time = sim_time
+        self.retry_count = retry_count
+        self.occupancy = dict(occupancy) if occupancy else {}
+        detail = []
+        if site:
+            detail.append(f"site={site}")
+        if sim_time is not None:
+            detail.append(f"t={sim_time:.0f}")
+        if retry_count:
+            detail.append(f"retries={retry_count}")
+        if detail:
+            message = f"{message} [{' '.join(detail)}]"
+        super().__init__(message)
 
 
 class PartitionChunk:
@@ -296,12 +326,16 @@ class Dmac:
     def _guarded_gather_begin(self):
         self._active_gathers += 1
         if self._active_gathers > 1 and self.config.rtl_gather_bug:
+            active = self._active_gathers
             self._active_gathers -= 1
             raise DmsHardwareError(
                 "gather bit-vector count FIFO overflow: more than one dpCore "
                 "has a gather in flight on first-silicon hardware; apply the "
                 "software workaround (serialize gathers) or disable "
-                "rtl_gather_bug (paper §3.4, Figure 12)"
+                "rtl_gather_bug (paper §3.4, Figure 12)",
+                site="dmac.gather",
+                sim_time=self.engine.now,
+                occupancy={"active_gathers": active},
             )
         yield self.engine.timeout(0)
 
@@ -318,6 +352,21 @@ class Dmac:
 
     # -- internal-memory descriptors -----------------------------------------
 
+    def _acquire_slot(self, slots: Resource, name: str):
+        """Acquire an SRAM slot, recording stall cycles and occupancy.
+
+        Counters are emitted only when the acquirer actually waited, so
+        uncontended runs keep an unchanged stats snapshot."""
+        began = self.engine.now
+        self.stats.peak(f"{name}.occupancy_peak", min(slots.in_use + 1, slots.capacity))
+        if slots.in_use >= slots.capacity:
+            self.stats.peak(f"{name}.queue_peak", slots.queue_depth + 1)
+        yield slots.acquire()
+        waited = self.engine.now - began
+        if waited > 0:
+            self.stats.count(f"{name}.stall_cycles", waited)
+            self.stats.count(f"{name}.stalls", 1)
+
     def _exec_dmem_to_dms(self, descriptor: Descriptor, core_id: int):
         """Charge the crossbar time for a RID/BV load (the register
         contents were snapshotted at dispatch, in program order)."""
@@ -329,7 +378,7 @@ class Dmac:
         _kind, chunk, load_event = prep
         if not chunk.bank_acquired:
             chunk.bank_acquired = True
-            yield self.cmem_slots.acquire()
+            yield from self._acquire_slot(self.cmem_slots, "dmac.cmem")
         width = descriptor.col_width
         nbytes = descriptor.rows * width
         if chunk.total_bytes() + nbytes > self.config.cmem_bank_bytes:
@@ -364,7 +413,7 @@ class Dmac:
             raise DescriptorError("hash descriptor without a partition spec")
         if not chunk.crc_acquired:
             chunk.crc_acquired = True
-            yield self.crc_slots.acquire()
+            yield from self._acquire_slot(self.crc_slots, "dmac.crc")
         yield self.engine.all_of(load_events)
         if chunk.key is None:
             raise DescriptorError("partition chunk has no key column")

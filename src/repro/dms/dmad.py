@@ -82,6 +82,11 @@ class Dmad:
         self.outstanding = Resource(engine, config.dms_max_outstanding)
         self._drained = engine.event()
         self._inflight = 0
+        # Credit-based backpressure: cycles of stall the issuing dpCore
+        # owes for pushes beyond the channel ring's occupancy limit.
+        # The core's next compute/wfe boundary drains this debt, the
+        # same mechanism ATE interrupts use (see CoreContext.compute).
+        self.push_stall_debt = 0.0
         # Completion of the most recent in-flight descriptor notifying
         # each event (the buffer-refill flow-control chain).
         self._notify_tail: Dict[int, object] = {}
@@ -95,11 +100,43 @@ class Dmad:
     # -- software interface ----------------------------------------------
 
     def push(self, descriptor: Descriptor, channel: int = 0) -> None:
-        """The dpCore ``push`` instruction: append to an active list."""
+        """The dpCore ``push`` instruction: append to an active list.
+
+        The active list lives in a fixed DMEM ring
+        (``config.dmad_queue_depth`` slots). A push beyond the ring's
+        occupancy charges the issuing core stall cycles — the hardware
+        holds the push until the DMAD retires an entry — accumulated
+        as ``push_stall_debt`` and paid at the core's next
+        compute/wfe boundary."""
         if not 0 <= channel < self.NUM_CHANNELS:
             raise DescriptorError(f"DMS channel must be 0 or 1: {channel}")
-        self.channels[channel].program.append(descriptor)
+        chan = self.channels[channel]
+        if chan.program and chan.pc >= len(chan.program) and not chan.loop_remaining:
+            # The ring is fully drained: retired slots are reusable, so
+            # recycle them (keeps the modelled list bounded; safe only
+            # with no pending LOOP, which could rewind over them).
+            chan.program.clear()
+            chan.pc = 0
+        chan.program.append(descriptor)
+        pending = len(chan.program) - chan.pc
+        self.stats.peak("dmad.occupancy_peak", pending)
+        depth = self.config.dmad_queue_depth
+        if depth and pending > depth:
+            # The push blocks until the DMAD retires one entry and a
+            # ring slot frees: one descriptor-retire time of stall.
+            # (The walker drains concurrently, so a burst of N pushes
+            # into a full ring costs ~(N - depth) retire times total,
+            # not a quadratic pile-up.)
+            stall = self.config.dms_descriptor_setup_cycles
+            self.push_stall_debt += stall
+            self.stats.count("dmad.push_stall_cycles", stall)
+            self.stats.count("dmad.push_stalls", 1)
         self._wakeups[channel].put(object())
+
+    def occupancy(self, channel: int = 0) -> int:
+        """Entries in the channel ring not yet walked past."""
+        chan = self.channels[channel]
+        return len(chan.program) - chan.pc
 
     def idle(self) -> bool:
         """True when all channels have drained and nothing is in flight."""
@@ -193,7 +230,16 @@ class Dmad:
                 raise DmsHardwareError(
                     f"descriptor CRC mismatch persisted through "
                     f"{self.config.dms_crc_retries} replays ({label}); "
-                    f"failing the completion event"
+                    f"failing the completion event",
+                    site=f"dmad[{self.core_id}].crc",
+                    sim_time=self.engine.now,
+                    retry_count=replays,
+                    occupancy={
+                        "inflight": self._inflight,
+                        "channel_pending": [
+                            self.occupancy(c) for c in range(self.NUM_CHANNELS)
+                        ],
+                    },
                 )
             yield self.engine.timeout(
                 self.config.dms_descriptor_setup_cycles

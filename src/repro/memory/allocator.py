@@ -20,7 +20,7 @@ is deterministic, which keeps every simulation bit-reproducible.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 __all__ = ["HeapAllocator", "OutOfMemoryError", "SUPERBLOCK_SIZE", "SIZE_CLASSES"]
 
@@ -35,7 +35,41 @@ _ALIGNMENT = 16
 
 
 class OutOfMemoryError(Exception):
-    """The modelled DRAM heap is exhausted."""
+    """The modelled DRAM heap is exhausted.
+
+    Carries structured context so an exhaustion is diagnosable without
+    parsing the message: the allocation ``site``, the ``requested``
+    byte count, the simulation ``sim_time`` of the failure, and a
+    ``heap_stats`` snapshot (bytes in use, free-list shape, per-class
+    superblock counts) taken at raise time.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        site: str = "",
+        requested: int = 0,
+        sim_time: Optional[float] = None,
+        heap_stats: Optional[Dict] = None,
+    ) -> None:
+        self.site = site
+        self.requested = requested
+        self.sim_time = sim_time
+        self.heap_stats = dict(heap_stats) if heap_stats else {}
+        detail = []
+        if site:
+            detail.append(f"site={site}")
+        if sim_time is not None:
+            detail.append(f"t={sim_time:.0f}")
+        if self.heap_stats:
+            in_use = self.heap_stats.get("live_bytes")
+            free = self.heap_stats.get("free_bytes")
+            if in_use is not None and free is not None:
+                detail.append(f"live={in_use} free={free}")
+        if detail:
+            message = f"{message} [{' '.join(detail)}]"
+        super().__init__(message)
 
 
 def _size_class_for(size: int) -> Optional[int]:
@@ -98,7 +132,10 @@ class GlobalHeap:
                     del self._free[index]
                 return address
         raise OutOfMemoryError(
-            f"cannot carve {size} bytes from heap of {self.capacity}"
+            f"cannot carve {size} bytes from heap of {self.capacity}",
+            site="global_heap.carve",
+            requested=size,
+            heap_stats=self.stats(),
         )
 
     def reclaim(self, address: int, size: int) -> None:
@@ -125,6 +162,20 @@ class GlobalHeap:
 
     def free_bytes(self) -> int:
         return sum(length for _addr, length in self._free)
+
+    def stats(self) -> Dict:
+        """Diagnosability snapshot of the raw heap range."""
+        free = self.free_bytes()
+        return {
+            "capacity": self.capacity,
+            "free_bytes": free,
+            "live_bytes": self.capacity - free,
+            "largest_free": max(
+                (length for _addr, length in self._free), default=0
+            ),
+            "fragments": len(self._free),
+            "superblocks_out": self.superblocks_out,
+        }
 
 
 class LocalHeap:
@@ -155,6 +206,25 @@ class LocalHeap:
                 blocks.remove(block)
                 self.global_heap.return_superblock(block)
 
+    def stats(self) -> Dict:
+        """Per-size-class superblock counts and bytes in use."""
+        per_class: Dict[int, Dict[str, int]] = {}
+        bytes_in_use = 0
+        for size_class, blocks in sorted(self._by_class.items()):
+            allocated = sum(block.allocated for block in blocks)
+            if not blocks:
+                continue
+            per_class[size_class] = {
+                "superblocks": len(blocks),
+                "allocated_slots": allocated,
+            }
+            bytes_in_use += allocated * size_class
+        return {
+            "core_id": self.core_id,
+            "bytes_in_use": bytes_in_use,
+            "size_classes": per_class,
+        }
+
 
 class HeapAllocator:
     """Public facade: ``malloc``/``free`` with per-core fast paths.
@@ -164,28 +234,70 @@ class HeapAllocator:
     allocator's page map).
     """
 
-    def __init__(self, base: int, capacity: int, num_cores: int) -> None:
+    def __init__(
+        self, base: int, capacity: int, num_cores: int, engine=None
+    ) -> None:
         self.global_heap = GlobalHeap(base, capacity)
         self.local_heaps = [LocalHeap(cid, self.global_heap) for cid in range(num_cores)]
         # address -> ("small", size_class, superblock) | ("large", size)
         self._live: Dict[int, tuple] = {}
         self.peak_live_bytes = 0
         self._live_bytes = 0
+        self.engine = engine  # optional: timestamps exhaustion errors
+        # Watermark callbacks: (threshold_bytes, fired, callback).
+        # Each fires once when live bytes cross its threshold upward
+        # and re-arms when usage drops back below.
+        self._watermarks: List[List] = []
+
+    def add_watermark(
+        self, fraction: float, callback: Callable[["HeapAllocator"], None]
+    ) -> None:
+        """Call ``callback(heap)`` when live bytes first exceed
+        ``fraction`` of capacity (re-armed after usage falls back)."""
+        if not 0.0 < fraction <= 1.0:
+            raise ValueError(f"watermark fraction must be in (0, 1]: {fraction}")
+        threshold = int(fraction * self.global_heap.capacity)
+        self._watermarks.append([threshold, False, callback])
+
+    def _check_watermarks(self) -> None:
+        for mark in self._watermarks:
+            threshold, fired, callback = mark
+            if not fired and self._live_bytes >= threshold:
+                mark[1] = True
+                callback(self)
+            elif fired and self._live_bytes < threshold:
+                mark[1] = False
+
+    def _now(self) -> Optional[float]:
+        return float(self.engine.now) if self.engine is not None else None
 
     def malloc(self, size: int, core_id: int = 0) -> int:
         if size <= 0:
             raise ValueError(f"allocation size must be positive: {size}")
         size_class = _size_class_for(size)
-        if size_class is not None:
-            local = self.local_heaps[core_id % len(self.local_heaps)]
-            address, block = local.malloc(size_class)
-            self._live[address] = ("small", size_class, block, core_id)
-            self._live_bytes += size_class
-        else:
-            address = self.global_heap.carve(size)
-            self._live[address] = ("large", size)
-            self._live_bytes += size
+        try:
+            if size_class is not None:
+                local = self.local_heaps[core_id % len(self.local_heaps)]
+                address, block = local.malloc(size_class)
+                self._live[address] = ("small", size_class, block, core_id)
+                self._live_bytes += size_class
+            else:
+                address = self.global_heap.carve(size)
+                self._live[address] = ("large", size)
+                self._live_bytes += size
+        except OutOfMemoryError as error:
+            # Re-raise with the full two-level picture: the carve-level
+            # error only sees the global free list.
+            raise OutOfMemoryError(
+                f"malloc of {size} bytes failed on core {core_id}",
+                site=f"heap.malloc[core {core_id}]",
+                requested=size,
+                sim_time=self._now(),
+                heap_stats=self.stats(),
+            ) from error
         self.peak_live_bytes = max(self.peak_live_bytes, self._live_bytes)
+        if self._watermarks:
+            self._check_watermarks()
         return address
 
     def free(self, address: int) -> None:
@@ -200,9 +312,27 @@ class HeapAllocator:
             _kind, size = record
             self.global_heap.reclaim(address, size)
             self._live_bytes -= size
+        if self._watermarks:
+            # Dropping below a threshold re-arms its watermark.
+            self._check_watermarks()
 
     def live_bytes(self) -> int:
         return self._live_bytes
+
+    def stats(self) -> Dict:
+        """Full two-level snapshot: global free-list shape plus
+        per-core, per-size-class superblock occupancy. Attached to
+        every exhaustion error and used by watermark callbacks."""
+        per_core = [
+            heap.stats() for heap in self.local_heaps if heap.stats()["size_classes"]
+        ]
+        return {
+            "live_bytes": self._live_bytes,
+            "peak_live_bytes": self.peak_live_bytes,
+            "free_bytes": self.global_heap.free_bytes(),
+            "global": self.global_heap.stats(),
+            "local_heaps": per_core,
+        }
 
     def allocation_size(self, address: int) -> int:
         record = self._live.get(address)

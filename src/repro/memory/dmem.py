@@ -9,6 +9,8 @@ the core; the DMS writes into it directly, making transferred data
 
 from __future__ import annotations
 
+from typing import Callable, List
+
 import numpy as np
 
 from .address import DMEM_SIZE
@@ -25,6 +27,29 @@ class Scratchpad:
         self.core_id = core_id
         self.size = size
         self.data = np.zeros(size, dtype=np.uint8)
+        self.peak_offset = 0  # high-water mark of bytes touched by writes
+        self.bytes_written = 0
+        self._watermarks: List[List] = []  # [threshold, fired, callback]
+
+    def add_watermark(
+        self, fraction: float, callback: Callable[["Scratchpad"], None]
+    ) -> None:
+        """Call ``callback(pad)`` when the write high-water mark first
+        crosses ``fraction`` of capacity. Watermarks on a scratchpad
+        are one-shot per crossing: the mark stays fired because DMEM
+        contents are not reclaimed until :meth:`fill` resets them."""
+        if not 0.0 < fraction <= 1.0:
+            raise ValueError(f"watermark fraction must be in (0, 1]: {fraction}")
+        self._watermarks.append([int(fraction * self.size), False, callback])
+
+    def stats(self) -> dict:
+        """Occupancy snapshot for overload diagnosis."""
+        return {
+            "core_id": self.core_id,
+            "size": self.size,
+            "peak_offset": self.peak_offset,
+            "bytes_written": self.bytes_written,
+        }
 
     def _check(self, offset: int, length: int) -> None:
         if length < 0:
@@ -45,6 +70,14 @@ class Scratchpad:
         raw = np.ascontiguousarray(payload).view(np.uint8).ravel()
         self._check(offset, len(raw))
         self.data[offset : offset + len(raw)] = raw
+        end = offset + len(raw)
+        self.bytes_written += len(raw)
+        if end > self.peak_offset:
+            self.peak_offset = end
+            for mark in self._watermarks:
+                if not mark[1] and end >= mark[0]:
+                    mark[1] = True
+                    mark[2](self)
 
     def view(self, offset: int, length: int, dtype=np.uint8) -> np.ndarray:
         """Zero-copy typed view (mutations are visible to hardware)."""
@@ -66,3 +99,6 @@ class Scratchpad:
     def fill(self, value: int = 0) -> None:
         """Blank the scratchpad (used between kernel launches)."""
         self.data[:] = np.uint8(value & 0xFF)
+        self.peak_offset = 0
+        for mark in self._watermarks:
+            mark[1] = False

@@ -1,5 +1,13 @@
 """DPU software runtime: scheduling, ATE primitives, serialized RPC."""
 
+from .admission import (
+    Admission,
+    AdmissionController,
+    ConcurrencyLimiter,
+    MemoryGovernor,
+    OverloadError,
+    TokenBucket,
+)
 from .coherence import CoherenceChecker, Violation
 from .failover import resilient_launch, surviving_cores
 from .parallel import AteBarrier, AteMutex, SharedCounter, WorkQueue
@@ -7,12 +15,18 @@ from .rpc import Region, dpu_serialized, install_serialized
 from .task import DmemLayout, chunk_ranges, static_partition
 
 __all__ = [
+    "Admission",
+    "AdmissionController",
     "AteBarrier",
     "AteMutex",
     "CoherenceChecker",
+    "ConcurrencyLimiter",
     "DmemLayout",
+    "MemoryGovernor",
+    "OverloadError",
     "Region",
     "SharedCounter",
+    "TokenBucket",
     "Violation",
     "WorkQueue",
     "chunk_ranges",

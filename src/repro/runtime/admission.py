@@ -1,0 +1,406 @@
+"""Admission control and load shedding for DPU job launch.
+
+The paper's hardware applies flow control at every queue — DMAD
+notify-event backpressure (§3.1), the ATE's one-outstanding-request
+rule (§3.3) — but nothing stops *software* from oversubscribing the
+chip: a coordinator that launches more concurrent jobs than DMEM and
+the heap can hold turns a throughput plateau into a collapse. This
+module is the software end of the backpressure chain:
+
+* :class:`TokenBucket` — a deterministic, simulation-time token
+  bucket bounding the job *arrival rate*;
+* :class:`ConcurrencyLimiter` — a FIFO slot pool bounding jobs *in
+  flight*;
+* :class:`AdmissionController` — combines both behind one of three
+  policies: ``queue`` (wait, with a bounded queue), ``shed`` (fail
+  fast with a typed :class:`OverloadError` carrying occupancy
+  context), or ``degrade`` (admit at reduced fanout so the job runs
+  smaller rather than not at all);
+* :class:`MemoryGovernor` — up-front memory grants for SQL operators,
+  so an operator discovers pressure *before* allocating and can spill
+  to DDR instead of dying mid-query.
+
+Everything is driven by the simulation clock, so admission decisions
+are bit-reproducible. A ``DPU`` or cluster coordinator with no
+controller attached takes exactly the pre-existing code path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ..sim import Engine, Resource, StatsRecorder
+
+__all__ = [
+    "AdmissionController",
+    "Admission",
+    "ConcurrencyLimiter",
+    "MemoryGovernor",
+    "OverloadError",
+    "TokenBucket",
+]
+
+
+class OverloadError(RuntimeError):
+    """A job was shed because the system is saturated.
+
+    Typed and structured: carries the shedding ``site``, simulation
+    ``sim_time``, the ``limit`` that was hit, the ``queue_depth`` at
+    decision time, and an ``occupancy`` snapshot, so coordinators can
+    implement retry/degrade policies without parsing messages.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        site: str = "",
+        sim_time: Optional[float] = None,
+        limit: int = 0,
+        queue_depth: int = 0,
+        retry_count: int = 0,
+        occupancy: Optional[Dict] = None,
+    ) -> None:
+        self.site = site
+        self.sim_time = sim_time
+        self.limit = limit
+        self.queue_depth = queue_depth
+        self.retry_count = retry_count
+        self.occupancy = dict(occupancy) if occupancy else {}
+        detail = []
+        if site:
+            detail.append(f"site={site}")
+        if sim_time is not None:
+            detail.append(f"t={sim_time:.0f}")
+        if limit:
+            detail.append(f"limit={limit}")
+        if queue_depth:
+            detail.append(f"queued={queue_depth}")
+        if detail:
+            message = f"{message} [{' '.join(detail)}]"
+        super().__init__(message)
+
+
+class TokenBucket:
+    """Deterministic token bucket on the simulation clock.
+
+    Refills continuously at ``rate_per_kcycle`` tokens per thousand
+    cycles up to ``burst``. All arithmetic is in simulation time, so
+    two identical runs make identical admission decisions.
+    """
+
+    def __init__(self, rate_per_kcycle: float, burst: float = 1.0) -> None:
+        if rate_per_kcycle < 0:
+            raise ValueError(f"negative refill rate {rate_per_kcycle}")
+        if burst <= 0:
+            raise ValueError(f"burst must be positive: {burst}")
+        self.rate = rate_per_kcycle / 1000.0  # tokens per cycle
+        self.burst = float(burst)
+        self.tokens = float(burst)
+        self._last_refill = 0.0
+
+    def _refill(self, now: float) -> None:
+        if now > self._last_refill:
+            self.tokens = min(
+                self.burst, self.tokens + (now - self._last_refill) * self.rate
+            )
+            self._last_refill = now
+
+    def try_take(self, now: float, cost: float = 1.0) -> bool:
+        self._refill(now)
+        if self.tokens >= cost:
+            self.tokens -= cost
+            return True
+        return False
+
+    def cycles_until_available(self, now: float, cost: float = 1.0) -> float:
+        """Cycles from ``now`` until ``cost`` tokens will exist
+        (``inf`` if the bucket cannot ever hold that many)."""
+        self._refill(now)
+        deficit = cost - self.tokens
+        if deficit <= 0:
+            return 0.0
+        if self.rate <= 0 or cost > self.burst:
+            return float("inf")
+        return deficit / self.rate
+
+
+class ConcurrencyLimiter:
+    """FIFO pool of job slots bounding work in flight."""
+
+    def __init__(self, engine: Engine, max_concurrent: int) -> None:
+        self.slots = Resource(engine, max_concurrent)
+
+    @property
+    def running(self) -> int:
+        return self.slots.in_use
+
+    @property
+    def queued(self) -> int:
+        return self.slots.queue_depth
+
+    @property
+    def limit(self) -> int:
+        return self.slots.capacity
+
+    def acquire(self):
+        return self.slots.acquire()
+
+    def release(self) -> None:
+        self.slots.release()
+
+
+@dataclass
+class Admission:
+    """An admitted job's ticket: how it was admitted and at what cost.
+
+    ``fanout_scale`` is 1.0 for a full-strength admission; under the
+    ``degrade`` policy a saturated controller admits with a scale in
+    (0, 1) and the job should shrink its core fanout accordingly.
+    """
+
+    site: str
+    waited_cycles: float = 0.0
+    degraded: bool = False
+    fanout_scale: float = 1.0
+
+    def fanout(self, cores):
+        """Apply the scale to a core list (at least one core kept)."""
+        cores = list(cores)
+        if not self.degraded or self.fanout_scale >= 1.0:
+            return cores
+        keep = max(1, int(len(cores) * self.fanout_scale))
+        return cores[:keep]
+
+
+class AdmissionController:
+    """Gate for ``DPU.launch`` / cluster jobs: queue, shed, or degrade.
+
+    Policies:
+
+    * ``queue`` — wait (in simulation time) for a token and a slot;
+      the wait queue itself is bounded by ``max_queue_depth``, beyond
+      which even the queue policy sheds (unbounded queues are how
+      overload turns into collapse);
+    * ``shed`` — if a token or slot is not immediately available,
+      raise :class:`OverloadError`;
+    * ``degrade`` — admit immediately, but when the controller is
+      saturated return a ticket asking the job to halve its fanout
+      (a smaller job finishes and frees capacity sooner).
+    """
+
+    POLICIES = ("queue", "shed", "degrade")
+
+    def __init__(
+        self,
+        engine: Engine,
+        max_concurrent: int = 4,
+        rate_per_kcycle: float = 0.0,
+        burst: float = 1.0,
+        policy: str = "queue",
+        max_queue_depth: int = 64,
+        degrade_scale: float = 0.5,
+        stats: Optional[StatsRecorder] = None,
+        name: str = "admission",
+    ) -> None:
+        if policy not in self.POLICIES:
+            raise ValueError(f"policy must be one of {self.POLICIES}: {policy}")
+        self.engine = engine
+        self.policy = policy
+        self.max_queue_depth = max_queue_depth
+        self.degrade_scale = degrade_scale
+        self.name = name
+        self.limiter = ConcurrencyLimiter(engine, max_concurrent)
+        self.bucket = (
+            TokenBucket(rate_per_kcycle, burst) if rate_per_kcycle > 0 else None
+        )
+        self.stats = stats if stats is not None else StatsRecorder()
+        self.admitted = 0
+        self.shed = 0
+        self.degraded = 0
+        # Jobs the degrade policy admitted past the slot limit (they
+        # run at reduced fanout instead of waiting for a slot).
+        self._over_admitted = 0
+
+    # -- introspection -----------------------------------------------------
+
+    def occupancy(self) -> Dict:
+        """Snapshot attached to every shed decision."""
+        snap = {
+            "running": self.limiter.running + self._over_admitted,
+            "queued": self.limiter.queued,
+            "limit": self.limiter.limit,
+        }
+        if self._over_admitted:
+            snap["over_admitted"] = self._over_admitted
+        if self.bucket is not None:
+            snap["tokens"] = self.bucket.tokens
+        return snap
+
+    @property
+    def saturated(self) -> bool:
+        return self.limiter.running >= self.limiter.limit
+
+    # -- admission (process world) -----------------------------------------
+
+    def acquire(self, site: str = "job"):
+        """Process generator: admit one job, returning its ticket.
+
+        The caller owns a slot on success and must call
+        :meth:`release` exactly once when the job retires.
+        """
+        began = self.engine.now
+        degraded = False
+        if self.policy == "shed":
+            if self.saturated:
+                self.shed += 1
+                self.stats.count(f"{self.name}.shed", 1)
+                raise OverloadError(
+                    f"{site} shed: all {self.limiter.limit} job slots busy",
+                    site=site,
+                    sim_time=self.engine.now,
+                    limit=self.limiter.limit,
+                    queue_depth=self.limiter.queued,
+                    occupancy=self.occupancy(),
+                )
+            if self.bucket is not None and not self.bucket.try_take(began):
+                self.shed += 1
+                self.stats.count(f"{self.name}.shed", 1)
+                raise OverloadError(
+                    f"{site} shed: arrival rate above admission budget",
+                    site=site,
+                    sim_time=self.engine.now,
+                    limit=self.limiter.limit,
+                    occupancy=self.occupancy(),
+                )
+        elif self.policy == "queue":
+            if self.limiter.queued >= self.max_queue_depth:
+                self.shed += 1
+                self.stats.count(f"{self.name}.shed", 1)
+                raise OverloadError(
+                    f"{site} shed: admission queue full "
+                    f"({self.limiter.queued} waiting)",
+                    site=site,
+                    sim_time=self.engine.now,
+                    limit=self.limiter.limit,
+                    queue_depth=self.limiter.queued,
+                    occupancy=self.occupancy(),
+                )
+            if self.bucket is not None:
+                wait = self.bucket.cycles_until_available(began)
+                if wait == float("inf"):
+                    raise OverloadError(
+                        f"{site} shed: request exceeds token burst",
+                        site=site,
+                        sim_time=self.engine.now,
+                        occupancy=self.occupancy(),
+                    )
+                if wait > 0:
+                    yield self.engine.timeout(wait)
+                self.bucket.try_take(self.engine.now)
+        over_commit = False
+        if self.policy == "degrade":
+            slotless = self.saturated
+            token_less = (
+                self.bucket is not None and not self.bucket.try_take(began)
+            )
+            degraded = slotless or token_less
+            # A saturated degrade admission over-commits: the job runs
+            # now at reduced fanout rather than waiting for a slot.
+            over_commit = slotless
+            if degraded:
+                self.degraded += 1
+                self.stats.count(f"{self.name}.degraded", 1)
+        self.stats.peak(f"{self.name}.queue_peak", self.limiter.queued + 1)
+        if over_commit:
+            self._over_admitted += 1
+        else:
+            yield self.limiter.acquire()
+        waited = self.engine.now - began
+        if waited > 0:
+            self.stats.count(f"{self.name}.wait_cycles", waited)
+        self.admitted += 1
+        self.stats.count(f"{self.name}.admitted", 1)
+        self.stats.peak(
+            f"{self.name}.running_peak",
+            self.limiter.running + self._over_admitted,
+        )
+        return Admission(
+            site=site,
+            waited_cycles=waited,
+            degraded=degraded,
+            fanout_scale=self.degrade_scale if degraded else 1.0,
+        )
+
+    def release(self) -> None:
+        if self._over_admitted > 0:
+            self._over_admitted -= 1
+        else:
+            self.limiter.release()
+
+
+class MemoryGovernor:
+    """Up-front memory grants so operators spill instead of dying.
+
+    An operator declares its working-set need *before* allocating; a
+    denied grant tells it to run with a smaller footprint (more waves
+    / spilled partitions at modelled DMS cost) while producing
+    byte-identical results. The governor bounds *reserved* bytes, a
+    budget independent of (and typically below) physical capacity, so
+    concurrent operators cannot jointly exhaust the heap.
+    """
+
+    def __init__(
+        self,
+        limit_bytes: int,
+        stats: Optional[StatsRecorder] = None,
+        name: str = "memgov",
+    ) -> None:
+        if limit_bytes <= 0:
+            raise ValueError(f"grant budget must be positive: {limit_bytes}")
+        self.limit_bytes = int(limit_bytes)
+        self.granted_bytes = 0
+        self.stats = stats if stats is not None else StatsRecorder()
+        self.name = name
+        self.denials = 0
+
+    def try_grant(self, nbytes: int, site: str = "") -> bool:
+        """Reserve ``nbytes``; False means run degraded (spill)."""
+        if nbytes <= 0:
+            raise ValueError(f"grant must be positive: {nbytes}")
+        if self.granted_bytes + nbytes > self.limit_bytes:
+            self.denials += 1
+            self.stats.count(f"{self.name}.denied", 1)
+            return False
+        self.granted_bytes += nbytes
+        self.stats.count(f"{self.name}.granted_bytes", nbytes)
+        self.stats.peak(f"{self.name}.granted_peak", self.granted_bytes)
+        return True
+
+    def grant_or_largest(self, nbytes: int, floor: int, site: str = "") -> int:
+        """Grant ``nbytes`` if possible, else the largest multiple of
+        ``floor`` that fits (at least ``floor``). Returns the granted
+        size; operators size their wave/partition buffers from it."""
+        if self.try_grant(nbytes, site):
+            return nbytes
+        available = self.limit_bytes - self.granted_bytes
+        scaled = max(floor, (available // floor) * floor)
+        self.granted_bytes += scaled
+        self.stats.count(f"{self.name}.granted_bytes", scaled)
+        self.stats.peak(f"{self.name}.granted_peak", self.granted_bytes)
+        return scaled
+
+    def release_grant(self, nbytes: int) -> None:
+        if nbytes > self.granted_bytes:
+            raise ValueError(
+                f"releasing {nbytes} B but only {self.granted_bytes} B granted"
+            )
+        self.granted_bytes -= nbytes
+
+    def stats_snapshot(self) -> Dict:
+        return {
+            "limit_bytes": self.limit_bytes,
+            "granted_bytes": self.granted_bytes,
+            "denials": self.denials,
+        }

@@ -41,6 +41,11 @@ class Resource:
         self.in_use = 0
         self._waiters: Deque[SimEvent] = deque()
 
+    @property
+    def queue_depth(self) -> int:
+        """Acquirers currently waiting for a slot."""
+        return len(self._waiters)
+
     def acquire(self) -> SimEvent:
         event = self.engine.event()
         if self.in_use < self.capacity:
@@ -80,9 +85,19 @@ class Store:
         self.items: Deque[Any] = deque()
         self._getters: Deque[SimEvent] = deque()
         self._putters: Deque[tuple] = deque()
+        # Occupancy telemetry (O(1), never schedules events): the
+        # high-water mark of queued items and how many puts blocked on
+        # a full store — the signals overload diagnosis needs.
+        self.peak_occupancy = 0
+        self.blocked_puts = 0
 
     def __len__(self) -> int:
         return len(self.items)
+
+    @property
+    def blocked_putters(self) -> int:
+        """Producers currently stalled on a full store."""
+        return len(self._putters)
 
     def put(self, item: Any) -> SimEvent:
         event = self.engine.event()
@@ -92,9 +107,12 @@ class Store:
             event.succeed()
         elif self.capacity is None or len(self.items) < self.capacity:
             self.items.append(item)
+            if len(self.items) > self.peak_occupancy:
+                self.peak_occupancy = len(self.items)
             event.succeed()
         else:
             self._putters.append((event, item))
+            self.blocked_puts += 1
         return event
 
     def get(self) -> SimEvent:

@@ -81,9 +81,20 @@ class StatsRecorder:
     def __init__(self) -> None:
         self.counters: Dict[str, float] = defaultdict(float)
         self.series: Dict[str, SampleSeries] = {}
+        self.gauges: Dict[str, float] = {}
 
     def count(self, name: str, amount: float = 1.0) -> None:
         self.counters[name] += amount
+
+    def peak(self, name: str, value: float) -> None:
+        """Track the high-water mark of a gauge (queue occupancy,
+        bytes in use); O(1) and allocation-free on the hot path."""
+        current = self.gauges.get(name)
+        if current is None or value > current:
+            self.gauges[name] = float(value)
+
+    def gauge(self, name: str) -> float:
+        return self.gauges.get(name, 0.0)
 
     def sample(self, name: str, value: float) -> None:
         if name not in self.series:
@@ -105,6 +116,8 @@ class StatsRecorder:
         for name, series in other.series.items():
             target = self.get_series(name)
             target.samples.extend(series.samples)
+        for name, value in other.gauges.items():
+            self.peak(name, value)
 
     def snapshot(self) -> Dict[str, float]:
         """Flat dict of counters and series means, for reporting."""

@@ -135,3 +135,89 @@ def test_random_alloc_free_never_overlaps(operations):
     for address in live:
         heap.free(address)
     assert heap.live_bytes() == 0
+
+
+# -- structured exhaustion errors, stats, and watermarks -------------------
+
+
+def test_oom_error_carries_structured_context():
+    heap = make_heap(capacity=SUPERBLOCK_SIZE)
+    with pytest.raises(OutOfMemoryError) as info:
+        heap.malloc(SUPERBLOCK_SIZE * 4, core_id=2)
+    error = info.value
+    assert error.site == "heap.malloc[core 2]"
+    assert error.requested == SUPERBLOCK_SIZE * 4
+    assert error.heap_stats["live_bytes"] == 0
+    assert error.heap_stats["global"]["capacity"] == SUPERBLOCK_SIZE
+    assert "site=heap.malloc" in str(error)
+
+
+def test_oom_error_includes_superblock_occupancy():
+    heap = make_heap(capacity=2 * SUPERBLOCK_SIZE)
+    held = [heap.malloc(1024, core_id=0) for _ in range(8)]
+    with pytest.raises(OutOfMemoryError) as info:
+        heap.malloc(4 * SUPERBLOCK_SIZE)
+    stats = info.value.heap_stats
+    (local,) = stats["local_heaps"]
+    assert local["core_id"] == 0
+    assert local["size_classes"][1024]["allocated_slots"] == 8
+    assert local["size_classes"][1024]["superblocks"] == 1
+    for address in held:
+        heap.free(address)
+
+
+def test_stats_reports_two_level_shape():
+    heap = make_heap()
+    a = heap.malloc(100, core_id=1)
+    b = heap.malloc(SUPERBLOCK_SIZE)  # large path
+    stats = heap.stats()
+    assert stats["live_bytes"] == heap.live_bytes()
+    assert stats["global"]["superblocks_out"] == 1
+    assert stats["global"]["fragments"] >= 1
+    (local,) = stats["local_heaps"]
+    assert local["core_id"] == 1 and local["bytes_in_use"] == 128
+    heap.free(a)
+    heap.free(b)
+
+
+def test_superblock_recycled_across_cycles():
+    """Exhaustion then full drain: the next allocation cycle reuses
+    recycled superblocks instead of leaking the address space."""
+    heap = make_heap(capacity=4 * SUPERBLOCK_SIZE)
+    per_block = SUPERBLOCK_SIZE // 32768
+    for _ in range(3):
+        addresses = [heap.malloc(32768) for _ in range(3 * per_block)]
+        with pytest.raises(OutOfMemoryError):
+            heap.malloc(2 * SUPERBLOCK_SIZE)
+        for address in addresses:
+            heap.free(address)
+    assert heap.live_bytes() == 0
+    assert heap.global_heap.free_bytes() >= 3 * SUPERBLOCK_SIZE
+
+
+def test_watermark_fires_on_crossing_and_rearms():
+    heap = make_heap(capacity=4 * SUPERBLOCK_SIZE)
+    fired = []
+    heap.add_watermark(0.5, lambda h: fired.append(h.live_bytes()))
+    big = SUPERBLOCK_SIZE + 1
+    a = heap.malloc(big)
+    assert not fired
+    b = heap.malloc(big)
+    assert len(fired) == 1  # crossed 50%
+    c = heap.malloc(big)
+    assert len(fired) == 1  # still above: no re-fire
+    heap.free(b)
+    heap.free(c)
+    d = heap.malloc(big)
+    e = heap.malloc(big)
+    assert len(fired) == 2  # dropped below, re-armed, crossed again
+    for address in (a, d, e):
+        heap.free(address)
+
+
+def test_watermark_rejects_bad_fraction():
+    heap = make_heap()
+    with pytest.raises(ValueError):
+        heap.add_watermark(0.0, lambda h: None)
+    with pytest.raises(ValueError):
+        heap.add_watermark(1.5, lambda h: None)

@@ -269,3 +269,50 @@ def test_rle_not_modelled_is_explicit(dpu):
 
     with pytest.raises(Exception, match="RLE"):
         dpu.launch(kernel, cores=[0])
+
+
+def test_serialize_gathers_workaround_on_buggy_silicon():
+    """The paper's software workaround for the first-silicon gather
+    bug: wrap each gather in an ATE mutex so only one dpCore ever has
+    a gather in flight. Concurrent gather kernels then succeed on
+    rtl_gather_bug hardware, byte-exact with the fixed-silicon run."""
+    from repro.runtime import AteMutex
+
+    rows = 2048
+    data = np.arange(rows, dtype=np.uint64)
+    mask = np.ones(rows, dtype=bool)
+
+    def run(rtl_bug, serialize):
+        dpu = DPU(DPU_40NM.with_updates(rtl_gather_bug=rtl_bug))
+        address = dpu.store_array(data)
+        mutex = AteMutex(dpu, owner=0, dmem_offset=24576)
+
+        def kernel(ctx):
+            ctx.dmem.write(16384, pack_bits(mask))
+            if serialize:
+                yield from mutex.acquire(ctx)
+            try:
+                ctx.push(Descriptor(dtype=DescriptorType.DMEM_TO_DMS,
+                                    rows=rows // 64, col_width=8,
+                                    dmem_addr=16384, internal_mem="bv"))
+                ctx.push(Descriptor(dtype=DescriptorType.DDR_TO_DMEM,
+                                    rows=rows, col_width=8, ddr_addr=address,
+                                    dmem_addr=0, gather_src=True,
+                                    notify_event=0))
+                yield from ctx.wfe(0)
+                ctx.clear_event(0)
+            finally:
+                if serialize:
+                    yield from mutex.release(ctx)
+            return ctx.dmem.view(0, rows * 8, np.uint64).copy()
+
+        return dpu.launch(kernel, cores=[0, 1, 2, 3])
+
+    serialized = run(rtl_bug=True, serialize=True)
+    fixed = run(rtl_bug=False, serialize=False)
+    for got, want in zip(serialized.values, fixed.values):
+        assert np.array_equal(got, want)
+    assert np.array_equal(serialized.values[0], data)
+    # Serialization costs cycles; the mutex must not deadlock or skew
+    # results, only slow the overlapping gathers down.
+    assert serialized.cycles >= fixed.cycles
