@@ -7,7 +7,54 @@ simulation once inside ``benchmark.pedantic`` and reports the paper's
 quantities through ``extra_info`` and a printed table.
 """
 
+import os
+import re
+
 import pytest
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--emit-trace",
+        metavar="DIR",
+        default=None,
+        help="enable sim-time tracing on every DPU a benchmark builds "
+             "and write one Chrome-trace JSON per DPU into DIR",
+    )
+
+
+@pytest.fixture(autouse=True)
+def _emit_trace(request):
+    """With ``--emit-trace DIR``, every DPU constructed during the test
+    records a trace, exported as ``DIR/<test>[-N].json`` at teardown.
+
+    Tracing never schedules simulation events, so benchmark numbers
+    are unchanged; only host memory for the ring buffer is spent.
+    """
+    out_dir = request.config.getoption("--emit-trace")
+    if not out_dir:
+        yield
+        return
+    from repro.core import dpu as dpu_mod
+
+    created = []
+    original_init = dpu_mod.DPU.__init__
+
+    def traced_init(self, *args, **kwargs):
+        original_init(self, *args, **kwargs)
+        self.enable_tracing(capacity=1 << 18)
+        created.append(self)
+
+    dpu_mod.DPU.__init__ = traced_init
+    try:
+        yield
+    finally:
+        dpu_mod.DPU.__init__ = original_init
+        os.makedirs(out_dir, exist_ok=True)
+        safe = re.sub(r"[^\w.-]+", "_", request.node.name)
+        for index, dpu in enumerate(created):
+            suffix = f"-{index}" if len(created) > 1 else ""
+            dpu.trace.export(os.path.join(out_dir, f"{safe}{suffix}.json"))
 
 
 def run_once(benchmark, fn):

@@ -1,0 +1,99 @@
+"""Emit a Perfetto/Chrome trace of TPC-H Q1 on the simulated DPU.
+
+Run:  PYTHONPATH=src python examples/trace_tpch.py [trace.json]
+
+Enables the sim-time tracer, runs the paper's Q1 plan (a filtered
+six-aggregate GROUP BY over lineitem), then a short epilogue kernel
+exercising ATE RPCs and a DMS gather so every track type appears:
+
+* ``sql`` — operator spans (``sql.query.Q1`` > ``sql.groupby``),
+* ``core<N>`` — compute / wfe / stream.tile spans per dpCore,
+* ``dmad<N>`` / ``dmac`` — descriptor execution with ring occupancy,
+* ``ate<N>`` — RPC execution slices, flow arrows back to the caller,
+* ``ddr`` — channel backlog counter track,
+* ``sched`` — kernel launches, jobs, engine processes.
+
+The resulting JSON opens directly in https://ui.perfetto.dev or
+chrome://tracing. Timestamps are dpCore cycles (shown as "us").
+Exit status is non-zero if the emitted trace fails schema validation,
+which is how CI uses this script.
+"""
+
+import sys
+
+import numpy as np
+
+from repro.apps.sql import load_tpch_on_dpu, run_query
+from repro.baseline import XeonModel
+from repro.core import DPU
+from repro.dms import Descriptor, DescriptorType
+from repro.obs import validate_chrome_trace
+from repro.workloads.tpch import generate_tpch
+
+GATHER_ROWS = 2048
+
+
+def ate_gather_epilogue(dpu):
+    """Q1's reduction uses mailboxes, not ATE RPCs — run a small
+    kernel with remote atomics, a software RPC and a DMS gather so the
+    ate/flow/gather machinery shows up in the same trace."""
+    dpu.ate.install_handler(0, "nop", lambda args: None)
+    data = dpu.store_array(np.arange(GATHER_ROWS, dtype=np.uint64))
+    bv_bytes = GATHER_ROWS // 8
+    bitvector = np.full(bv_bytes, 0xF7, dtype=np.uint8)
+    counter_addr = dpu.address_map.dmem_address(0, 512)
+
+    def kernel(ctx):
+        yield from ctx.fetch_add(0, counter_addr, 1)
+        yield from ctx.software_rpc(0, "nop")
+        if ctx.core_id != 1:
+            # First-silicon RTL bug: only one gather in flight (§3.4).
+            return
+        ctx.dmem.write(16384, bitvector)
+        ctx.push(Descriptor(dtype=DescriptorType.DMEM_TO_DMS,
+                            rows=bv_bytes // 8, col_width=8,
+                            dmem_addr=16384, internal_mem="bv"))
+        ctx.push(Descriptor(dtype=DescriptorType.DDR_TO_DMEM,
+                            rows=GATHER_ROWS, col_width=8,
+                            ddr_addr=data, dmem_addr=0,
+                            gather_src=True, notify_event=0))
+        yield from ctx.wfe(0)
+        ctx.clear_event(0)
+
+    dpu.launch(kernel, cores=[1, 9])
+
+
+def main(argv=None):
+    argv = sys.argv[1:] if argv is None else argv
+    out_path = argv[0] if argv else "trace.json"
+
+    data = generate_tpch(scale=0.01)
+    dpu = DPU()
+    tracer = dpu.enable_tracing(capacity=1 << 20)
+    tables = load_tpch_on_dpu(dpu, data)
+    model = XeonModel()
+
+    dpu_result, xeon_result = run_query("Q1", dpu, tables, data, model)
+    ate_gather_epilogue(dpu)
+
+    count = tracer.export(out_path)
+    print(f"wrote {out_path}: {count} events "
+          f"({tracer.dropped} dropped), {dpu.engine.now:.0f} cycles simulated")
+    print(f"Q1 on DPU: {dpu_result.seconds * 1e6:.0f} us simulated "
+          f"({xeon_result.seconds * 1e6:.0f} us on the Xeon model)")
+    print()
+    print(dpu.perf_report().render())
+
+    problems = validate_chrome_trace(tracer.to_chrome())
+    if problems:
+        print(f"\ntrace FAILED validation ({len(problems)} problems):",
+              file=sys.stderr)
+        for problem in problems[:20]:
+            print(f"  - {problem}", file=sys.stderr)
+        return 1
+    print(f"\ntrace OK: open {out_path} in https://ui.perfetto.dev")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -49,6 +49,7 @@ from ...dms.descriptor import (
 )
 from ...dms.partition import PartitionLayout
 from ...runtime.task import static_partition
+from ...obs import traced_op
 from ..streaming import WIDTH_DTYPE, ref_dtype, ref_width, stream_columns
 from .costs import (
     AGG_CYCLES_PER_ROW,
@@ -336,6 +337,7 @@ def _broadcast_bytes(broadcasts) -> int:
     return sum(broadcast.nbytes for broadcast in broadcasts)
 
 
+@traced_op("sql.groupby")
 def dpu_groupby(
     dpu: DPU,
     dtable: DpuTable,

@@ -26,6 +26,7 @@ import numpy as np
 from ...baseline.xeon import XeonModel
 from ...core.bitvector import pack_bits, unpack_bits
 from ...core.dpu import DPU
+from ...obs import traced_op
 from ...dms.descriptor import Descriptor, DescriptorType
 from ...runtime.task import static_partition
 from ..streaming import WIDTH_DTYPE, ref_width, stream_columns
@@ -141,6 +142,7 @@ def _streamed_scan(
     return launch.cycles
 
 
+@traced_op("sql.filter")
 def dpu_filter(
     dpu: DPU,
     dtable: DpuTable,
@@ -178,6 +180,7 @@ def dpu_filter(
     )
 
 
+@traced_op("sql.scan_project")
 def dpu_scan_project(
     dpu: DPU,
     dtable: DpuTable,

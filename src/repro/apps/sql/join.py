@@ -30,6 +30,7 @@ from ...dms.descriptor import (
     PartitionSpec,
 )
 from ...dms.partition import PartitionLayout
+from ...obs import traced_op
 from .costs import JOIN_BUILD_CYCLES_PER_ROW, JOIN_PROBE_CYCLES_PER_ROW
 from .engine import DpuOpResult, XeonOpResult
 from .expr import Predicate
@@ -135,6 +136,7 @@ def lookup_filter(
 # -- general partitioned hash join -----------------------------------------
 
 
+@traced_op("sql.join")
 def dpu_partitioned_join_count(
     dpu: DPU,
     build_dtable,

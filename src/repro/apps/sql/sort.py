@@ -32,6 +32,7 @@ from ...dms.descriptor import (
     PartitionSpec,
 )
 from ...dms.partition import PartitionLayout
+from ...obs import traced_op
 from ..streaming import WIDTH_DTYPE, ref_dtype
 from .engine import DpuOpResult, XeonOpResult
 from .table import DpuTable, Table
@@ -72,6 +73,7 @@ def _sample_bounds(values: np.ndarray, fanout: int, rng_seed: int = 0):
     return tuple(int(b) for b in bounds), sample_size, float(max_share)
 
 
+@traced_op("sql.sort")
 def dpu_sort(
     dpu: DPU,
     dtable: DpuTable,

@@ -18,6 +18,7 @@ import numpy as np
 from ...baseline.xeon import XeonModel
 from ...core.dpu import DPU
 from ...runtime.task import static_partition
+from ...obs import traced_op
 from ..streaming import ref_width, stream_columns
 from .costs import TOPK_CYCLES_PER_HIT, TOPK_CYCLES_PER_ROW
 from .engine import DpuOpResult, XeonOpResult
@@ -28,6 +29,7 @@ __all__ = ["dpu_topk", "xeon_topk"]
 _XEON_SCAN_OPS_PER_ROW = 1.0 / 4.0  # SIMD max-threshold prefilter
 
 
+@traced_op("sql.topk")
 def dpu_topk(
     dpu: DPU,
     dtable: DpuTable,

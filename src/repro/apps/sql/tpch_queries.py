@@ -788,4 +788,9 @@ def run_query(
     model: XeonModel,
 ) -> Tuple[DpuOpResult, XeonOpResult]:
     query = TPCH_QUERIES[name]
-    return query.dpu_fn(dpu, tables, data), query.xeon_fn(model, data)
+    if dpu.trace.enabled:
+        with dpu.trace.span(f"sql.query.{name}", unit="sql"):
+            dpu_result = query.dpu_fn(dpu, tables, data)
+    else:
+        dpu_result = query.dpu_fn(dpu, tables, data)
+    return dpu_result, query.xeon_fn(model, data)

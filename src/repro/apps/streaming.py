@@ -128,8 +128,10 @@ def stream_columns(
     issue(0, 0)
     if num_tiles > 1:
         issue(1, 1)
+    trace = ctx.dpu.trace
     for tile in range(num_tiles):
         buf = tile % 2
+        span = trace.span("stream.tile", unit=ctx._unit, tile=tile)
         yield from ctx.wfe(_READ_EVENTS[buf])
         lo = tile * tile_rows
         hi = min(rows, lo + tile_rows)
@@ -162,6 +164,7 @@ def stream_columns(
         ctx.clear_event(_READ_EVENTS[buf])
         if tile + 2 < num_tiles:
             issue(tile + 2, buf)
+        span.end()
     if writeback is not None:
         # Drain outstanding writes before returning.
         for event in _WRITE_EVENTS:

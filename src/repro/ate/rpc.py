@@ -42,6 +42,7 @@ from ..faults import FaultInjector
 from ..memory.address import AddressMap
 from ..memory.ddr import DDRMemory
 from ..memory.dmem import Scratchpad
+from ..obs import NULL_TRACER
 from ..sim import Engine, Resource, SimEvent, StatsRecorder, Store
 from .crossbar import CrossbarTopology
 
@@ -108,6 +109,9 @@ class _Message:
     reply: SimEvent = None  # type: ignore[assignment]
     issued_at: float = 0.0
     seq: int = 0
+    # Span id of the requester's in-flight trace span; the receiving
+    # engine stamps it on its execution span so cross-core RPCs nest.
+    trace_id: int = 0
 
 
 class Ate:
@@ -130,6 +134,8 @@ class Ate:
         self.scratchpads = scratchpads
         self.stats = stats if stats is not None else StatsRecorder()
         self.faults = faults if faults is not None else FaultInjector()
+        # Observability hook; DPU.enable_tracing swaps in a live tracer.
+        self.trace = NULL_TRACER
         self.topology = CrossbarTopology(config)
         # Receiving request FIFOs, bounded to the hardware SRAM depth:
         # a put into a full inbox blocks in the crossbar until the
@@ -180,6 +186,7 @@ class Ate:
         operand2: int = 0,
         handler: Optional[str] = None,
         args: Any = None,
+        trace_id: int = 0,
     ):
         """Issue one request; generator returns a reply event.
 
@@ -204,6 +211,7 @@ class Ate:
             reply=reply,
             issued_at=self.engine.now,
             seq=self._seq[src],
+            trace_id=trace_id,
         )
         yield self.engine.timeout(self.topology.one_way_cycles(src, dst))
         completion = self.engine.event()
@@ -316,8 +324,18 @@ class Ate:
 
     def call(self, src: int, dst: int, kind: RpcKind, **kwargs):
         """Blocking request: issue and stall for the value."""
-        completion = yield from self.issue(src, dst, kind, **kwargs)
-        value = yield completion
+        trace = self.trace
+        if not trace.enabled:
+            completion = yield from self.issue(src, dst, kind, **kwargs)
+            value = yield completion
+            return value
+        with trace.span(f"ate.{kind.value}", unit=f"core{src}",
+                        src=src, dst=dst) as span:
+            trace.flow_start(span.id, f"ate.{kind.value}", f"core{src}")
+            completion = yield from self.issue(
+                src, dst, kind, trace_id=span.id, **kwargs
+            )
+            value = yield completion
         return value
 
     def posted_store(self, src: int, dst: int, address: int, value: int):
@@ -342,6 +360,9 @@ class Ate:
         yield self.engine.timeout(self.topology.one_way_cycles(src, dst))
         yield from self._inbox_put(dst, message)
         slot.release()
+        if self.trace.enabled:
+            self.trace.instant("ate.posted_store", unit=f"core{src}",
+                               dst=dst, address=address)
 
     # Convenience wrappers used throughout the runtime and apps.
 
@@ -385,6 +406,7 @@ class Ate:
                 if message.reply is not None:
                     self._send_reply(message, value=cache[message.src][1])
                 continue
+            began = self.engine.now
             execute = self.config.ate_hw_execute_cycles
             if message.kind.is_atomic:
                 execute += self.config.ate_amo_extra_cycles
@@ -397,11 +419,30 @@ class Ate:
                 else:
                     value = self._perform(core_id, message)
             except AteError as error:
+                if self.trace.enabled:
+                    self.trace.complete(
+                        f"ate.exec.{message.kind.value}", f"ate{core_id}",
+                        began, self.engine.now - began, src=message.src,
+                        parent=message.trace_id, error=type(error).__name__,
+                    )
                 if message.reply is not None:
                     self._send_reply(message, error=error)
                 continue
             if message.seq:
                 cache[message.src] = (message.seq, value)
+            if self.trace.enabled:
+                self.trace.complete(
+                    f"ate.exec.{message.kind.value}", f"ate{core_id}",
+                    began, self.engine.now - began,
+                    src=message.src, parent=message.trace_id,
+                )
+                if message.trace_id:
+                    # Arrow head anchored at the execution slice start;
+                    # the tail sits in the requester's ate.* span.
+                    self.trace.flow_end(
+                        message.trace_id, f"ate.{message.kind.value}",
+                        f"ate{core_id}", ts=began,
+                    )
             # The injected operation appears as stalls in the remote
             # instruction stream; account it as interrupt debt.
             self.interrupt_debt[core_id] += execute

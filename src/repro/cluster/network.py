@@ -20,6 +20,7 @@ from dataclasses import dataclass
 from typing import Any, Dict, Optional, Tuple
 
 from ..faults import FaultInjector
+from ..obs import NULL_TRACER
 from ..sim import BandwidthServer, Engine, SimulationError, Store
 
 __all__ = ["FabricConfig", "IBFabric"]
@@ -68,6 +69,9 @@ class IBFabric:
         self.messages_sent = 0
         self.bytes_sent = 0
         self.retransmissions = 0
+        # Observability hook; cluster coordinators swap in a live
+        # tracer (fabric events land on ib.tx[i]/ib.rx[i] tracks).
+        self.trace = NULL_TRACER
 
     def _check(self, endpoint: int) -> None:
         if not 0 <= endpoint < self.num_endpoints:
@@ -82,10 +86,16 @@ class IBFabric:
         self._check(dst)
         if nbytes < 0:
             raise SimulationError(f"negative message size {nbytes}")
+        send_began = self.engine.now
         yield self.engine.timeout(self.config.a9_send_overhead_cycles)
         yield self._egress[src].transfer(max(nbytes, 64))
         self.messages_sent += 1
         self.bytes_sent += nbytes
+        if self.trace.enabled:
+            self.trace.complete_async("ib.send", f"ib.tx[{src}]",
+                                      send_began, dst=dst, bytes=nbytes)
+            self.trace.counter("ib.bytes", unit=f"ib.tx[{src}]",
+                               sent=self.bytes_sent)
 
         # The message propagates and queues on the destination's
         # ingress link without blocking the sender further. A link
@@ -93,14 +103,21 @@ class IBFabric:
         # fabric; IB link-level retry re-serializes it from the source
         # after a timeout, so delivery is reliable but delayed.
         def deliver():
+            hop_began = self.engine.now
             yield self.engine.timeout(self.config.fabric_latency_cycles)
             while self.faults.roll("net.drop", detail=f"link {src}->{dst}"):
                 self.retransmissions += 1
+                if self.trace.enabled:
+                    self.trace.instant("ib.retransmit", unit=f"ib.tx[{src}]",
+                                       dst=dst, bytes=nbytes)
                 yield self.engine.timeout(self.config.retransmit_timeout_cycles)
                 yield self._egress[src].transfer(max(nbytes, 64))
                 yield self.engine.timeout(self.config.fabric_latency_cycles)
             yield self._ingress[dst].transfer(max(nbytes, 64))
             yield self._inboxes[dst].put((src, payload))
+            if self.trace.enabled:
+                self.trace.complete_async("ib.deliver", f"ib.rx[{dst}]",
+                                          hop_began, src=src, bytes=nbytes)
 
         self.engine.process(deliver(), name=f"ib.deliver->{dst}")
 

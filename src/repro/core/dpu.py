@@ -31,6 +31,7 @@ from ..memory import (
     MacroCacheHierarchy,
     Scratchpad,
 )
+from ..obs import NULL_TRACER, CounterRegistry, PerfReport, Tracer
 from ..sim import Engine, SimulationError, StatsRecorder
 from .config import DPU_40NM, DPUConfig
 from .mailbox import MailboxController
@@ -81,10 +82,15 @@ class DPU:
         engine: Optional[Engine] = None,
         fault_plan: Optional[FaultPlan] = None,
         faults: Optional[FaultInjector] = None,
+        name: str = "dpu0",
     ) -> None:
         self.config = config
+        self.name = name
         self.engine = engine if engine is not None else Engine()
         self.stats = StatsRecorder()
+        # Observability: NULL_TRACER until enable_tracing() swaps in a
+        # live tracer (also mirrored onto every unit's .trace).
+        self.trace = NULL_TRACER
         # One injector per DPU unless the caller shares one (clusters
         # pass a single injector so the fault trace is global).
         self.faults = (
@@ -172,7 +178,7 @@ class DPU:
             )
             for macro in range(config.num_macros)
         ]
-        self.pmu = PowerManagementUnit(config)
+        self.pmu = PowerManagementUnit(config, engine=self.engine)
         self.power = PowerModel(config)
 
     # -- memory helpers ------------------------------------------------------
@@ -210,6 +216,8 @@ class DPU:
         takes exactly the ungated code path.
         """
         self.admission = controller
+        if controller is not None:
+            controller.trace = self.trace
 
     def launch(
         self,
@@ -266,6 +274,12 @@ class DPU:
             )
         gate = self.engine.all_of(processes)
         values = self.engine.run_until_complete(gate, limit=limit_cycles)
+        if self.trace.enabled:
+            self.trace.complete_async(
+                "dpu.launch", "sched", start,
+                kernel=getattr(kernel, "__name__", "kernel"),
+                cores=len(core_list),
+            )
         return LaunchResult(
             values=values,
             start_cycle=start,
@@ -290,6 +304,7 @@ class DPU:
         label = site or f"dpu.job:{getattr(kernel, '__name__', 'kernel')}"
 
         def job():
+            began = self.engine.now
             ticket = None
             job_cores = core_list
             if self.admission is not None:
@@ -303,6 +318,11 @@ class DPU:
             finally:
                 if ticket is not None:
                     self.admission.release()
+                if self.trace.enabled:
+                    self.trace.complete_async(
+                        "dpu.job", "sched", began, site=label,
+                        cores=len(job_cores),
+                    )
             return values
 
         return self.engine.process(job(), name=label)
@@ -341,6 +361,94 @@ class DPU:
         process = self.engine.process(generator)
         return self.engine.run_until_complete(process, limit=limit_cycles)
 
+    # -- observability ------------------------------------------------------------
+
+    def _traced_units(self) -> List[Any]:
+        units: List[Any] = [self.dmac, self.ate, self.ddr_channel, self.pmu]
+        units.extend(self.dmads.values())
+        if self.admission is not None:
+            units.append(self.admission)
+        return units
+
+    def enable_tracing(
+        self,
+        tracer: Optional[Tracer] = None,
+        capacity: int = 1 << 16,
+    ) -> Tracer:
+        """Attach a live tracer to every unit of the chip.
+
+        Pass an existing :class:`~repro.obs.Tracer` (or a ``view`` of
+        one) to aggregate several DPUs into one cluster trace;
+        otherwise a fresh tracer/ring buffer is created. Tracing never
+        schedules simulation events, so enabling it does not perturb
+        timing — and :meth:`disable_tracing` restores the strictly
+        zero-overhead null tracer.
+        """
+        if tracer is None:
+            tracer = Tracer(self.engine, process_name=self.name,
+                            capacity=capacity)
+        self.trace = tracer
+        self.engine.tracer = tracer
+        for unit in self._traced_units():
+            unit.trace = tracer
+        return tracer
+
+    def disable_tracing(self) -> None:
+        """Swap the no-op tracer back in everywhere."""
+        self.trace = NULL_TRACER
+        self.engine.tracer = None
+        for unit in self._traced_units():
+            unit.trace = NULL_TRACER
+
+    def counter_registry(self) -> CounterRegistry:
+        """Harvest every hardware counter into one dot-path registry.
+
+        Pull-model: the units keep accounting through their existing
+        :class:`StatsRecorder` and internal state; this collects it
+        all under ``<name>.<unit>.<counter>`` paths with
+        snapshot/delta/merge semantics, without touching the pinned
+        stats snapshots.
+        """
+        registry = CounterRegistry()
+        registry.adopt_stats(self.stats, prefix=self.name)
+        scope = registry.scope(self.name)
+        scope.set("engine.now", self.engine.now)
+        scope.set("ddr.bytes_served", self.ddr_channel.bytes_served)
+        scope.set("ddr.busy_cycles", self.ddr_channel.server.busy_cycles)
+        scope.set("ddr.row_misses", self.ddr_channel.row_misses)
+        for index, dmax in enumerate(self.dmaxes):
+            scope.set(f"dmax{index}.bytes_served", dmax.server.bytes_served)
+            scope.set(f"dmax{index}.busy_cycles", dmax.server.busy_cycles)
+        for path, cycles in self.pmu.residency_counters().items():
+            scope.set(f"pmu.{path}", cycles)
+        heap_stats = getattr(self.heap, "stats", None)
+        if callable(heap_stats):
+            for key, value in heap_stats().items():
+                if isinstance(value, (int, float)):
+                    scope.set(f"heap.{key}", value)
+        return registry
+
+    def perf_report(self, elapsed_cycles: Optional[float] = None) -> PerfReport:
+        """Utilization + throughput + latency histograms, derived
+        purely from the counter registry and recorder series.
+
+        ``elapsed_cycles`` defaults to the whole run (``engine.now``),
+        which for a single launch from t=0 makes the report's DMS GB/s
+        equal ``LaunchResult.gbps`` exactly (same arithmetic).
+        """
+        elapsed = self.engine.now if elapsed_cycles is None else elapsed_cycles
+        utilization = {"ddr": self.ddr_channel.utilization()}
+        for index, dmax in enumerate(self.dmaxes):
+            utilization[f"dmax{index}"] = dmax.server.utilization()
+        return PerfReport(
+            self.counter_registry(),
+            elapsed_cycles=elapsed,
+            clock_hz=self.config.clock_hz,
+            name=self.name,
+            utilization=utilization,
+            series=dict(self.stats.series),
+        )
+
     # -- reporting ----------------------------------------------------------------
 
     def seconds(self, cycles: float) -> float:
@@ -365,6 +473,7 @@ class CoreContext:
         self.core_id = core_id
         self.engine = dpu.engine
         self.config = dpu.config
+        self._unit = f"core{core_id}"
         self.dmem = dpu.scratchpads[core_id]
         self.events = dpu.event_files[core_id]
         self.dmad = dpu.dmads[core_id]
@@ -391,7 +500,14 @@ class CoreContext:
             self.dmad.push_stall_debt = 0.0
             cycles += stall
         if cycles > 0:
-            yield self.engine.timeout(cycles)
+            trace = self.dpu.trace
+            if trace.enabled:
+                with trace.span("core.compute", unit=self._unit,
+                                cycles=cycles, interrupt_debt=debt,
+                                stall_debt=stall):
+                    yield self.engine.timeout(cycles)
+            else:
+                yield self.engine.timeout(cycles)
 
     # -- DMS ---------------------------------------------------------------------
 
@@ -406,11 +522,20 @@ class CoreContext:
         descriptor ring) is paid before the wait begins — the core
         cannot reach the wfe until its stalled pushes retired.
         """
-        stall = self.dmad.push_stall_debt
-        if stall:
-            self.dmad.push_stall_debt = 0.0
-            yield self.engine.timeout(stall)
-        yield self.events.wait(event_id)
+        trace = self.dpu.trace
+        if not trace.enabled:
+            stall = self.dmad.push_stall_debt
+            if stall:
+                self.dmad.push_stall_debt = 0.0
+                yield self.engine.timeout(stall)
+            yield self.events.wait(event_id)
+            return
+        with trace.span("core.wfe", unit=self._unit, event=event_id):
+            stall = self.dmad.push_stall_debt
+            if stall:
+                self.dmad.push_stall_debt = 0.0
+                yield self.engine.timeout(stall)
+            yield self.events.wait(event_id)
 
     def clear_event(self, event_id: int) -> None:
         self.events.clear(event_id)

@@ -34,6 +34,7 @@ from ..core.config import DPUConfig
 from ..core.crc32 import crc32_column
 from ..memory.ddr import DDRChannel, DDRMemory
 from ..memory.dmem import Scratchpad
+from ..obs import NULL_TRACER
 from ..sim import Engine, Resource, StatsRecorder
 from .descriptor import (
     Descriptor,
@@ -131,6 +132,8 @@ class Dmac:
         self.event_files = event_files
         self.dmaxes = dmaxes
         self.stats = stats if stats is not None else StatsRecorder()
+        # Observability hook; DPU.enable_tracing swaps in a live tracer.
+        self.trace = NULL_TRACER
         # Internal SRAM occupancy: one CMEM bank per chunk in flight,
         # one CRC/CID double-buffer slot from hash until store retires.
         self.cmem_slots = Resource(engine, config.cmem_banks)
@@ -205,6 +208,22 @@ class Dmac:
 
     def execute(self, descriptor: Descriptor, core_id: int, prep=None):
         """Process generator performing one data descriptor."""
+        trace = self.trace
+        if not trace.enabled:
+            yield from self._execute(descriptor, core_id, prep)
+            return
+        began = self.engine.now
+        name = f"dms.{descriptor.dtype.name.lower()}"
+        try:
+            yield from self._execute(descriptor, core_id, prep)
+        except BaseException as error:
+            trace.complete_async(name, "dmac", began, core=core_id,
+                                 error=type(error).__name__)
+            raise
+        trace.complete_async(name, "dmac", began, core=core_id,
+                             bytes=int(descriptor.transfer_bytes))
+
+    def _execute(self, descriptor: Descriptor, core_id: int, prep=None):
         dtype = descriptor.dtype
         if dtype is DescriptorType.DDR_TO_DMEM:
             yield from self._exec_ddr_to_dmem(descriptor, core_id)
@@ -239,6 +258,7 @@ class Dmac:
         width = descriptor.col_width
         decode = self.config.dms_dmac_decode_cycles
         if descriptor.gather_src:
+            gather_began = self.engine.now
             yield from self._guarded_gather_begin()
             try:
                 indices = self._gather_indices(descriptor, core_id)
@@ -259,6 +279,12 @@ class Dmac:
                 moved = len(indices) * width
             finally:
                 self._active_gathers -= 1
+            if self.trace.enabled:
+                self.trace.complete_async(
+                    "dms.gather", "dmac", gather_began, core=core_id,
+                    rows=int(len(indices)), bytes=int(moved),
+                    cycles=self.engine.now - gather_began,
+                )
         elif descriptor.ddr_stride is not None and descriptor.ddr_stride != width:
             stride = descriptor.ddr_stride
             span = (descriptor.rows - 1) * stride + width

@@ -35,6 +35,7 @@ from typing import Dict, List, Optional
 from ..core.config import DPUConfig
 from ..core.crc32 import crc32_bytes
 from ..faults import FaultInjector
+from ..obs import NULL_TRACER
 from ..sim import Engine, Resource, StatsRecorder, Store
 from .descriptor import Descriptor, DescriptorError, DescriptorType
 from .dmac import Dmac, DmsHardwareError
@@ -77,6 +78,9 @@ class Dmad:
         self.config = config
         self.stats = stats if stats is not None else StatsRecorder()
         self.faults = faults if faults is not None else FaultInjector()
+        # Observability hook; DPU.enable_tracing swaps in a live tracer.
+        self.trace = NULL_TRACER
+        self._unit = f"dmad{core_id}"
         self.channels = [DmadChannel(i) for i in range(self.NUM_CHANNELS)]
         self._wakeups = [Store(engine) for _ in range(self.NUM_CHANNELS)]
         self.outstanding = Resource(engine, config.dms_max_outstanding)
@@ -131,6 +135,14 @@ class Dmad:
             self.push_stall_debt += stall
             self.stats.count("dmad.push_stall_cycles", stall)
             self.stats.count("dmad.push_stalls", 1)
+            if self.trace.enabled:
+                self.trace.instant("dmad.push_stall", unit=self._unit,
+                                   pending=pending, stall_cycles=stall)
+        if self.trace.enabled:
+            self.trace.instant("dmad.push", unit=self._unit,
+                               dtype=descriptor.dtype.name, channel=channel)
+            self.trace.counter(f"{self._unit}.ring", unit=self._unit,
+                               occupancy=pending)
         self._wakeups[channel].put(object())
 
     def occupancy(self, channel: int = 0) -> int:
@@ -191,6 +203,7 @@ class Dmad:
             channel.pc += 1
 
     def _run_descriptor(self, descriptor: Descriptor, prep):
+        began = self.engine.now
         try:
             if self.faults.active("dms.descriptor"):
                 yield from self._validate_descriptor(descriptor)
@@ -198,6 +211,16 @@ class Dmad:
         finally:
             self.outstanding.release()
             self._inflight -= 1
+            if self.trace.enabled:
+                self.trace.complete_async(
+                    "dmad.descriptor", self._unit, began,
+                    dtype=descriptor.dtype.name,
+                )
+                self.trace.counter(f"{self._unit}.ring", unit=self._unit,
+                                   occupancy=max(
+                                       self.occupancy(c)
+                                       for c in range(self.NUM_CHANNELS)
+                                   ))
         if descriptor.notify_event is not None:
             self.event_file.set(descriptor.notify_event)
         self.stats.count("dmad.completed", 1)

@@ -20,6 +20,7 @@ from typing import Optional
 import numpy as np
 
 from ..faults import FaultInjector
+from ..obs import NULL_TRACER
 from ..sim import BandwidthServer, Engine, SimEvent
 from .address import AddressMap
 from .ecc import SecdedEcc
@@ -112,6 +113,8 @@ class DDRChannel:
         # engine's column loads) each keep their own row open.
         self._open_rows = [-1] * num_banks
         self.row_misses = 0
+        # Observability hook; DPU.enable_tracing swaps in a live tracer.
+        self.trace = NULL_TRACER
 
     @property
     def peak_bytes_per_cycle(self) -> float:
@@ -156,7 +159,18 @@ class DDRChannel:
         transactions = -(-nbytes // AXI_MAX_TRANSFER)
         overhead += transactions * self.transaction_overhead_cycles
         total = nbytes + int(overhead * self.server.bytes_per_cycle)
-        return self.server.transfer(total)
+        event = self.server.transfer(total)
+        if self.trace.enabled:
+            # Queue backlog (cycles until the channel frees) and
+            # cumulative bytes, sampled at each request: the DDR
+            # bandwidth counter track in the Perfetto view.
+            self.trace.counter(
+                "ddr.channel", unit="ddr",
+                backlog_cycles=max(0.0, self.server._free_at
+                                   - self.engine.now),
+                bytes_served=float(self.server.bytes_served),
+            )
+        return event
 
     def utilization(self) -> float:
         return self.server.utilization()

@@ -1,0 +1,35 @@
+"""Sim-time observability: tracing, hardware counters, perf reports.
+
+The paper's evaluation is counter-driven; this package provides the
+attribution layer — a Chrome-trace span/event tracer stamped with
+``engine.now``, a hierarchical dot-path counter registry, perf-report
+rendering, and a trace-schema validator used by CI.  See
+``docs/OBSERVABILITY.md``.
+"""
+
+from .registry import CounterRegistry, UnitCounters
+from .report import PerfReport, render_histogram
+from .tracer import (
+    NULL_TRACER,
+    NullTracer,
+    Span,
+    TraceBuffer,
+    Tracer,
+    traced_op,
+)
+from .validate import validate_chrome_trace, validate_file
+
+__all__ = [
+    "CounterRegistry",
+    "UnitCounters",
+    "NULL_TRACER",
+    "NullTracer",
+    "PerfReport",
+    "Span",
+    "TraceBuffer",
+    "Tracer",
+    "render_histogram",
+    "traced_op",
+    "validate_chrome_trace",
+    "validate_file",
+]

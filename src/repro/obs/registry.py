@@ -1,0 +1,170 @@
+"""Hierarchical hardware-counter registry.
+
+The paper's evaluation is counter-driven — DMS GB/s, ATE round-trip
+cycles, per-core throughput, perf/watt — and the numbers only mean
+something with *attribution*: which unit, which DPU, which phase.
+:class:`CounterRegistry` names every counter with a dot-path
+(``dpu0.dmac.bytes_gathered``, ``rack.ib.bytes_sent``) and supports
+the three operations perf tooling needs:
+
+* ``snapshot()`` — a deterministic (sorted) flat dict;
+* ``delta(before)`` — counters accumulated since a snapshot, so a
+  benchmark can attribute work to one phase of a longer run;
+* ``merge(other)`` — fold another registry in (cluster roll-ups),
+  prefix-aware so per-DPU registries land under distinct subtrees.
+
+:meth:`CounterRegistry.scope` returns a :class:`UnitCounters` view
+bound to one prefix, which is what a hardware model holds: the DMAC
+adds to ``bytes_gathered`` and the registry files it under
+``dpu0.dmac.bytes_gathered``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Tuple
+
+__all__ = ["CounterRegistry", "UnitCounters"]
+
+
+def _join(prefix: str, name: str) -> str:
+    return f"{prefix}.{name}" if prefix else name
+
+
+class UnitCounters:
+    """One unit's view of the registry, bound to a dot-path prefix."""
+
+    __slots__ = ("registry", "prefix")
+
+    def __init__(self, registry: "CounterRegistry", prefix: str) -> None:
+        self.registry = registry
+        self.prefix = prefix
+
+    def add(self, name: str, amount: float = 1.0) -> None:
+        self.registry.add(_join(self.prefix, name), amount)
+
+    def set(self, name: str, value: float) -> None:
+        self.registry.set(_join(self.prefix, name), value)
+
+    def peak(self, name: str, value: float) -> None:
+        self.registry.peak(_join(self.prefix, name), value)
+
+    def get(self, name: str) -> float:
+        return self.registry.get(_join(self.prefix, name))
+
+    def scope(self, prefix: str) -> "UnitCounters":
+        return UnitCounters(self.registry, _join(self.prefix, prefix))
+
+
+class CounterRegistry:
+    """Dot-path named counters with snapshot/delta/merge semantics."""
+
+    def __init__(self, prefix: str = "") -> None:
+        self.prefix = prefix
+        self._values: Dict[str, float] = {}
+
+    # -- registration and update ---------------------------------------
+
+    def scope(self, prefix: str) -> UnitCounters:
+        """A unit-bound view; ``registry.scope("dmac").add("bytes")``
+        files under ``<registry prefix>.dmac.bytes``."""
+        return UnitCounters(self, _join(self.prefix, prefix))
+
+    def register(self, path: str, initial: float = 0.0) -> str:
+        """Declare a counter up front (it appears in snapshots even if
+        never incremented); returns the full path."""
+        path = _join(self.prefix, path)
+        self._values.setdefault(path, float(initial))
+        return path
+
+    def add(self, path: str, amount: float = 1.0) -> None:
+        path = _join(self.prefix, path)
+        self._values[path] = self._values.get(path, 0.0) + amount
+
+    def set(self, path: str, value: float) -> None:
+        self._values[_join(self.prefix, path)] = float(value)
+
+    def peak(self, path: str, value: float) -> None:
+        """Fold in a high-water mark (gauge max semantics)."""
+        path = _join(self.prefix, path)
+        current = self._values.get(path)
+        if current is None or value > current:
+            self._values[path] = float(value)
+
+    def get(self, path: str) -> float:
+        return self._values.get(_join(self.prefix, path), 0.0)
+
+    def __contains__(self, path: str) -> bool:
+        return _join(self.prefix, path) in self._values
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    # -- reporting operations ------------------------------------------
+
+    def snapshot(self) -> Dict[str, float]:
+        """Deterministic flat dict: keys sorted, stable across runs."""
+        return {path: self._values[path] for path in sorted(self._values)}
+
+    def delta(self, before: Dict[str, float]) -> Dict[str, float]:
+        """Counters accumulated since ``before`` (a prior snapshot).
+
+        Unchanged counters are omitted; counters that appeared after
+        the snapshot report their full value. Sorted like snapshot().
+        """
+        changed = {}
+        for path in sorted(self._values):
+            diff = self._values[path] - before.get(path, 0.0)
+            if diff != 0.0:
+                changed[path] = diff
+        return changed
+
+    def merge(self, other: "CounterRegistry",
+              gauges: Iterable[str] = ()) -> None:
+        """Fold ``other`` in: counters sum; paths whose leaf name is
+        in ``gauges`` (or ends with ``_peak``) max-fold instead."""
+        gauge_leaves = set(gauges)
+        for path, value in other._values.items():
+            leaf = path.rsplit(".", 1)[-1]
+            if leaf in gauge_leaves or leaf.endswith("_peak"):
+                current = self._values.get(path)
+                if current is None or value > current:
+                    self._values[path] = value
+            else:
+                self._values[path] = self._values.get(path, 0.0) + value
+
+    def subtree(self, prefix: str) -> Dict[str, float]:
+        """All counters under one dot-path prefix (sorted)."""
+        prefix = _join(self.prefix, prefix)
+        needle = prefix + "."
+        return {
+            path: self._values[path]
+            for path in sorted(self._values)
+            if path == prefix or path.startswith(needle)
+        }
+
+    # -- bridges -------------------------------------------------------
+
+    def adopt_stats(self, stats, prefix: str = "") -> None:
+        """Import a :class:`~repro.sim.trace.StatsRecorder`'s counters
+        and gauges under ``prefix`` (gauges keep max semantics via
+        their ``_peak`` naming convention)."""
+        scope_prefix = _join(self.prefix, prefix)
+        for name, value in stats.counters.items():
+            path = _join(scope_prefix, name)
+            self._values[path] = self._values.get(path, 0.0) + value
+        for name, value in stats.gauges.items():
+            path = _join(scope_prefix, name)
+            current = self._values.get(path)
+            if current is None or value > current:
+                self._values[path] = float(value)
+
+    def rows(self) -> Iterable[Tuple[str, float]]:
+        return iter(sorted(self._values.items()))
+
+    def render(self, title: Optional[str] = None) -> str:
+        lines = [f"=== {title} ==="] if title else []
+        width = max((len(path) for path in self._values), default=0)
+        for path, value in self.rows():
+            text = f"{value:.0f}" if value == int(value) else f"{value:.3f}"
+            lines.append(f"{path:<{width}}  {text}")
+        return "\n".join(lines)

@@ -1,0 +1,190 @@
+"""Chrome trace-event JSON validation.
+
+CI runs this over ``examples/trace_tpch.py`` output so a refactor
+cannot silently emit malformed traces.  Checks are structural:
+
+* every event carries the required ``ph``/``ts``/``pid``/``tid``
+  fields (``name`` too, except counter samples);
+* complete (``X``) events carry a non-negative ``dur``;
+* async (``b``/``e``) events carry ``id`` and ``cat``, and every
+  ``b`` has a matching ``e`` at a later-or-equal timestamp;
+* flow events (``s``/``f``) pair up by ``(cat, name, id)``;
+* per ``(pid, tid)`` track, complete events are properly nested —
+  a span either contains or is disjoint from every other span on
+  its track (partial overlap means someone used ``span()`` where
+  ``async_span()`` was required).
+
+Usable as a library (:func:`validate_chrome_trace` returns a list of
+problem strings, empty when valid) or a CLI::
+
+    python -m repro.obs.validate trace.json
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from typing import Any, Dict, List, Tuple
+
+__all__ = ["validate_chrome_trace", "validate_file"]
+
+_REQUIRED = ("ph", "ts", "pid", "tid")
+_KNOWN_PHASES = {"X", "B", "E", "b", "e", "n", "i", "I", "C", "M", "s", "t",
+                 "f", "P", "N", "O", "D"}
+
+
+def _check_required(index: int, event: Dict[str, Any],
+                    problems: List[str]) -> bool:
+    ok = True
+    for field in _REQUIRED:
+        if field not in event:
+            problems.append(f"event {index}: missing required field "
+                            f"{field!r}: {event}")
+            ok = False
+    if event.get("ph") not in ("C",) and "name" not in event:
+        problems.append(f"event {index}: missing 'name': {event}")
+        ok = False
+    return ok
+
+
+def _check_nesting(track: Tuple[Any, Any], spans: List[Dict[str, Any]],
+                   problems: List[str]) -> None:
+    """Complete events on one track must strictly nest."""
+    intervals = sorted(
+        ((event["ts"], event["ts"] + event.get("dur", 0.0), event)
+         for event in spans),
+        key=lambda item: (item[0], -item[1]),
+    )
+    stack: List[Tuple[float, float, Dict[str, Any]]] = []
+    for begin, end, event in intervals:
+        while stack and stack[-1][1] <= begin:
+            stack.pop()
+        if stack and end > stack[-1][1]:
+            outer = stack[-1][2]
+            problems.append(
+                f"track {track}: span {event.get('name')!r} "
+                f"[{begin}, {end}) partially overlaps "
+                f"{outer.get('name')!r} [{stack[-1][0]}, {stack[-1][1]})"
+            )
+            continue
+        stack.append((begin, end, event))
+
+
+def validate_chrome_trace(payload: Any) -> List[str]:
+    """Validate a parsed Chrome trace; returns problems (empty = ok)."""
+    problems: List[str] = []
+    if isinstance(payload, list):
+        events = payload
+    elif isinstance(payload, dict):
+        events = payload.get("traceEvents")
+        if not isinstance(events, list):
+            return ["top-level object has no 'traceEvents' array"]
+    else:
+        return [f"trace must be a JSON array or object, got "
+                f"{type(payload).__name__}"]
+    if not events:
+        return ["trace contains no events"]
+
+    open_async: Dict[Tuple[Any, Any, Any], List[float]] = {}
+    flows: Dict[Tuple[Any, Any, Any], List[str]] = {}
+    tracks: Dict[Tuple[Any, Any], List[Dict[str, Any]]] = {}
+    span_count = 0
+
+    for index, event in enumerate(events):
+        if not isinstance(event, dict):
+            problems.append(f"event {index}: not an object: {event!r}")
+            continue
+        if not _check_required(index, event, problems):
+            continue
+        phase = event["ph"]
+        if phase not in _KNOWN_PHASES:
+            problems.append(f"event {index}: unknown phase {phase!r}")
+            continue
+        if not isinstance(event["ts"], (int, float)):
+            problems.append(f"event {index}: non-numeric ts "
+                            f"{event['ts']!r}")
+            continue
+        if phase == "X":
+            dur = event.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                problems.append(f"event {index}: X event needs dur >= 0, "
+                                f"got {dur!r} ({event.get('name')})")
+                continue
+            span_count += 1
+            tracks.setdefault((event["pid"], event["tid"]),
+                              []).append(event)
+        elif phase in ("b", "e"):
+            if "id" not in event or "cat" not in event:
+                problems.append(f"event {index}: async {phase!r} event "
+                                f"needs id and cat ({event.get('name')})")
+                continue
+            key = (event["cat"], event.get("name"), event["id"])
+            if phase == "b":
+                open_async.setdefault(key, []).append(event["ts"])
+                span_count += 1
+            else:
+                begun = open_async.get(key)
+                if not begun:
+                    problems.append(f"event {index}: async end without "
+                                    f"begin: {key}")
+                elif event["ts"] < begun[-1]:
+                    problems.append(f"event {index}: async end at "
+                                    f"{event['ts']} before begin at "
+                                    f"{begun[-1]}: {key}")
+                else:
+                    begun.pop()
+        elif phase in ("s", "f"):
+            if "id" not in event or "cat" not in event:
+                problems.append(f"event {index}: flow {phase!r} event "
+                                f"needs id and cat")
+                continue
+            key = (event["cat"], event.get("name"), event["id"])
+            flows.setdefault(key, []).append(phase)
+        elif phase == "C" and not isinstance(event.get("args"), dict):
+            problems.append(f"event {index}: counter event needs an "
+                            f"args object ({event.get('name')})")
+
+    for key, begun in open_async.items():
+        if begun:
+            problems.append(f"async span never closed: {key} "
+                            f"({len(begun)} open)")
+    for key, phases in flows.items():
+        if "s" not in phases:
+            problems.append(f"flow end without start: {key}")
+        if "f" not in phases:
+            problems.append(f"flow start without end: {key}")
+    for track, spans in sorted(tracks.items(), key=lambda i: str(i[0])):
+        _check_nesting(track, spans, problems)
+    if span_count == 0:
+        problems.append("trace contains no spans (X or b/e events)")
+    return problems
+
+
+def validate_file(path: str) -> List[str]:
+    try:
+        with open(path, "r", encoding="utf-8") as source:
+            payload = json.load(source)
+    except (OSError, ValueError) as error:
+        return [f"cannot read {path}: {error}"]
+    return validate_chrome_trace(payload)
+
+
+def main(argv: List[str]) -> int:
+    if not argv:
+        print("usage: python -m repro.obs.validate trace.json [more.json ...]",
+              file=sys.stderr)
+        return 2
+    status = 0
+    for path in argv:
+        problems = validate_file(path)
+        if problems:
+            status = 1
+            for problem in problems:
+                print(f"INVALID: {path}: {problem}")
+        else:
+            print(f"{path}: valid Chrome trace")
+    return status
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main(sys.argv[1:]))

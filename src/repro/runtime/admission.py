@@ -30,6 +30,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Optional
 
+from ..obs import NULL_TRACER
 from ..sim import Engine, Resource, StatsRecorder
 
 __all__ = [
@@ -216,6 +217,8 @@ class AdmissionController:
             TokenBucket(rate_per_kcycle, burst) if rate_per_kcycle > 0 else None
         )
         self.stats = stats if stats is not None else StatsRecorder()
+        # Observability hook; DPU.enable_tracing swaps in a live tracer.
+        self.trace = NULL_TRACER
         self.admitted = 0
         self.shed = 0
         self.degraded = 0
@@ -242,6 +245,11 @@ class AdmissionController:
     def saturated(self) -> bool:
         return self.limiter.running >= self.limiter.limit
 
+    def _trace_decision(self, decision: str, site: str) -> None:
+        if self.trace.enabled:
+            self.trace.instant(f"{self.name}.{decision}", unit=self.name,
+                               site=site, **self.occupancy())
+
     # -- admission (process world) -----------------------------------------
 
     def acquire(self, site: str = "job"):
@@ -256,6 +264,7 @@ class AdmissionController:
             if self.saturated:
                 self.shed += 1
                 self.stats.count(f"{self.name}.shed", 1)
+                self._trace_decision("shed", site)
                 raise OverloadError(
                     f"{site} shed: all {self.limiter.limit} job slots busy",
                     site=site,
@@ -267,6 +276,7 @@ class AdmissionController:
             if self.bucket is not None and not self.bucket.try_take(began):
                 self.shed += 1
                 self.stats.count(f"{self.name}.shed", 1)
+                self._trace_decision("shed", site)
                 raise OverloadError(
                     f"{site} shed: arrival rate above admission budget",
                     site=site,
@@ -278,6 +288,7 @@ class AdmissionController:
             if self.limiter.queued >= self.max_queue_depth:
                 self.shed += 1
                 self.stats.count(f"{self.name}.shed", 1)
+                self._trace_decision("shed", site)
                 raise OverloadError(
                     f"{site} shed: admission queue full "
                     f"({self.limiter.queued} waiting)",
@@ -312,6 +323,7 @@ class AdmissionController:
             if degraded:
                 self.degraded += 1
                 self.stats.count(f"{self.name}.degraded", 1)
+                self._trace_decision("degrade", site)
         self.stats.peak(f"{self.name}.queue_peak", self.limiter.queued + 1)
         if over_commit:
             self._over_admitted += 1
@@ -326,6 +338,14 @@ class AdmissionController:
             f"{self.name}.running_peak",
             self.limiter.running + self._over_admitted,
         )
+        if self.trace.enabled:
+            if waited > 0:
+                self.trace.complete_async(f"{self.name}.queue_wait",
+                                          self.name, began, site=site)
+            self.trace.counter(f"{self.name}.jobs", unit=self.name,
+                               running=self.limiter.running
+                               + self._over_admitted,
+                               queued=self.limiter.queued)
         return Admission(
             site=site,
             waited_cycles=waited,

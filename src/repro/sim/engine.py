@@ -215,6 +215,8 @@ class Process(SimEvent):
         self.daemon = daemon
         self._waiting_on: Optional[SimEvent] = None
         engine._register_process(self)
+        if engine.tracer is not None:
+            engine.tracer.process_started(self)
         engine._schedule(0, self._start, None)
 
     def _start(self, _ignored: Any) -> None:
@@ -228,6 +230,8 @@ class Process(SimEvent):
                 target = self.generator.send(value)
         except StopIteration as stop:
             self.succeed(stop.value)
+            if self.engine.tracer is not None:
+                self.engine.tracer.process_finished(self)
             return
         except BaseException as error:
             if isinstance(error, (KeyboardInterrupt, SystemExit)):
@@ -235,6 +239,8 @@ class Process(SimEvent):
             # A failure nobody is waiting on must not vanish silently.
             has_waiters = bool(self.callbacks)
             self.fail(error)
+            if self.engine.tracer is not None:
+                self.engine.tracer.process_finished(self)
             if not has_waiters:
                 # Surfacing immediately: no need to re-report at run() end.
                 self.engine._forget_unobserved_failure(self)
@@ -317,6 +323,9 @@ class Engine:
         self._queue: List[tuple] = []
         self._sequence = 0
         self.watchdog: Optional[Watchdog] = None
+        # Optional observability hook (repro.obs.Tracer). None keeps the
+        # process start/finish paths to a single attribute test.
+        self.tracer: Optional[Any] = None
         self._processes: List["Process"] = []
         self._process_prune_at = 256
         self._unobserved_failures: List[SimEvent] = []

@@ -11,20 +11,38 @@ from __future__ import annotations
 
 import math
 from collections import defaultdict
-from typing import Dict, List
+from typing import Dict, List, Tuple
 
 __all__ = ["StatsRecorder", "SampleSeries"]
 
 
 class SampleSeries:
-    """A named series of numeric samples with summary statistics."""
+    """A named series of numeric samples with summary statistics.
+
+    Mean, min, and max are maintained incrementally so summary reads
+    are O(1) regardless of series length; order statistics
+    (:meth:`percentile`, :meth:`histogram`) still sort on demand.
+    """
 
     def __init__(self, name: str) -> None:
         self.name = name
         self.samples: List[float] = []
+        self._total = 0.0
+        self._min = math.inf
+        self._max = -math.inf
 
     def add(self, value: float) -> None:
-        self.samples.append(float(value))
+        value = float(value)
+        self.samples.append(value)
+        self._total += value
+        if value < self._min:
+            self._min = value
+        if value > self._max:
+            self._max = value
+
+    def extend(self, values) -> None:
+        for value in values:
+            self.add(value)
 
     def __len__(self) -> int:
         return len(self.samples)
@@ -35,21 +53,21 @@ class SampleSeries:
 
     @property
     def total(self) -> float:
-        return sum(self.samples)
+        return self._total
 
     @property
     def mean(self) -> float:
         if not self.samples:
             return 0.0
-        return self.total / len(self.samples)
+        return self._total / len(self.samples)
 
     @property
     def minimum(self) -> float:
-        return min(self.samples) if self.samples else 0.0
+        return self._min if self.samples else 0.0
 
     @property
     def maximum(self) -> float:
-        return max(self.samples) if self.samples else 0.0
+        return self._max if self.samples else 0.0
 
     @property
     def stddev(self) -> float:
@@ -68,6 +86,29 @@ class SampleSeries:
         ordered = sorted(self.samples)
         rank = min(len(ordered) - 1, max(0, math.ceil(fraction * len(ordered)) - 1))
         return ordered[rank]
+
+    def histogram(self, bins: int = 8) -> Tuple[List[int], List[float]]:
+        """Equal-width histogram as ``(counts, edges)`` — numpy style,
+        ``len(edges) == len(counts) + 1``.
+
+        Degenerate series (empty, or all samples equal) collapse to
+        zero or one bucket so renderers never divide by a zero-width
+        range.
+        """
+        if bins <= 0:
+            raise ValueError(f"bins must be positive: {bins}")
+        if not self.samples:
+            return [], []
+        lo, hi = self._min, self._max
+        if hi == lo:
+            return [len(self.samples)], [lo, hi]
+        width = (hi - lo) / bins
+        counts = [0] * bins
+        for value in self.samples:
+            index = min(bins - 1, int((value - lo) / width))
+            counts[index] += 1
+        edges = [lo + i * width for i in range(bins)] + [hi]
+        return counts, edges
 
 
 class StatsRecorder:
@@ -115,14 +156,38 @@ class StatsRecorder:
             self.counters[name] += amount
         for name, series in other.series.items():
             target = self.get_series(name)
-            target.samples.extend(series.samples)
+            target.extend(series.samples)
         for name, value in other.gauges.items():
             self.peak(name, value)
 
     def snapshot(self) -> Dict[str, float]:
-        """Flat dict of counters and series means, for reporting."""
+        """Flat dict of counters and series means, for reporting.
+
+        The shape of this dict is pinned by regression tests — new
+        sections belong in :meth:`to_dict`, not here.
+        """
         result = dict(self.counters)
         for name, series in self.series.items():
             result[f"{name}.mean"] = series.mean
             result[f"{name}.count"] = float(series.count)
         return result
+
+    def to_dict(self) -> Dict[str, Dict[str, float]]:
+        """Full, deterministic export: counters, gauges, and series
+        summaries as separate sections, each sorted by name."""
+        series_out: Dict[str, Dict[str, float]] = {}
+        for name in sorted(self.series):
+            series = self.series[name]
+            series_out[name] = {
+                "count": float(series.count),
+                "mean": series.mean,
+                "min": series.minimum,
+                "max": series.maximum,
+                "p50": series.percentile(0.50),
+                "p95": series.percentile(0.95),
+            }
+        return {
+            "counters": {k: self.counters[k] for k in sorted(self.counters)},
+            "gauges": {k: self.gauges[k] for k in sorted(self.gauges)},
+            "series": series_out,
+        }
