@@ -1,0 +1,181 @@
+"""Host-performance tier: how fast the simulator itself runs.
+
+Every other benchmark in this directory reports *simulated* quantities
+(GB/s, cycles/tuple) that are pinned bit-exactly by the equivalence
+goldens. This module instead guards the *host* cost of producing them:
+the event-engine fast paths, the vectorized DMS data plane, and the
+descriptor/cost-table caches must not quietly rot back to the
+pre-fast-path speeds.
+
+Two kinds of check:
+
+* throughput microbenchmarks (pytest-benchmark, one round each) that
+  show up in ``--benchmark-*`` output and the CI artifact, and
+* hard budget assertions with *generous* pinned ceilings — generous
+  because CI runners vary, so a budget only trips on an order-of-
+  magnitude regression (e.g. an O(n^2) queue sneaking back into the
+  event loop), not on runner jitter.
+
+``tools/perfcmp.py`` does the precise before/after accounting against
+``benchmarks/host_perf_baseline.json``; see docs/PERFORMANCE.md.
+"""
+
+import json
+import os
+import sys
+import time
+
+import pytest
+
+TOOLS_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "tools")
+if TOOLS_DIR not in sys.path:
+    sys.path.insert(0, TOOLS_DIR)
+
+import perfcmp  # noqa: E402
+
+# Pinned host-time ceilings, in seconds. Reference hardware does the
+# 1M-event run in ~1.1s and the DMS stream in ~0.1s; the ceilings
+# leave >10x headroom for slow CI runners while still catching a
+# complexity-class regression (the pre-deque O(n^2) drain paths blow
+# straight through them).
+ENGINE_1M_BUDGET_S = 20.0
+DMS_STREAM_BUDGET_S = 10.0
+
+
+class TestEngineThroughput:
+    def test_engine_1m_events_within_budget(self):
+        """Satellite of the event-loop audit: one million timer events
+        through eight interleaved processes must complete in bounded
+        host time (linear in events, not quadratic)."""
+        elapsed = perfcmp.run_engine_events(1_000_000)
+        assert elapsed < ENGINE_1M_BUDGET_S, (
+            f"1M engine events took {elapsed:.1f}s "
+            f"(budget {ENGINE_1M_BUDGET_S}s) — event loop has regressed"
+        )
+
+    def test_engine_clock_is_exact_after_1m_events(self):
+        """The same workload, checked for correctness: eight processes
+        each advancing 125k unit timeouts land the clock exactly."""
+        from repro.sim import Engine
+
+        engine = Engine()
+
+        def ticker(count):
+            for _ in range(count):
+                yield engine.timeout(1.0)
+
+        for _ in range(8):
+            engine.process(ticker(125_000))
+        engine.run()
+        assert engine.now == 125_000.0
+
+    def test_engine_event_rate(self, benchmark, report):
+        events = 200_000
+
+        def run():
+            return events / perfcmp.run_engine_events(events)
+
+        rate = run_rate = None
+        began = time.perf_counter()
+        rate = benchmark.pedantic(run, rounds=1, iterations=1, warmup_rounds=0)
+        run_rate = rate
+        benchmark.extra_info["events_per_s"] = round(run_rate)
+        report(
+            "engine event throughput",
+            f"{'events':>10}  {'events/s':>12}  {'wall':>8}",
+            [f"{events:>10}  {run_rate:>12,.0f}  "
+             f"{time.perf_counter() - began:>7.2f}s"],
+        )
+        assert run_rate > events / ENGINE_1M_BUDGET_S * 0.2
+
+
+class TestDmsThroughput:
+    def test_dms_stream_within_budget(self):
+        """One fig-11 sweep point (the 8 KB single-column stream over
+        32 cores) as a host-time canary for the DMS data plane."""
+        import test_fig11_dms_bandwidth as fig11
+
+        began = time.perf_counter()
+        gbps = fig11.sweep_point(1, 2048, False)
+        elapsed = time.perf_counter() - began
+        assert gbps > 9.0  # the modelled number still holds
+        assert elapsed < DMS_STREAM_BUDGET_S, (
+            f"DMS stream sweep point took {elapsed:.1f}s "
+            f"(budget {DMS_STREAM_BUDGET_S}s)"
+        )
+
+    def test_fig_pair_bodies(self, benchmark, report):
+        """The fig11+fig16 workload pair perfcmp tracks, run once so
+        the CI benchmark artifact carries its host seconds."""
+
+        def run():
+            fig11 = perfcmp.measure_fig11_body()
+            fig16 = perfcmp.measure_fig16_body()
+            return fig11, fig16
+
+        fig11_s, fig16_s = benchmark.pedantic(
+            run, rounds=1, iterations=1, warmup_rounds=0
+        )
+        benchmark.extra_info["fig11_body_s"] = round(fig11_s, 3)
+        benchmark.extra_info["fig16_body_s"] = round(fig16_s, 3)
+        report(
+            "figure-pair host cost",
+            f"{'workload':<12}  {'wall':>8}",
+            [f"{'fig11 body':<12}  {fig11_s:>7.2f}s",
+             f"{'fig16 body':<12}  {fig16_s:>7.2f}s"],
+        )
+
+
+class TestPerfcmpTool:
+    def test_measure_subset_writes_report(self, tmp_path):
+        out = tmp_path / "current.json"
+        code = perfcmp.main(
+            ["measure", "--only", "engine_1m_events_s", "-o", str(out)]
+        )
+        assert code == 0
+        data = json.loads(out.read_text())
+        assert data["workloads"]["engine_1m_events_s"] > 0
+        assert data["workloads"]["engine_events_per_s"] > 0
+        assert data["host"]["python"]
+
+    def test_measure_rejects_unknown_workload(self):
+        with pytest.raises(SystemExit, match="unknown workloads"):
+            perfcmp.main(["measure", "--only", "nope"])
+
+    def _report(self, tmp_path, name, tier1):
+        path = tmp_path / f"{name}.json"
+        path.write_text(json.dumps({
+            "host": {},
+            "workloads": {"tier1_wall_s": tier1, "fig16_body_s": 0.5},
+        }))
+        return str(path)
+
+    def test_compare_passes_within_limit(self, tmp_path, capsys):
+        base = self._report(tmp_path, "base", 10.0)
+        curr = self._report(tmp_path, "curr", 12.0)  # +20% < 25%
+        merged = tmp_path / "merged.json"
+        code = perfcmp.main(["compare", base, curr, "-o", str(merged)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "REGRESSION" not in out
+        report = json.loads(merged.read_text())
+        assert report["gate"]["passed"] is True
+        assert report["speedups"]["tier1_wall_s"] == pytest.approx(10 / 12,
+                                                                   abs=1e-3)
+
+    def test_compare_fails_beyond_limit(self, tmp_path, capsys):
+        base = self._report(tmp_path, "base", 10.0)
+        curr = self._report(tmp_path, "curr", 13.0)  # +30% > 25%
+        merged = tmp_path / "merged.json"
+        code = perfcmp.main(["compare", base, curr, "-o", str(merged)])
+        assert code == 1
+        assert "REGRESSION" in capsys.readouterr().out
+        assert json.loads(merged.read_text())["gate"]["passed"] is False
+
+    def test_committed_baseline_is_wellformed(self):
+        path = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                            "host_perf_baseline.json")
+        data = json.loads(open(path).read())
+        for key in perfcmp.WORKLOADS:
+            assert data["workloads"][key] > 0, key
+        assert perfcmp.GATE_KEY in data["workloads"]

@@ -23,6 +23,8 @@ contents.
 
 from __future__ import annotations
 
+from functools import lru_cache
+
 from dataclasses import dataclass
 from typing import Dict, Optional, Sequence, Tuple
 
@@ -122,6 +124,7 @@ def hll_estimate(sketch: HllSketch) -> float:
 # -- ISA-derived inner-loop costs ------------------------------------------
 
 
+@lru_cache(maxsize=None)
 def measure_hash_loop(
     hash_fn: str = "crc32", zero_count: str = "ntz", num_values: int = 256
 ) -> float:

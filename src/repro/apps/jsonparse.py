@@ -26,6 +26,8 @@ Both parsers are validated against ``json.loads``.
 
 from __future__ import annotations
 
+from functools import lru_cache
+
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Tuple
 
@@ -422,6 +424,7 @@ def byte_class_mix(data: bytes) -> Dict[str, int]:
 # -- ISA-derived dispatch costs ----------------------------------------------
 
 
+@lru_cache(maxsize=None)
 def measure_table_dispatch(num_bytes: int = 2048) -> float:
     """Cycles/byte of the jump-table FSM dispatch on the interpreter:
     load byte, class-table lookup, state-table transition, store
@@ -460,6 +463,7 @@ def measure_table_dispatch(num_bytes: int = 2048) -> float:
     return result.cycles / num_bytes
 
 
+@lru_cache(maxsize=None)
 def measure_branchy_dispatch(num_bytes: int = 2048) -> float:
     """Cycles/byte of the switch/compare-chain dispatch: an average
     byte falls through several forward compares (each predicted

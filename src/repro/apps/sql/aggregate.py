@@ -33,6 +33,7 @@ semijoin probe into the aggregation, see :mod:`repro.apps.sql.join`).
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, List, Optional, Tuple, Union
 
@@ -232,17 +233,18 @@ def _update_groups(
             per_agg.append(out)
     key_list = unique.tolist()
     columns = [series.tolist() for series in per_agg]
+    ops = [agg.op for agg in aggs]
     get = groups.get
     for position, key in enumerate(key_list):
         slots = get(key)
         if slots is None:
             slots = _new_slots(aggs)
             groups[key] = slots
-        for slot, agg in enumerate(aggs):
+        for slot, op in enumerate(ops):
             sample = columns[slot][position]
-            if agg.op in ("sum", "count"):
+            if op == "sum" or op == "count":
                 slots[slot] += sample
-            elif agg.op == "min":
+            elif op == "min":
                 slots[slot] = min(slots[slot], sample)
             else:
                 slots[slot] = max(slots[slot], sample)
@@ -250,20 +252,27 @@ def _update_groups(
 
 def merge_groups(tables: Iterable[GroupTable], aggs: List[AggSpec]) -> GroupTable:
     """The paper's merge operator over per-core partial aggregates."""
+    ops = [agg.op for agg in aggs]
+    all_additive = all(op in ("sum", "count") for op in ops)
     merged: GroupTable = {}
+    get = merged.get
     for table in tables:
         for key, slots in table.items():
-            target = merged.get(key)
+            target = get(key)
             if target is None:
                 merged[key] = list(slots)
-                continue
-            for slot, agg in enumerate(aggs):
-                if agg.op in ("sum", "count"):
-                    target[slot] += slots[slot]
-                elif agg.op == "min":
-                    target[slot] = min(target[slot], slots[slot])
-                else:
-                    target[slot] = max(target[slot], slots[slot])
+            elif all_additive:
+                # Same per-slot additions as the general path, batched
+                # as a list comprehension (arithmetic order unchanged).
+                merged[key] = [t + s for t, s in zip(target, slots)]
+            else:
+                for slot, op in enumerate(ops):
+                    if op == "sum" or op == "count":
+                        target[slot] += slots[slot]
+                    elif op == "min":
+                        target[slot] = min(target[slot], slots[slot])
+                    else:
+                        target[slot] = max(target[slot], slots[slot])
     return merged
 
 
@@ -721,7 +730,9 @@ def _groupby_sw_round_range(dpu, dtable, key, aggs, row_filter, tile_rows,
         # staging area plus the stream tiles budgeted above).
         accum: Dict[Tuple[int, int], List[np.ndarray]] = {}
         accum_bytes: Dict[Tuple[int, int], int] = {}
-        pending: List = []
+        # FIFO of emitted runs awaiting write-back; a deque so the
+        # drain loop stays O(1) per item however long the backlog gets.
+        pending: deque = deque()
 
         def enqueue(slot_key) -> None:
             bucket, col = slot_key
@@ -779,7 +790,7 @@ def _groupby_sw_round_range(dpu, dtable, key, aggs, row_filter, tile_rows,
         def drain():
             nonlocal slot_rr
             while pending:
-                values, width, address = pending.pop(0)
+                values, width, address = pending.popleft()
                 slot = slot_rr % 4
                 slot_rr += 1
                 yield from ctx.wfe(staging_events[slot])

@@ -13,6 +13,8 @@ loop at ~1.65 cycles/tuple (482 Mtuples/s on one 800 MHz dpCore).
 
 from __future__ import annotations
 
+from functools import lru_cache
+
 import numpy as np
 
 from ...core.assembler import assemble
@@ -71,6 +73,7 @@ def _run_loop(source: str, dmem_words: int = 4096) -> DpCoreInterpreter:
     return interpreter
 
 
+@lru_cache(maxsize=None)
 def measure_filter_loop(num_tuples: int = 2048) -> float:
     """Cycles/tuple of the Figure 15 filter loop, measured on the
     interpreter: 4 B loads + FILT, 4x unrolled, bitvector stores every
@@ -127,6 +130,7 @@ def measure_filter_loop(num_tuples: int = 2048) -> float:
     return result.cycles / num_tuples
 
 
+@lru_cache(maxsize=None)
 def measure_agg_loop(num_rows: int = 512, table_slots: int = 256) -> float:
     """Cycles/row of the DMEM hash group-by update loop.
 

@@ -19,6 +19,7 @@ effective bandwidth.
 
 from __future__ import annotations
 
+from collections import deque
 from typing import Callable, Iterable, List, Optional, Tuple, Union
 
 import numpy as np
@@ -98,7 +99,9 @@ def _streamed_scan(
         shifted = [
             (addr + row_lo * ref_width(spec), spec) for addr, spec in refs
         ]
-        staged: List = []
+        # Output tiles awaiting DMEM->DDR write-back; deque keeps
+        # the drain O(1) per tile.
+        staged: deque = deque()
         state = {"unit_cursor": unit_lo}
 
         def process(tile, lo, hi, arrays):
@@ -119,7 +122,7 @@ def _streamed_scan(
                 break
             yield event
             while staged:
-                slot, out, unit_at = staged.pop(0)
+                slot, out, unit_at = staged.popleft()
                 yield from ctx.wfe(_OUT_SLOT_EVENTS[slot])
                 ctx.clear_event(_OUT_SLOT_EVENTS[slot])
                 ctx.dmem.write(_OUT_STAGING[slot], out)

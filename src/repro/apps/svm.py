@@ -161,6 +161,11 @@ class SmoTrainer:
         self.bias = 0.0
         self.iterations = 0
         self.converged = False
+        # local_extrema is called once per core per iteration but the
+        # up/low masks depend only on (labels, alphas, C); cache them
+        # until the next alpha update so the distributed trainer does
+        # not rebuild them 32 times per iteration.
+        self._masks_cache: Optional[Tuple[np.ndarray, np.ndarray]] = None
 
     # -- kernel ---------------------------------------------------------
 
@@ -187,11 +192,15 @@ class SmoTrainer:
     # -- pair selection ----------------------------------------------------
 
     def _masks(self) -> Tuple[np.ndarray, np.ndarray]:
+        cached = self._masks_cache
+        if cached is not None:
+            return cached
         y = self.labels
         a = self.alphas
         upper = self.C
         i_up = ((y > 0) & (a < upper)) | ((y < 0) & (a > 0))
         i_low = ((y > 0) & (a > 0)) | ((y < 0) & (a < upper))
+        self._masks_cache = (i_up, i_low)
         return i_up, i_low
 
     def local_extrema(self, lo: int, hi: int):
@@ -254,6 +263,7 @@ class SmoTrainer:
             delta = max(lo, min(hi, delta))
             self.alphas[i] += y_i * delta
             self.alphas[j] -= y_j * delta
+        self._masks_cache = None
         return delta, k_i, k_j
 
     def _delta_bounds(self, i, y_i, j, y_j):

@@ -18,24 +18,36 @@ __all__ = ["CrossbarTopology"]
 class CrossbarTopology:
     """Latency oracle for the two-level interconnect."""
 
+    __slots__ = ("config", "_macro_of", "_local_cycles", "_remote_cycles")
+
     def __init__(self, config: DPUConfig) -> None:
         self.config = config
+        # The config is immutable per DPU, so the per-core macro id and
+        # the two possible transit latencies can be tabled once.
+        self._macro_of = tuple(
+            config.macro_of(core) for core in range(config.num_cores)
+        )
+        self._local_cycles = config.ate_local_crossbar_cycles
+        self._remote_cycles = (
+            2 * config.ate_local_crossbar_cycles
+            + config.ate_global_crossbar_cycles
+        )
 
     def same_macro(self, src: int, dst: int) -> bool:
-        return self.config.macro_of(src) == self.config.macro_of(dst)
+        macro_of = self._macro_of
+        return macro_of[src] == macro_of[dst]
 
     def one_way_cycles(self, src: int, dst: int) -> int:
-        """Transit latency for one message, one direction."""
-        if src == dst:
-            # Self-sends still round through the local crossbar.
-            return self.config.ate_local_crossbar_cycles
-        if self.same_macro(src, dst):
-            return self.config.ate_local_crossbar_cycles
-        return (
-            2 * self.config.ate_local_crossbar_cycles
-            + self.config.ate_global_crossbar_cycles
-        )
+        """Transit latency for one message, one direction.
+
+        Self-sends still round through the local crossbar.
+        """
+        macro_of = self._macro_of
+        if macro_of[src] == macro_of[dst]:
+            return self._local_cycles
+        return self._remote_cycles
 
     def hops(self, src: int, dst: int) -> int:
         """Crossbar stages traversed (1 intra-macro, 3 inter-macro)."""
-        return 1 if self.same_macro(src, dst) else 3
+        macro_of = self._macro_of
+        return 1 if macro_of[src] == macro_of[dst] else 3

@@ -43,7 +43,7 @@ from ..memory.address import AddressMap
 from ..memory.ddr import DDRMemory
 from ..memory.dmem import Scratchpad
 from ..obs import NULL_TRACER
-from ..sim import Engine, Resource, SimEvent, StatsRecorder, Store
+from ..sim import Engine, Resource, SimEvent, StatsRecorder, Store, Timeout
 from .crossbar import CrossbarTopology
 
 __all__ = ["Ate", "RpcKind", "AteError"]
@@ -96,7 +96,7 @@ class RpcKind(enum.Enum):
         return self in (RpcKind.FETCH_ADD, RpcKind.COMPARE_SWAP)
 
 
-@dataclass
+@dataclass(slots=True)
 class _Message:
     kind: RpcKind
     src: int
@@ -134,6 +134,11 @@ class Ate:
         self.scratchpads = scratchpads
         self.stats = stats if stats is not None else StatsRecorder()
         self.faults = faults if faults is not None else FaultInjector()
+        # The injector's plan is frozen, so whether the retry protocol
+        # is needed at all can be decided once instead of per issue.
+        self._faulty = (
+            self.faults.active("ate.drop") or self.faults.active("ate.delay")
+        )
         # Observability hook; DPU.enable_tracing swaps in a live tracer.
         self.trace = NULL_TRACER
         self.topology = CrossbarTopology(config)
@@ -195,10 +200,12 @@ class Ate:
         arrives; the caller may compute before yielding it. The
         one-outstanding-request rule is enforced per source core.
         """
+        engine = self.engine
         slot = self._issue_slots[src]
         yield slot.acquire()
-        reply = self.engine.event()
-        self._seq[src] += 1
+        reply = SimEvent(engine)
+        seq = self._seq[src] + 1
+        self._seq[src] = seq
         message = _Message(
             kind=kind,
             src=src,
@@ -209,13 +216,13 @@ class Ate:
             handler=handler,
             args=args,
             reply=reply,
-            issued_at=self.engine.now,
-            seq=self._seq[src],
+            issued_at=engine.now,
+            seq=seq,
             trace_id=trace_id,
         )
-        yield self.engine.timeout(self.topology.one_way_cycles(src, dst))
-        completion = self.engine.event()
-        if self._fault_mode():
+        yield Timeout(engine, self.topology.one_way_cycles(src, dst))
+        completion = SimEvent(engine)
+        if self._faulty:
             yield from self._transmit(message, "request")
             self.engine.process(
                 self._await_with_retry(slot, message, completion),
@@ -259,7 +266,7 @@ class Ate:
     # -- retry protocol (active only when faults target the ATE) -----------
 
     def _fault_mode(self) -> bool:
-        return self.faults.active("ate.drop") or self.faults.active("ate.delay")
+        return self._faulty
 
     def _transmit(self, message: _Message, leg: str):
         """One crossbar traversal that may be delayed or lost."""
@@ -393,28 +400,38 @@ class Ate:
     # -- receiving engine -------------------------------------------------------
 
     def _engine_loop(self, core_id: int):
+        engine = self.engine
         inbox = self._inboxes[core_id]
         cache = self._reply_cache[core_id]
+        stats = self.stats
+        hw_execute = self.config.ate_hw_execute_cycles
+        amo_extra = self.config.ate_amo_extra_cycles
+        sw_overhead = self.config.ate_sw_handler_overhead_cycles
+        software = RpcKind.SOFTWARE
+        faa = RpcKind.FETCH_ADD
+        cas = RpcKind.COMPARE_SWAP
         while True:
             message: _Message = yield inbox.get()
             if message.seq and cache.get(message.src, (0,))[0] == message.seq:
                 # Duplicate of an already-executed request (its reply
                 # was lost or late): replay the cached reply without
                 # re-executing, keeping atomics exactly-once.
-                yield self.engine.timeout(self.config.ate_hw_execute_cycles)
-                self.stats.count("ate.duplicates", 1)
+                yield Timeout(engine, hw_execute)
+                stats.count("ate.duplicates", 1)
                 if message.reply is not None:
                     self._send_reply(message, value=cache[message.src][1])
                 continue
-            began = self.engine.now
-            execute = self.config.ate_hw_execute_cycles
-            if message.kind.is_atomic:
-                execute += self.config.ate_amo_extra_cycles
-            if message.kind is RpcKind.SOFTWARE:
-                execute = self.config.ate_sw_handler_overhead_cycles
-            yield self.engine.timeout(execute)
+            began = engine.now
+            kind = message.kind
+            if kind is software:
+                execute = sw_overhead
+            elif kind is faa or kind is cas:
+                execute = hw_execute + amo_extra
+            else:
+                execute = hw_execute
+            yield Timeout(engine, execute)
             try:
-                if message.kind is RpcKind.SOFTWARE:
+                if kind is software:
                     value = yield from self._run_handler(core_id, message)
                 else:
                     value = self._perform(core_id, message)
@@ -456,11 +473,11 @@ class Ate:
                 return_latency = self.topology.one_way_cycles(
                     core_id, message.src
                 )
-                self.stats.sample(
+                stats.sample(
                     rtt_key,
-                    self.engine.now - message.issued_at + return_latency,
+                    engine.now - message.issued_at + return_latency,
                 )
-            self.stats.count("ate.messages", 1)
+            stats.count("ate.messages", 1)
 
     def _send_reply(self, message: _Message, value: Any = None, error=None) -> None:
         latency = self.topology.one_way_cycles(message.dst, message.src)

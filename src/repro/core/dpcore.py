@@ -188,15 +188,7 @@ class DpCoreInterpreter:
         return second
 
     def _branch_target_set(self):
-        cached = getattr(self, "_targets_cache", None)
-        if cached is None:
-            cached = {
-                ins.target
-                for ins in self.program.instructions
-                if ins.target is not None
-            }
-            self._targets_cache = cached
-        return cached
+        return self.program.branch_targets()
 
     def _branch_penalty(self, instruction: Instruction, taken: Optional[int]) -> int:
         """Static predictor: backward taken, forward not taken."""

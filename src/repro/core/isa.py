@@ -201,6 +201,22 @@ class Program:
     def __getitem__(self, index: int) -> Instruction:
         return self.instructions[index]
 
+    def branch_targets(self) -> set:
+        """Indices that are branch/jump targets, cached per program.
+
+        Shared by every interpreter over this program, so repeated
+        kernel measurements skip the scan. Programs are treated as
+        immutable once assembled."""
+        cached = self.__dict__.get("_branch_targets")
+        if cached is None:
+            cached = {
+                ins.target
+                for ins in self.instructions
+                if ins.target is not None
+            }
+            self.__dict__["_branch_targets"] = cached
+        return cached
+
     def listing(self) -> str:
         """Human-readable disassembly with labels."""
         by_index: Dict[int, List[str]] = {}

@@ -14,7 +14,7 @@ from __future__ import annotations
 from typing import Any, Dict, Optional
 
 from ..core.config import DPUConfig
-from ..sim import Engine, StatsRecorder, Store
+from ..sim import Engine, StatsRecorder, Store, Timeout
 
 __all__ = ["Mailbox", "MailboxController", "A9_ID", "M0_ID", "NUM_MAILBOXES"]
 
@@ -50,6 +50,8 @@ class MailboxController:
         self.mailboxes: Dict[int, Mailbox] = {
             endpoint: Mailbox(engine, endpoint) for endpoint in range(NUM_MAILBOXES)
         }
+        self._send_cycles = config.mbc_send_cycles
+        self._interrupt_cycles = config.mbc_interrupt_cycles
 
     def _check(self, endpoint: int) -> None:
         if endpoint not in self.mailboxes:
@@ -63,7 +65,7 @@ class MailboxController:
         full (hardware back pressure). Process generator."""
         self._check(src)
         self._check(dst)
-        yield self.engine.timeout(self.config.mbc_send_cycles)
+        yield Timeout(self.engine, self._send_cycles)
         yield self.mailboxes[dst].queue.put((src, payload))
         self.stats.count("mbc.sent", 1)
 
@@ -75,7 +77,7 @@ class MailboxController:
         """
         self._check(endpoint)
         message = yield self.mailboxes[endpoint].queue.get()
-        yield self.engine.timeout(self.config.mbc_interrupt_cycles)
+        yield Timeout(self.engine, self._interrupt_cycles)
         self.stats.count("mbc.received", 1)
         return message
 

@@ -116,6 +116,20 @@ class PartitionSpec:
         return 1 << self.radix_bits
 
 
+# Data descriptor types (Table 1's six directions + DMS->DDR); a
+# module-level set because enum ``.value`` access goes through a slow
+# descriptor protocol on the hot path.
+_DATA_TYPES = frozenset({
+    DescriptorType.DDR_TO_DMEM,
+    DescriptorType.DMEM_TO_DDR,
+    DescriptorType.DMS_TO_DMS,
+    DescriptorType.DMS_TO_DMEM,
+    DescriptorType.DMEM_TO_DMS,
+    DescriptorType.DDR_TO_DMS,
+    DescriptorType.DMS_TO_DDR,
+})
+
+
 # Table 1: which operations each data direction supports.
 _CAP = {
     DescriptorType.DDR_TO_DMEM: frozenset({"scatter", "gather", "stride"}),
@@ -131,7 +145,7 @@ _CAP = {
 DESCRIPTOR_CAPABILITIES: Dict[DescriptorType, FrozenSet[str]] = _CAP
 
 
-@dataclass
+@dataclass(slots=True)
 class Descriptor:
     """One 16-byte DMS command.
 
@@ -181,7 +195,7 @@ class Descriptor:
     def _validate(self) -> None:
         if self.internal_mem not in ("cmem", "crc", "cid", "bv"):
             raise DescriptorError(f"unknown internal memory {self.internal_mem!r}")
-        if self.dtype.is_data:
+        if self.dtype in _DATA_TYPES:
             caps = DESCRIPTOR_CAPABILITIES[self.dtype]
             if self.ddr_stride is not None and "stride" not in caps:
                 raise DescriptorError(f"{self.dtype.name} does not support stride")
@@ -236,7 +250,7 @@ class Descriptor:
     @property
     def transfer_bytes(self) -> int:
         """Payload size of a data descriptor."""
-        if not self.dtype.is_data:
+        if self.dtype not in _DATA_TYPES:
             return 0
         return self.rows * self.col_width
 

@@ -35,7 +35,7 @@ from ..core.crc32 import crc32_column
 from ..memory.ddr import DDRChannel, DDRMemory
 from ..memory.dmem import Scratchpad
 from ..obs import NULL_TRACER
-from ..sim import Engine, Resource, StatsRecorder
+from ..sim import Engine, Resource, SimEvent, StatsRecorder
 from .descriptor import (
     Descriptor,
     DescriptorError,
@@ -89,6 +89,9 @@ class DmsHardwareError(Exception):
 class PartitionChunk:
     """One chunk of rows moving through the partition pipeline."""
 
+    __slots__ = ("key", "key_width", "columns", "load_events", "hashes",
+                 "cids", "hash_done", "bank_acquired", "crc_acquired", "rows")
+
     def __init__(self, engine: Engine) -> None:
         self.key: Optional[np.ndarray] = None
         self.key_width: int = 0
@@ -96,7 +99,7 @@ class PartitionChunk:
         self.load_events: List = []
         self.hashes: Optional[np.ndarray] = None
         self.cids: Optional[np.ndarray] = None
-        self.hash_done = engine.event()
+        self.hash_done = SimEvent(engine)
         self.bank_acquired = False
         self.crc_acquired = False
         self.rows: int = 0
@@ -146,6 +149,11 @@ class Dmac:
         # Per-core gather bit-vector registers (loaded via DMEM->DMS).
         self._bv_registers: Dict[int, np.ndarray] = {}
         self._active_gathers = 0
+        # Config-derived constants hoisted off the per-descriptor path.
+        self._decode_cycles = config.dms_dmac_decode_cycles
+        self._macro_of = tuple(
+            config.macro_of(core) for core in range(config.num_cores)
+        )
 
     # -- configuration ---------------------------------------------------
 
@@ -169,7 +177,7 @@ class Dmac:
             if descriptor.is_key_column or self._open_chunk is None:
                 self._open_chunk = PartitionChunk(self.engine)
             chunk = self._open_chunk
-            load_event = self.engine.event()
+            load_event = SimEvent(self.engine)
             chunk.load_events.append(load_event)
             return ("load", chunk, load_event)
         if dtype is DescriptorType.DMS_TO_DMS:
@@ -245,7 +253,7 @@ class Dmac:
     # -- DDR <-> DMEM streaming -------------------------------------------
 
     def _dmax_for(self, core_id: int) -> Dmax:
-        return self.dmaxes[self.config.macro_of(core_id)]
+        return self.dmaxes[self._macro_of[core_id]]
 
     def _target_dmem(self, descriptor: Descriptor, core_id: int) -> Scratchpad:
         target = descriptor.dmem_core if descriptor.dmem_core is not None else core_id
@@ -256,7 +264,7 @@ class Dmac:
             raise DescriptorError("RLE decode is not modelled")
         dmem = self._target_dmem(descriptor, core_id)
         width = descriptor.col_width
-        decode = self.config.dms_dmac_decode_cycles
+        decode = self._decode_cycles
         if descriptor.gather_src:
             gather_began = self.engine.now
             yield from self._guarded_gather_begin()
@@ -317,7 +325,7 @@ class Dmac:
             raise DescriptorError("RLE encode is not modelled")
         dmem = self._target_dmem(descriptor, core_id)
         width = descriptor.col_width
-        decode = self.config.dms_dmac_decode_cycles
+        decode = self._decode_cycles
         if descriptor.scatter_dst:
             indices = self._gather_indices(descriptor, core_id)
             rows = dmem.view(
@@ -415,7 +423,7 @@ class Dmac:
         yield self.ddr_channel.request(
             descriptor.ddr_addr,
             nbytes,
-            extra_overhead_cycles=self.config.dms_dmac_decode_cycles,
+            extra_overhead_cycles=self._decode_cycles,
         )
         values = self.ddr_memory.view(
             descriptor.ddr_addr, nbytes, _WIDTH_DTYPE[width]
@@ -485,7 +493,7 @@ class Dmac:
             nbytes = rows.size
             offset = layout.advance(target, nbytes)
             writes.append((target, offset, rows))
-            macro = self.config.macro_of(target)
+            macro = self._macro_of[target]
             macro_bytes[macro] = macro_bytes.get(macro, 0) + nbytes
         transfers = [
             self.dmaxes[macro].transfer(nbytes)

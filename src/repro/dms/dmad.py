@@ -36,7 +36,7 @@ from ..core.config import DPUConfig
 from ..core.crc32 import crc32_bytes
 from ..faults import FaultInjector
 from ..obs import NULL_TRACER
-from ..sim import Engine, Resource, StatsRecorder, Store
+from ..sim import Engine, Resource, StatsRecorder, Store, Timeout
 from .descriptor import Descriptor, DescriptorError, DescriptorType
 from .dmac import Dmac, DmsHardwareError
 from .events import EventFile
@@ -81,6 +81,10 @@ class Dmad:
         # Observability hook; DPU.enable_tracing swaps in a live tracer.
         self.trace = NULL_TRACER
         self._unit = f"dmad{core_id}"
+        self._desc_name = f"dmad{core_id}.desc"
+        # The injector's plan is frozen; whether descriptor CRC checks
+        # run is fixed for the DMAD's lifetime.
+        self._crc_faulty = self.faults.active("dms.descriptor")
         self.channels = [DmadChannel(i) for i in range(self.NUM_CHANNELS)]
         self._wakeups = [Store(engine) for _ in range(self.NUM_CHANNELS)]
         self.outstanding = Resource(engine, config.dms_max_outstanding)
@@ -160,52 +164,61 @@ class Dmad:
 
     def _channel_loop(self, channel: DmadChannel):
         wakeup = self._wakeups[channel.index]
+        engine = self.engine
+        event_file = self.event_file
+        dmac = self.dmac
+        outstanding = self.outstanding
+        notify_tail = self._notify_tail
+        setup_cycles = self.config.dms_descriptor_setup_cycles
+        loop_type = DescriptorType.LOOP
+        event_type = DescriptorType.EVENT
+        hash_config = DescriptorType.HASH_CONFIG
+        range_config = DescriptorType.RANGE_CONFIG
         while True:
             while channel.pc >= len(channel.program):
                 yield wakeup.get()
             descriptor = channel.program[channel.pc]
-            if descriptor.dtype is DescriptorType.LOOP:
+            dtype = descriptor.dtype
+            if dtype is loop_type:
                 self._handle_loop(channel, descriptor)
                 continue
-            if descriptor.dtype is DescriptorType.EVENT:
+            if dtype is event_type:
                 yield from self._handle_event(descriptor)
                 channel.pc += 1
                 continue
-            if descriptor.dtype in (
-                DescriptorType.HASH_CONFIG,
-                DescriptorType.RANGE_CONFIG,
-            ):
-                self.dmac.configure_partition(descriptor)
+            if dtype is hash_config or dtype is range_config:
+                dmac.configure_partition(descriptor)
                 channel.pc += 1
                 continue
             # -- data descriptor ------------------------------------------
             if descriptor.wait_event is not None:
-                yield self.event_file.wait(descriptor.wait_event)
-            if descriptor.notify_event is not None:
+                yield event_file.wait(descriptor.wait_event)
+            notify_event = descriptor.notify_event
+            if notify_event is not None:
                 # Flow control: do not refill a buffer whose previous
                 # fill has not completed and been consumed (event must
                 # have been set by the prior notifier, then cleared).
-                tail = self._notify_tail.get(descriptor.notify_event)
-                if tail is not None and not tail.triggered:
+                tail = notify_tail.get(notify_event)
+                if tail is not None and tail.callbacks is not None:
                     yield tail
-                yield self.event_file.events[descriptor.notify_event].wait_clear()
-            yield self.engine.timeout(self.config.dms_descriptor_setup_cycles)
+                yield event_file.events[notify_event].wait_clear()
+            yield Timeout(engine, setup_cycles)
             effective = self._resolve_addresses(channel, descriptor)
-            prep = self.dmac.prepare(effective, self.core_id)
-            yield self.outstanding.acquire()
+            prep = dmac.prepare(effective, self.core_id)
+            yield outstanding.acquire()
             self._inflight += 1
-            runner = self.engine.process(
+            runner = engine.process(
                 self._run_descriptor(effective, prep),
-                name=f"dmad{self.core_id}.desc",
+                name=self._desc_name,
             )
-            if descriptor.notify_event is not None:
-                self._notify_tail[descriptor.notify_event] = runner
+            if notify_event is not None:
+                notify_tail[notify_event] = runner
             channel.pc += 1
 
     def _run_descriptor(self, descriptor: Descriptor, prep):
         began = self.engine.now
         try:
-            if self.faults.active("dms.descriptor"):
+            if self._crc_faulty:
                 yield from self._validate_descriptor(descriptor)
             yield from self.dmac.execute(descriptor, self.core_id, prep)
         finally:

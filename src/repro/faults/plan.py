@@ -68,6 +68,9 @@ class FaultError(Exception):
     """Misuse of the fault framework (unknown site, bad rate)."""
 
 
+_FAULT_SITE_SET = frozenset(FAULT_SITES)
+
+
 @dataclass(frozen=True)
 class FaultRecord:
     """One injected fault, as it appears in the trace."""
@@ -112,7 +115,7 @@ class FaultPlan:
         return cls(seed=seed, rates={site: rate for site in sites})
 
     def rate(self, site: str) -> float:
-        if site not in FAULT_SITES:
+        if site not in _FAULT_SITE_SET:
             raise FaultError(f"unknown fault site {site!r}")
         return float(self.rates.get(site, 0.0))
 
@@ -147,6 +150,11 @@ class FaultInjector:
         self.engine = engine
         self.trace: List[FaultRecord] = []
         self._streams: Dict[str, np.random.Generator] = {}
+        # Hot-path gate table: sites with a nonzero rate. The plan is a
+        # frozen dataclass, so this never goes stale.
+        self._active_sites = frozenset(
+            site for site, rate in self.plan.rates.items() if rate > 0.0
+        )
 
     # -- stream management -------------------------------------------------
 
@@ -167,7 +175,11 @@ class FaultInjector:
 
     def active(self, site: str) -> bool:
         """Fast gate: is this site worth consulting at all?"""
-        return self.plan.rate(site) > 0.0
+        if site in self._active_sites:
+            return True
+        if site not in _FAULT_SITE_SET:
+            raise FaultError(f"unknown fault site {site!r}")
+        return False
 
     # -- draws --------------------------------------------------------------
 

@@ -203,6 +203,11 @@ class LocalHeap:
             # as in Hoard); return the rest to the global heap.
             empties = [b for b in blocks if b.empty]
             if len(empties) > 1:
+                # O(len(blocks)) removal is deliberate: hysteresis caps
+                # empties at one, so this fires at most once per empty
+                # transition, and list order must be preserved — malloc
+                # scans in insertion order and a reordering would move
+                # subsequent allocations to different addresses.
                 blocks.remove(block)
                 self.global_heap.return_superblock(block)
 

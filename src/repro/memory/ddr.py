@@ -21,7 +21,7 @@ import numpy as np
 
 from ..faults import FaultInjector
 from ..obs import NULL_TRACER
-from ..sim import BandwidthServer, Engine, SimEvent
+from ..sim import BandwidthServer, Engine, SimEvent, Timeout
 from .address import AddressMap
 from .ecc import SecdedEcc
 
@@ -113,6 +113,9 @@ class DDRChannel:
         # engine's column loads) each keep their own row open.
         self._open_rows = [-1] * num_banks
         self.row_misses = 0
+        # The injector's plan is frozen, so whether ECC checks ever run
+        # is a constant for the channel's lifetime.
+        self._ecc_active = self.ecc.active
         # Observability hook; DPU.enable_tracing swaps in a live tracer.
         self.trace = NULL_TRACER
 
@@ -133,9 +136,9 @@ class DDRChannel:
         work (e.g. DMAC descriptor decode) that occupies the channel.
         """
         if nbytes <= 0:
-            return self.engine.timeout(0)
+            return Timeout(self.engine, 0)
         overhead = float(extra_overhead_cycles)
-        if self.ecc.active:
+        if self._ecc_active:
             # SECDED: correctable flips charge a scrub; a double flip
             # in one codeword raises MachineCheckError to the caller.
             overhead += self.ecc.check(address, nbytes)
@@ -145,17 +148,30 @@ class DDRChannel:
         miss_cost = self.row_miss_cycles * (
             self.write_row_miss_factor if is_write else 1.0
         )
-        first_row = address // self.row_size
-        last_row = (address + nbytes - 1) // self.row_size
-        for row in range(first_row, last_row + 1):
-            # XOR-fold the row bits into the bank index, as real
-            # controllers do, so power-of-two strided streams don't all
-            # land in one bank.
-            bank = (row ^ (row >> 3) ^ (row >> 6)) % self.num_banks
-            if self._open_rows[bank] != row:
+        row_size = self.row_size
+        first_row = address // row_size
+        last_row = (address + nbytes - 1) // row_size
+        open_rows = self._open_rows
+        num_banks = self.num_banks
+        if first_row == last_row:
+            # Fast path: the transfer stays inside one DRAM row (every
+            # AXI-sized and most tile-sized requests).
+            row = first_row
+            bank = (row ^ (row >> 3) ^ (row >> 6)) % num_banks
+            if open_rows[bank] != row:
                 overhead += miss_cost
                 self.row_misses += 1
-                self._open_rows[bank] = row
+                open_rows[bank] = row
+        else:
+            for row in range(first_row, last_row + 1):
+                # XOR-fold the row bits into the bank index, as real
+                # controllers do, so power-of-two strided streams don't
+                # all land in one bank.
+                bank = (row ^ (row >> 3) ^ (row >> 6)) % num_banks
+                if open_rows[bank] != row:
+                    overhead += miss_cost
+                    self.row_misses += 1
+                    open_rows[bank] = row
         transactions = -(-nbytes // AXI_MAX_TRANSFER)
         overhead += transactions * self.transaction_overhead_cycles
         total = nbytes + int(overhead * self.server.bytes_per_cycle)

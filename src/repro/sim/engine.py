@@ -11,12 +11,39 @@ The kernel is deliberately small (events, processes, a binary heap) so
 that its behaviour is easy to audit; richer constructs (FIFO resources,
 bandwidth servers, mailbox stores) are layered on top in
 :mod:`repro.sim.resources`.
+
+Host-speed notes
+----------------
+This module is the hot path of every benchmark, so it trades a little
+verbosity for constant-factor wins that are invisible to the modelled
+system (pinned bit-exact by ``tests/test_equivalence.py``):
+
+* every event class uses ``__slots__`` and inlines its base
+  initialiser, so event churn does not touch instance ``__dict__``s;
+* trigger paths push ``(time, seq, callback, argument)`` entries on the
+  heap directly in a batch instead of calling :meth:`Engine._schedule`
+  once per waiter — the *order* of entries is identical, only the
+  per-entry Python overhead goes away;
+* processes cache the bound ``send``/``throw``/resume callables once at
+  spawn instead of re-binding them on every yield;
+* the run loops hoist the queue, ``heappop`` and the watchdog into
+  locals and test ``event.callbacks is None`` directly rather than via
+  the ``triggered`` property;
+* cancelled timers (:meth:`Timeout.cancel`) use lazy deletion: the heap
+  entry stays (so simulated time still advances through it exactly as
+  before) but fires as a no-op instead of scheduling stale callbacks.
+
+Dispatch *order* is sacred: callbacks of a triggered event are always
+scheduled through the heap at the current instant, never invoked
+inline, because an inline call would run ahead of earlier same-time
+entries and change modelled interleavings.
 """
 
 from __future__ import annotations
 
 import heapq
 import time
+from itertools import count
 from typing import Any, Callable, Generator, Iterable, List, Optional
 
 __all__ = [
@@ -30,6 +57,9 @@ __all__ = [
     "DeadlockError",
     "Watchdog",
 ]
+
+_heappush = heapq.heappush
+_heappop = heapq.heappop
 
 
 class SimulationError(Exception):
@@ -59,11 +89,13 @@ class DeadlockError(SimulationError):
 class Watchdog:
     """Livelock guard: bounds on events processed and host wall time.
 
-    Attach with ``engine.watchdog = Watchdog(...)``; the engine calls
-    :meth:`check` once per dispatched event. Exceeding either budget
-    raises :class:`DeadlockError` naming the still-pending processes.
-    The wall clock (host ``time.monotonic``) never influences simulated
-    behaviour — it can only abort a runaway simulation.
+    Attach with ``engine.watchdog = Watchdog(...)`` *before* calling
+    ``run``/``run_until_complete`` (the run loops sample the watchdog
+    once at entry); the engine calls :meth:`check` once per dispatched
+    event. Exceeding either budget raises :class:`DeadlockError`
+    naming the still-pending processes. The wall clock (host
+    ``time.monotonic``) never influences simulated behaviour — it can
+    only abort a runaway simulation.
     """
 
     def __init__(
@@ -106,13 +138,23 @@ class Watchdog:
                 )
 
 
+# Sentinel stored in ``Timeout.exception`` by :meth:`Timeout.cancel` so
+# the pending heap entry can recognise a lazily-deleted timer.
+_CANCELLED = SimulationError("timeout cancelled")
+
+
 class SimEvent:
     """A one-shot occurrence at a point in simulated time.
 
     An event starts *pending*, then is either *succeeded* (with an
     optional value delivered to waiters) or *failed* (with an exception
     raised inside waiting processes). Triggering is irreversible.
+
+    ``callbacks is None`` is the canonical "already triggered" test on
+    hot paths; the :attr:`triggered` property is the readable spelling.
     """
+
+    __slots__ = ("engine", "callbacks", "value", "exception")
 
     def __init__(self, engine: "Engine") -> None:
         self.engine = engine
@@ -126,11 +168,22 @@ class SimEvent:
 
     @property
     def ok(self) -> bool:
-        return self.triggered and self.exception is None
+        return self.callbacks is None and self.exception is None
 
     def succeed(self, value: Any = None) -> "SimEvent":
         """Trigger the event successfully, delivering ``value``."""
-        self._trigger(value, None)
+        callbacks = self.callbacks
+        if callbacks is None:
+            raise SimulationError(f"{self!r} has already been triggered")
+        self.value = value
+        self.callbacks = None
+        if callbacks:
+            engine = self.engine
+            queue = engine._queue
+            now = engine.now
+            next_seq = engine._next_seq
+            for callback in callbacks:
+                _heappush(queue, (now, next_seq(), callback, self))
         return self
 
     def fail(self, exception: BaseException) -> "SimEvent":
@@ -141,17 +194,22 @@ class SimEvent:
         return self
 
     def _trigger(self, value: Any, exception: Optional[BaseException]) -> None:
-        if self.triggered:
+        callbacks = self.callbacks
+        if callbacks is None:
             raise SimulationError(f"{self!r} has already been triggered")
         self.value = value
         self.exception = exception
-        callbacks, self.callbacks = self.callbacks, None
+        self.callbacks = None
         if exception is not None and not callbacks:
             # A failure nobody is waiting on yet: remember it so it
             # surfaces at engine.run() end instead of vanishing.
             self.engine._note_unobserved_failure(self)
+        engine = self.engine
+        queue = engine._queue
+        now = engine.now
+        next_seq = engine._next_seq
         for callback in callbacks:
-            self.engine._schedule(0, callback, self)
+            _heappush(queue, (now, next_seq(), callback, self))
 
     def add_callback(self, callback: Callable[["SimEvent"], None]) -> None:
         """Run ``callback(event)`` once the event triggers.
@@ -160,13 +218,13 @@ class SimEvent:
         the current instant (it still runs through the event queue so
         ordering stays deterministic).
         """
-        if self.triggered:
+        callbacks = self.callbacks
+        if callbacks is not None:
+            callbacks.append(callback)
+        else:
             if self.exception is not None:
                 self.engine._forget_unobserved_failure(self)
             self.engine._schedule(0, callback, self)
-        else:
-            assert self.callbacks is not None
-            self.callbacks.append(callback)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "pending" if not self.triggered else ("ok" if self.ok else "failed")
@@ -176,15 +234,58 @@ class SimEvent:
 class Timeout(SimEvent):
     """An event that succeeds ``delay`` time units after creation."""
 
+    __slots__ = ("delay",)
+
     def __init__(self, engine: "Engine", delay: float, value: Any = None) -> None:
         if delay < 0:
             raise SimulationError(f"negative timeout delay {delay!r}")
-        super().__init__(engine)
+        self.engine = engine
+        self.callbacks = []
+        self.value = None
+        self.exception = None
         self.delay = delay
-        engine._schedule(delay, self._fire, value)
+        _heappush(
+            engine._queue,
+            (engine.now + delay, engine._next_seq(), self._fire, value),
+        )
+
+    def cancel(self) -> None:
+        """Lazily cancel a still-pending timer.
+
+        The heap entry is *not* removed — simulated time still advances
+        through the timer's expiry exactly as before — but the expiry
+        fires as a no-op instead of scheduling the (stale) waiter
+        callbacks. Only cancel timers whose waiters have already moved
+        on (e.g. the losing branch of an :class:`AnyOf` race); any
+        remaining waiters would never be resumed.
+        """
+        if self.callbacks is not None:
+            self.callbacks = None
+            self.exception = _CANCELLED
 
     def _fire(self, value: Any) -> None:
-        self.succeed(value)
+        callbacks = self.callbacks
+        if callbacks is None:
+            if self.exception is _CANCELLED:
+                return
+            raise SimulationError(f"{self!r} has already been triggered")
+        self.value = value
+        self.callbacks = None
+        if not callbacks:
+            return
+        if len(callbacks) == 1:
+            # Single waiter (the overwhelmingly common case: a process
+            # sleeping on its own timeout): dispatch inline. The engine
+            # just popped this timer's heap entry, so the waiter runs at
+            # the same instant it would otherwise be re-queued for.
+            callbacks[0](self)
+            return
+        engine = self.engine
+        queue = engine._queue
+        now = engine.now
+        next_seq = engine._next_seq
+        for callback in callbacks:
+            _heappush(queue, (now, next_seq(), callback, self))
 
 
 class Process(SimEvent):
@@ -199,6 +300,16 @@ class Process(SimEvent):
     * another generator (run as a sub-process and waited on).
     """
 
+    __slots__ = (
+        "generator",
+        "name",
+        "daemon",
+        "_waiting_on",
+        "_send",
+        "_throw",
+        "_resume",
+    )
+
     def __init__(
         self,
         engine: "Engine",
@@ -206,7 +317,10 @@ class Process(SimEvent):
         name: str = "",
         daemon: bool = False,
     ) -> None:
-        super().__init__(engine)
+        self.engine = engine
+        self.callbacks = []
+        self.value = None
+        self.exception = None
         self.generator = generator
         self.name = name or getattr(generator, "__name__", "process")
         # Daemon processes are service loops (ATE engines, DMAD
@@ -214,46 +328,76 @@ class Process(SimEvent):
         # excludes them from the "blocked" report.
         self.daemon = daemon
         self._waiting_on: Optional[SimEvent] = None
+        self._send = generator.send
+        self._throw = generator.throw
+        self._resume = self._on_event
         engine._register_process(self)
         if engine.tracer is not None:
             engine.tracer.process_started(self)
-        engine._schedule(0, self._start, None)
+        _heappush(engine._queue, (engine.now, engine._next_seq(), self._start, None))
 
     def _start(self, _ignored: Any) -> None:
         self._step(None, None)
 
     def _step(self, value: Any, exc: Optional[BaseException]) -> None:
-        try:
-            if exc is not None:
-                target = self.generator.throw(exc)
+        engine = self.engine
+        send = self._send
+        throw = self._throw
+        while True:
+            try:
+                if exc is None:
+                    target = send(value)
+                else:
+                    target = throw(exc)
+            except StopIteration as stop:
+                self.succeed(stop.value)
+                if engine.tracer is not None:
+                    engine.tracer.process_finished(self)
+                return
+            except BaseException as error:
+                if isinstance(error, (KeyboardInterrupt, SystemExit)):
+                    raise
+                # A failure nobody is waiting on must not vanish silently.
+                has_waiters = bool(self.callbacks)
+                self.fail(error)
+                if engine.tracer is not None:
+                    engine.tracer.process_finished(self)
+                if not has_waiters:
+                    # Surfacing immediately: no need to re-report at run() end.
+                    engine._forget_unobserved_failure(self)
+                    raise
+                return
+            if isinstance(target, SimEvent):
+                event = target
+            elif isinstance(target, (int, float)):
+                event = Timeout(engine, target)
+            elif hasattr(target, "send") and hasattr(target, "throw"):
+                event = Process(engine, target)
             else:
-                target = self.generator.send(value)
-        except StopIteration as stop:
-            self.succeed(stop.value)
-            if self.engine.tracer is not None:
-                self.engine.tracer.process_finished(self)
-            return
-        except BaseException as error:
-            if isinstance(error, (KeyboardInterrupt, SystemExit)):
-                raise
-            # A failure nobody is waiting on must not vanish silently.
-            has_waiters = bool(self.callbacks)
-            self.fail(error)
-            if self.engine.tracer is not None:
-                self.engine.tracer.process_finished(self)
-            if not has_waiters:
-                # Surfacing immediately: no need to re-report at run() end.
-                self.engine._forget_unobserved_failure(self)
-                raise
-            return
-        event = self.engine._as_event(target)
-        self._waiting_on = event
-        event.add_callback(self._on_event)
+                raise SimulationError(f"cannot wait on {target!r}")
+            callbacks = event.callbacks
+            if callbacks is not None:
+                self._waiting_on = event
+                callbacks.append(self._resume)
+                return
+            # Fast resume: the yielded event has already triggered
+            # (a store put/get satisfied immediately, a free resource
+            # slot, an event-file flag already in the right state), so
+            # loop straight back into the generator instead of taking a
+            # heap round-trip at the current instant. Time does not
+            # advance; only host work is saved.
+            exception = event.exception
+            if exception is not None:
+                engine._forget_unobserved_failure(event)
+                value, exc = None, exception
+            else:
+                value, exc = event.value, None
 
     def _on_event(self, event: SimEvent) -> None:
         self._waiting_on = None
-        if event.exception is not None:
-            self._step(None, event.exception)
+        exception = event.exception
+        if exception is not None:
+            self._step(None, exception)
         else:
             self._step(event.value, None)
 
@@ -268,17 +412,23 @@ class AllOf(SimEvent):
     soon as any child fails.
     """
 
+    __slots__ = ("events", "_remaining")
+
     def __init__(self, engine: "Engine", events: Iterable[SimEvent]) -> None:
-        super().__init__(engine)
+        self.engine = engine
+        self.callbacks = []
+        self.value = None
+        self.exception = None
         self.events = list(events)
         self._remaining = len(self.events)
         if self._remaining == 0:
             self.succeed([])
+        on_child = self._on_child
         for event in self.events:
-            event.add_callback(self._on_child)
+            event.add_callback(on_child)
 
     def _on_child(self, event: SimEvent) -> None:
-        if self.triggered:
+        if self.callbacks is None:
             return
         if event.exception is not None:
             self.fail(event.exception)
@@ -294,8 +444,13 @@ class AnyOf(SimEvent):
     The value is ``(index, value)`` of the first child to trigger.
     """
 
+    __slots__ = ("events",)
+
     def __init__(self, engine: "Engine", events: Iterable[SimEvent]) -> None:
-        super().__init__(engine)
+        self.engine = engine
+        self.callbacks = []
+        self.value = None
+        self.exception = None
         self.events = list(events)
         if not self.events:
             raise SimulationError("AnyOf requires at least one event")
@@ -303,7 +458,7 @@ class AnyOf(SimEvent):
             event.add_callback(lambda ev, i=index: self._on_child(i, ev))
 
     def _on_child(self, index: int, event: SimEvent) -> None:
-        if self.triggered:
+        if self.callbacks is None:
             return
         if event.exception is not None:
             self.fail(event.exception)
@@ -314,14 +469,17 @@ class AnyOf(SimEvent):
 class Engine:
     """The event loop: a time-ordered queue of callbacks.
 
-    Ties are broken by insertion order, so simulations are fully
-    deterministic for a fixed program.
+    Ties are broken by insertion order (a monotone sequence number per
+    heap entry), so simulations are fully deterministic for a fixed
+    program. The loop is a plain binary heap drain: popping the next
+    entry *is* the skip-ahead to the next populated instant — idle
+    cycles between timer expiries cost nothing on the host.
     """
 
     def __init__(self) -> None:
         self.now: float = 0
         self._queue: List[tuple] = []
-        self._sequence = 0
+        self._next_seq = count().__next__
         self.watchdog: Optional[Watchdog] = None
         # Optional observability hook (repro.obs.Tracer). None keeps the
         # process start/finish paths to a single attribute test.
@@ -333,10 +491,9 @@ class Engine:
     # -- scheduling ---------------------------------------------------
 
     def _schedule(self, delay: float, callback: Callable, argument: Any) -> None:
-        heapq.heappush(
-            self._queue, (self.now + delay, self._sequence, callback, argument)
+        _heappush(
+            self._queue, (self.now + delay, self._next_seq(), callback, argument)
         )
-        self._sequence += 1
 
     # -- bookkeeping for diagnosis --------------------------------------
 
@@ -344,7 +501,7 @@ class Engine:
         self._processes.append(process)
         if len(self._processes) >= self._process_prune_at:
             self._processes = [
-                p for p in self._processes if not p.triggered
+                p for p in self._processes if p.callbacks is not None
             ]
             self._process_prune_at = max(256, 2 * len(self._processes))
 
@@ -353,13 +510,16 @@ class Engine:
         return [
             process
             for process in self._processes
-            if not process.triggered and not process.daemon
+            if process.callbacks is not None and not process.daemon
         ]
 
     def _note_unobserved_failure(self, event: SimEvent) -> None:
         self._unobserved_failures.append(event)
 
     def _forget_unobserved_failure(self, event: SimEvent) -> None:
+        # list.remove is fine here: the list only holds failures not
+        # yet observed by any waiter, which is empty in healthy runs
+        # and a handful of entries under fault injection.
         try:
             self._unobserved_failures.remove(event)
         except ValueError:
@@ -413,16 +573,25 @@ class Engine:
 
         Returns the simulation time at which the run stopped.
         """
-        while self._queue:
-            when, _seq, callback, argument = self._queue[0]
-            if until is not None and when > until:
-                self.now = until
-                return self.now
-            heapq.heappop(self._queue)
-            self.now = when
-            callback(argument)
-            if self.watchdog is not None:
-                self.watchdog.check(self)
+        queue = self._queue
+        pop = _heappop
+        watchdog = self.watchdog
+        if until is None and watchdog is None:
+            while queue:
+                when, _seq, callback, argument = pop(queue)
+                self.now = when
+                callback(argument)
+        else:
+            while queue:
+                when = queue[0][0]
+                if until is not None and when > until:
+                    self.now = until
+                    return until
+                _when, _seq, callback, argument = pop(queue)
+                self.now = when
+                callback(argument)
+                if watchdog is not None:
+                    watchdog.check(self)
         self._raise_unobserved_failures()
         if until is not None:
             self.now = max(self.now, until)
@@ -435,23 +604,42 @@ class Engine:
         :class:`SimulationError` if the queue drained without the
         process completing (a deadlock in the modelled system).
         """
-        while not process.triggered:
-            if not self._queue:
-                raise DeadlockError(
-                    f"deadlock: {process!r} never completed and no events "
-                    f"remain",
-                    blocked=self.blocked_processes(),
-                )
-            if self.now > limit:
-                raise DeadlockError(
-                    f"livelock: simulation exceeded limit of {limit} cycles",
-                    blocked=self.blocked_processes(),
-                )
-            when, _seq, callback, argument = heapq.heappop(self._queue)
-            self.now = when
-            callback(argument)
-            if self.watchdog is not None:
-                self.watchdog.check(self)
+        queue = self._queue
+        pop = _heappop
+        watchdog = self.watchdog
+        if watchdog is None:
+            while process.callbacks is not None:
+                if not queue:
+                    raise DeadlockError(
+                        f"deadlock: {process!r} never completed and no events "
+                        f"remain",
+                        blocked=self.blocked_processes(),
+                    )
+                if self.now > limit:
+                    raise DeadlockError(
+                        f"livelock: simulation exceeded limit of {limit} cycles",
+                        blocked=self.blocked_processes(),
+                    )
+                when, _seq, callback, argument = pop(queue)
+                self.now = when
+                callback(argument)
+        else:
+            while process.callbacks is not None:
+                if not queue:
+                    raise DeadlockError(
+                        f"deadlock: {process!r} never completed and no events "
+                        f"remain",
+                        blocked=self.blocked_processes(),
+                    )
+                if self.now > limit:
+                    raise DeadlockError(
+                        f"livelock: simulation exceeded limit of {limit} cycles",
+                        blocked=self.blocked_processes(),
+                    )
+                when, _seq, callback, argument = pop(queue)
+                self.now = when
+                callback(argument)
+                watchdog.check(self)
         if process.exception is not None:
             raise process.exception
         return process.value

@@ -21,7 +21,7 @@ import math
 from collections import deque
 from typing import Any, Deque, Generator, Optional
 
-from .engine import Engine, SimEvent, SimulationError
+from .engine import Engine, SimEvent, SimulationError, Timeout
 
 __all__ = ["Resource", "Store", "BandwidthServer", "BinaryEvent"]
 
@@ -32,6 +32,8 @@ class Resource:
     ``acquire()`` returns an event that succeeds when a slot is free;
     the holder must call ``release()`` exactly once.
     """
+
+    __slots__ = ("engine", "capacity", "in_use", "_waiters")
 
     def __init__(self, engine: Engine, capacity: int = 1) -> None:
         if capacity < 1:
@@ -47,7 +49,7 @@ class Resource:
         return len(self._waiters)
 
     def acquire(self) -> SimEvent:
-        event = self.engine.event()
+        event = SimEvent(self.engine)
         if self.in_use < self.capacity:
             self.in_use += 1
             event.succeed()
@@ -100,7 +102,7 @@ class Store:
         return len(self._putters)
 
     def put(self, item: Any) -> SimEvent:
-        event = self.engine.event()
+        event = SimEvent(self.engine)
         if self._getters:
             # Hand straight to the oldest waiting getter.
             self._getters.popleft().succeed(item)
@@ -116,7 +118,7 @@ class Store:
         return event
 
     def get(self) -> SimEvent:
-        event = self.engine.event()
+        event = SimEvent(self.engine)
         if self.items:
             event.succeed(self.items.popleft())
             self._admit_putter()
@@ -181,14 +183,18 @@ class BandwidthServer:
         Because the server is work-conserving and FIFO, completion time
         is ``max(now, free_at) + service``.
         """
-        service = self.transfer_cycles(nbytes)
-        start = max(self.engine.now, self._free_at)
+        if nbytes < 0:
+            raise SimulationError(f"negative transfer size {nbytes}")
+        service = self.overhead_cycles + math.ceil(nbytes / self.bytes_per_cycle)
+        now = self.engine.now
+        free_at = self._free_at
+        start = now if now > free_at else free_at
         finish = start + service
         self._free_at = finish
         self.busy_cycles += service
         self.bytes_served += nbytes
         self.transfers_served += 1
-        return self.engine.timeout(finish - self.engine.now, nbytes)
+        return Timeout(self.engine, finish - now, nbytes)
 
     def utilization(self) -> float:
         """Fraction of elapsed time the channel spent serving."""
@@ -223,7 +229,7 @@ class BinaryEvent:
             self._clear_waiters.popleft().succeed()
 
     def wait(self) -> SimEvent:
-        event = self.engine.event()
+        event = SimEvent(self.engine)
         if self.is_set:
             event.succeed()
         else:
@@ -237,7 +243,7 @@ class BinaryEvent:
         notify event is still set (buffer unconsumed) must not refill
         the buffer — the hardware applies back pressure instead.
         """
-        event = self.engine.event()
+        event = SimEvent(self.engine)
         if not self.is_set:
             event.succeed()
         else:

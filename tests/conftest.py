@@ -1,0 +1,11 @@
+"""Shared pytest configuration for the tier-1 suite."""
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-goldens",
+        action="store_true",
+        default=False,
+        help="Regenerate tests/goldens/*.json equivalence snapshots "
+        "instead of asserting against them.",
+    )

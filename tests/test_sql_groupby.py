@@ -23,11 +23,13 @@ def host_groupby(table, key, value_col, mask=None):
     values = table.column(value_col).astype(np.int64)
     if mask is not None:
         keys, values = keys[mask], values[mask]
-    out = {}
-    for k in np.unique(keys):
-        selected = keys == k
-        out[int(k)] = (int(values[selected].sum()), int(selected.sum()))
-    return out
+    uniq, inverse = np.unique(keys, return_inverse=True)
+    sums = np.zeros(len(uniq), dtype=np.int64)
+    np.add.at(sums, inverse, values)
+    counts = np.bincount(inverse, minlength=len(uniq))
+    return {
+        int(k): (int(s), int(c)) for k, s, c in zip(uniq, sums, counts)
+    }
 
 
 def check_against_host(result, expected):

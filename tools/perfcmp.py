@@ -1,0 +1,271 @@
+#!/usr/bin/env python
+"""Host-performance measurement and before/after comparison.
+
+The simulator's *modelled* numbers (cycles, GB/s) are pinned by
+``tests/test_equivalence.py``; this tool watches the other axis — how
+much host wall-clock the simulation itself burns. Two subcommands:
+
+``measure``
+    Run the host-perf workload set and write a JSON report::
+
+        PYTHONPATH=src python tools/perfcmp.py measure -o current.json
+
+    Workloads (seconds unless noted):
+
+    * ``tier1_wall_s``    — the full tier-1 pytest suite, subprocess
+    * ``goldens_wall_s``  — the equivalence harness alone, subprocess
+    * ``fig16_body_s``    — TPC-H query sweep body, in-process
+    * ``fig11_body_s``    — DMS bandwidth sweep body, in-process
+    * ``engine_1m_events_s`` — one million timer events through the
+      raw event engine, in-process (events/s also recorded)
+
+``compare``
+    Diff a baseline report against a current one::
+
+        PYTHONPATH=src python tools/perfcmp.py compare \\
+            benchmarks/host_perf_baseline.json current.json -o report.json
+
+    Prints a speedup table (baseline / current; >1 means faster now)
+    and exits nonzero when ``tier1_wall_s`` regressed more than
+    ``--max-regression`` (default 0.25 = 25%), which is the CI gate.
+
+The committed baseline (``benchmarks/host_perf_baseline.json``) was
+measured on the pre-fast-path tree so the report shows the honest
+cumulative speedup of the host-perf work; regenerate it only when the
+hardware running CI changes, via ``measure`` on a baseline checkout.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import subprocess
+import sys
+import time
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+# Workloads measured in-process need src/ and benchmarks/ importable.
+for path in (os.path.join(REPO_ROOT, "src"), os.path.join(REPO_ROOT, "benchmarks")):
+    if path not in sys.path:
+        sys.path.insert(0, path)
+
+
+# -- workloads ---------------------------------------------------------------
+
+
+def _pytest_wall(args) -> float:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(REPO_ROOT, "src") + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    began = time.perf_counter()
+    proc = subprocess.run(
+        [sys.executable, "-m", "pytest", "-x", "-q", *args],
+        cwd=REPO_ROOT,
+        env=env,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+    )
+    elapsed = time.perf_counter() - began
+    if proc.returncode != 0:
+        sys.stderr.write(proc.stdout.decode(errors="replace"))
+        raise SystemExit(f"workload pytest {' '.join(args)} failed")
+    return elapsed
+
+
+def measure_tier1() -> float:
+    return _pytest_wall([])
+
+
+def measure_goldens() -> float:
+    return _pytest_wall(["tests/test_equivalence.py"])
+
+
+def measure_fig16_body() -> float:
+    import test_fig16_tpch
+
+    began = time.perf_counter()
+    test_fig16_tpch.run_all_queries()
+    return time.perf_counter() - began
+
+
+def measure_fig11_body() -> float:
+    import test_fig11_dms_bandwidth as fig11
+
+    began = time.perf_counter()
+    # The figure's three axes: buffer-size sweep, column sweep, R+W.
+    for tile_bytes in (2048, 4096, 8192):
+        fig11.sweep_point(1, tile_bytes // 4, False)
+    for num_columns in (1, 4, 8):
+        fig11.sweep_point(num_columns, 2048 // num_columns, False,
+                          rows_per_core=8192)
+    fig11.sweep_point(1, 2048, True)
+    return time.perf_counter() - began
+
+
+def run_engine_events(num_events: int) -> float:
+    """Drive ``num_events`` timer events through the raw engine;
+    returns elapsed host seconds."""
+    from repro.sim import Engine
+
+    engine = Engine()
+
+    def ticker(count):
+        for _ in range(count):
+            yield engine.timeout(1.0)
+
+    # A handful of interleaved processes so the heap sees realistic
+    # same-timestamp contention rather than a single hot timer.
+    processes = 8
+    per_process = num_events // processes
+    began = time.perf_counter()
+    for _ in range(processes):
+        engine.process(ticker(per_process))
+    engine.run()
+    return time.perf_counter() - began
+
+
+def measure_engine_1m() -> float:
+    return run_engine_events(1_000_000)
+
+
+WORKLOADS = {
+    "tier1_wall_s": measure_tier1,
+    "goldens_wall_s": measure_goldens,
+    "fig16_body_s": measure_fig16_body,
+    "fig11_body_s": measure_fig11_body,
+    "engine_1m_events_s": measure_engine_1m,
+}
+
+# The CI regression gate applies to this key.
+GATE_KEY = "tier1_wall_s"
+
+
+# -- commands ----------------------------------------------------------------
+
+
+def cmd_measure(options) -> int:
+    selected = options.only or list(WORKLOADS)
+    unknown = [name for name in selected if name not in WORKLOADS]
+    if unknown:
+        raise SystemExit(f"unknown workloads: {', '.join(unknown)}")
+    report = {
+        "host": {
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+            "machine": platform.machine(),
+        },
+        "workloads": {},
+    }
+    for name in selected:
+        print(f"measuring {name} ...", flush=True)
+        seconds = WORKLOADS[name]()
+        report["workloads"][name] = round(seconds, 4)
+        print(f"  {name}: {seconds:.3f}s", flush=True)
+    if "engine_1m_events_s" in report["workloads"]:
+        seconds = report["workloads"]["engine_1m_events_s"]
+        report["workloads"]["engine_events_per_s"] = round(1_000_000 / seconds)
+    text = json.dumps(report, indent=2, sort_keys=True) + "\n"
+    if options.output:
+        with open(options.output, "w") as handle:
+            handle.write(text)
+        print(f"wrote {options.output}")
+    else:
+        print(text)
+    return 0
+
+
+def cmd_compare(options) -> int:
+    with open(options.baseline) as handle:
+        baseline = json.load(handle)
+    with open(options.current) as handle:
+        current = json.load(handle)
+    base_loads = baseline["workloads"]
+    curr_loads = current["workloads"]
+    rows = []
+    for name in sorted(set(base_loads) | set(curr_loads)):
+        base = base_loads.get(name)
+        curr = curr_loads.get(name)
+        if base is None or curr is None or name.endswith("_per_s"):
+            continue
+        speedup = base / curr if curr else float("inf")
+        rows.append((name, base, curr, speedup))
+    width = max(len(name) for name, *_rest in rows) if rows else 10
+    print(f"{'workload':<{width}}  {'baseline':>9}  {'current':>9}  speedup")
+    for name, base, curr, speedup in rows:
+        print(f"{name:<{width}}  {base:>8.3f}s  {curr:>8.3f}s  {speedup:6.2f}x")
+
+    verdict = "ok"
+    gate_base = base_loads.get(GATE_KEY)
+    gate_curr = curr_loads.get(GATE_KEY)
+    exit_code = 0
+    if gate_base is not None and gate_curr is not None:
+        regression = gate_curr / gate_base - 1.0
+        if regression > options.max_regression:
+            verdict = (
+                f"REGRESSION: {GATE_KEY} {gate_curr:.2f}s is "
+                f"{regression:+.0%} vs baseline {gate_base:.2f}s "
+                f"(limit {options.max_regression:+.0%})"
+            )
+            exit_code = 1
+        else:
+            verdict = (
+                f"{GATE_KEY} {gate_curr:.2f}s vs baseline "
+                f"{gate_base:.2f}s ({regression:+.1%}, "
+                f"limit {options.max_regression:+.0%})"
+            )
+    print(verdict)
+
+    if options.output:
+        merged = {
+            "baseline": baseline,
+            "current": current,
+            "speedups": {name: round(s, 3) for name, _b, _c, s in rows},
+            "gate": {
+                "key": GATE_KEY,
+                "max_regression": options.max_regression,
+                "verdict": verdict,
+                "passed": exit_code == 0,
+            },
+        }
+        with open(options.output, "w") as handle:
+            handle.write(json.dumps(merged, indent=2, sort_keys=True) + "\n")
+        print(f"wrote {options.output}")
+    return exit_code
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    measure = commands.add_parser("measure", help="run workloads, write JSON")
+    measure.add_argument("-o", "--output", help="JSON output path")
+    measure.add_argument(
+        "--only",
+        nargs="+",
+        metavar="WORKLOAD",
+        help=f"subset of workloads ({', '.join(WORKLOADS)})",
+    )
+    measure.set_defaults(func=cmd_measure)
+
+    compare = commands.add_parser("compare", help="diff two measure reports")
+    compare.add_argument("baseline")
+    compare.add_argument("current")
+    compare.add_argument("-o", "--output", help="merged JSON report path")
+    compare.add_argument(
+        "--max-regression",
+        type=float,
+        default=0.25,
+        help="allowed fractional tier-1 wall-clock regression (default 0.25)",
+    )
+    compare.set_defaults(func=cmd_compare)
+
+    options = parser.parse_args(argv)
+    return options.func(options)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
