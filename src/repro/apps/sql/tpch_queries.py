@@ -49,7 +49,13 @@ from .join import (
 )
 from .table import DpuTable, Table
 
-__all__ = ["TPCH_QUERIES", "TpchQuery", "load_tpch_on_dpu", "run_query"]
+__all__ = [
+    "TPCH_QUERIES",
+    "TpchQuery",
+    "load_tpch_on_dpu",
+    "q1_plan",
+    "run_query",
+]
 
 
 @dataclass(frozen=True)
@@ -125,13 +131,24 @@ _Q1_KEY = GroupKey(
 )
 
 
+def q1_plan() -> Tuple[GroupKey, List[AggSpec], Le]:
+    """Q1's physical plan pieces (group key, aggregates, row filter).
+
+    Shared between the single-DPU query and the cluster job
+    (:func:`repro.cluster.scaleout.cluster_tpch_q1`), which runs the
+    same plan per shard and merges the partials.
+    """
+    return _Q1_KEY, _q1_aggs(), Le("l_shipdate", _Q1_CUTOFF)
+
+
 def q1_dpu(dpu: DPU, tables: Dict[str, DpuTable], data: TpchData) -> DpuOpResult:
+    key, aggs, row_filter = q1_plan()
     result = dpu_groupby(
         dpu,
         tables["lineitem"],
-        _Q1_KEY,
-        _q1_aggs(),
-        row_filter=Le("l_shipdate", _Q1_CUTOFF),
+        key,
+        aggs,
+        row_filter=row_filter,
     )
     return result
 

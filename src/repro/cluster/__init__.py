@@ -2,7 +2,22 @@
 
 from .network import FabricConfig, IBFabric
 from .rack import PAPER_RACK, Cluster, RackSpec
-from .scaleout import ScaleOutResult, cluster_filter_count, cluster_hll
+from .scaleout import (
+    ScaleOutResult,
+    cluster_filter_count,
+    cluster_groupby,
+    cluster_hll,
+    cluster_partitioned_join_count,
+    cluster_topk,
+    cluster_tpch_q1,
+)
+from .shuffle import (
+    ShuffleRackModel,
+    ShuffleResult,
+    shuffle_cids,
+    shuffle_exchange,
+    shuffle_spec,
+)
 
 __all__ = [
     "Cluster",
@@ -11,6 +26,15 @@ __all__ = [
     "PAPER_RACK",
     "RackSpec",
     "ScaleOutResult",
+    "ShuffleRackModel",
+    "ShuffleResult",
     "cluster_filter_count",
+    "cluster_groupby",
     "cluster_hll",
+    "cluster_partitioned_join_count",
+    "cluster_topk",
+    "cluster_tpch_q1",
+    "shuffle_cids",
+    "shuffle_exchange",
+    "shuffle_spec",
 ]

@@ -12,16 +12,24 @@ with a per-message protocol overhead on the sending and receiving A9s
 and a fixed fabric latency. Payloads are Python objects (their
 simulated size is passed explicitly, as the bytes live in each DPU's
 own DRAM space).
+
+Flow control: each destination endpoint advertises
+``fabric_inbox_depth`` receive credits (IB receive WQEs). A sender
+acquires a credit before serializing onto its egress link and the
+credit returns when the receiving A9 dequeues the message, so a slow
+receiver backpressures its senders instead of queueing unboundedly.
+Stalled sends are counted in ``inbox_stalls``/``inbox_stall_cycles``.
 """
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
-from typing import Any, Dict, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 from ..faults import FaultInjector
 from ..obs import NULL_TRACER
-from ..sim import BandwidthServer, Engine, SimulationError, Store
+from ..sim import BandwidthServer, Engine, SimEvent, SimulationError, Store
 
 __all__ = ["FabricConfig", "IBFabric"]
 
@@ -35,6 +43,11 @@ class FabricConfig:
     a9_send_overhead_cycles: int = 4000  # ~5 us verbs post + doorbell
     a9_receive_overhead_cycles: int = 4000
     retransmit_timeout_cycles: int = 6000  # IB link-level retry wait
+    # Receive credits per endpoint (posted receive WQEs). The default
+    # is far deeper than any in-flight window the simulated jobs
+    # reach, so existing cycle goldens are bit-identical; shallow
+    # depths exercise end-to-end backpressure.
+    fabric_inbox_depth: int = 64
 
 
 class IBFabric:
@@ -49,6 +62,10 @@ class IBFabric:
     ) -> None:
         if num_endpoints < 1:
             raise SimulationError(f"need >= 1 endpoint: {num_endpoints}")
+        if config.fabric_inbox_depth < 1:
+            raise SimulationError(
+                f"fabric_inbox_depth must be >= 1: {config.fabric_inbox_depth}"
+            )
         self.engine = engine
         self.config = config
         self.faults = faults if faults is not None else FaultInjector()
@@ -64,11 +81,25 @@ class IBFabric:
             for i in range(num_endpoints)
         ]
         self._inboxes: Dict[int, Store] = {
-            endpoint: Store(engine) for endpoint in range(num_endpoints)
+            endpoint: Store(engine, capacity=config.fabric_inbox_depth)
+            for endpoint in range(num_endpoints)
         }
+        # Receive-credit flow control: a plain counter plus a waiter
+        # queue (no simulation event on the uncontended path, so deep
+        # defaults leave event ordering — and cycle goldens — exactly
+        # as before credits existed).
+        self._credits: List[int] = [
+            config.fabric_inbox_depth for _ in range(num_endpoints)
+        ]
+        self._credit_waiters: List[deque] = [
+            deque() for _ in range(num_endpoints)
+        ]
         self.messages_sent = 0
         self.bytes_sent = 0
         self.retransmissions = 0
+        self.bytes_retransmitted = 0
+        self.inbox_stalls = 0
+        self.inbox_stall_cycles = 0.0
         # Observability hook; cluster coordinators swap in a live
         # tracer (fabric events land on ib.tx[i]/ib.rx[i] tracks).
         self.trace = NULL_TRACER
@@ -79,29 +110,64 @@ class IBFabric:
                 f"endpoint {endpoint} outside 0..{self.num_endpoints - 1}"
             )
 
+    def _acquire_credit(self, dst: int):
+        """Process generator: take one of ``dst``'s receive credits,
+        blocking (with stall accounting) when none are free."""
+        if self._credits[dst] > 0 and not self._credit_waiters[dst]:
+            self._credits[dst] -= 1
+            return
+        self.inbox_stalls += 1
+        stall_began = self.engine.now
+        waiter = SimEvent(self.engine)
+        self._credit_waiters[dst].append(waiter)
+        yield waiter
+        self.inbox_stall_cycles += self.engine.now - stall_began
+        if self.trace.enabled:
+            self.trace.complete_async(
+                "ib.credit_stall", f"ib.rx[{dst}]", stall_began, dst=dst
+            )
+
+    def _release_credit(self, dst: int) -> None:
+        waiters = self._credit_waiters[dst]
+        if waiters:
+            # Hand the credit straight to the oldest stalled sender.
+            waiters.popleft().succeed()
+        else:
+            self._credits[dst] += 1
+
+    def _trace_tx_bytes(self, src: int) -> None:
+        self.trace.counter(
+            "ib.bytes",
+            unit=f"ib.tx[{src}]",
+            sent=self.bytes_sent,
+            retransmitted=self.bytes_retransmitted,
+        )
+
     def send(self, src: int, dst: int, payload: Any, nbytes: int):
-        """A9-side send (process generator): verbs overhead, egress
-        link serialization, fabric latency, then ingress delivery."""
+        """A9-side send (process generator): verbs overhead, receive
+        credit, egress link serialization, fabric latency, then
+        ingress delivery."""
         self._check(src)
         self._check(dst)
         if nbytes < 0:
             raise SimulationError(f"negative message size {nbytes}")
         send_began = self.engine.now
         yield self.engine.timeout(self.config.a9_send_overhead_cycles)
+        yield from self._acquire_credit(dst)
         yield self._egress[src].transfer(max(nbytes, 64))
         self.messages_sent += 1
         self.bytes_sent += nbytes
         if self.trace.enabled:
             self.trace.complete_async("ib.send", f"ib.tx[{src}]",
                                       send_began, dst=dst, bytes=nbytes)
-            self.trace.counter("ib.bytes", unit=f"ib.tx[{src}]",
-                               sent=self.bytes_sent)
+            self._trace_tx_bytes(src)
 
         # The message propagates and queues on the destination's
         # ingress link without blocking the sender further. A link
         # flap (the ``net.drop`` fault site) loses the message in the
         # fabric; IB link-level retry re-serializes it from the source
-        # after a timeout, so delivery is reliable but delayed.
+        # after a timeout, so delivery is reliable but delayed (and
+        # the re-sent bytes are charged to the source link).
         def deliver():
             hop_began = self.engine.now
             yield self.engine.timeout(self.config.fabric_latency_cycles)
@@ -112,6 +178,9 @@ class IBFabric:
                                        dst=dst, bytes=nbytes)
                 yield self.engine.timeout(self.config.retransmit_timeout_cycles)
                 yield self._egress[src].transfer(max(nbytes, 64))
+                self.bytes_retransmitted += nbytes
+                if self.trace.enabled:
+                    self._trace_tx_bytes(src)
                 yield self.engine.timeout(self.config.fabric_latency_cycles)
             yield self._ingress[dst].transfer(max(nbytes, 64))
             yield self._inboxes[dst].put((src, payload))
@@ -125,6 +194,7 @@ class IBFabric:
         """A9-side receive (process generator): returns (src, payload)."""
         self._check(endpoint)
         message = yield self._inboxes[endpoint].get()
+        self._release_credit(endpoint)
         yield self.engine.timeout(self.config.a9_receive_overhead_cycles)
         return message
 

@@ -7,15 +7,26 @@ designated core mailboxes its partial result (a pointer-sized
 message; bulk stays in DRAM) to the local **A9**, which runs the
 Infiniband stack and ships it to the coordinator DPU's A9.
 
-Implemented here:
+Two job families:
 
-* :func:`cluster_hll` — distributed cardinality estimation: each DPU
-  sketches its shard with the §5.4 kernel; A9s ship the 4 KB register
-  files to DPU 0, which merges (HLL merges are lossless, so the
-  distributed estimate equals the single-node one — tested).
-* :func:`cluster_filter_count` — a distributed FILT scan: each DPU
-  filters its shard at line rate, A9s ship per-shard counts, the
-  coordinator sums.
+* **merge-only** — :func:`cluster_hll` (lossless register-file merge)
+  and :func:`cluster_filter_count` (sum of per-shard counts): each
+  DPU works on its shard in place; only tiny partials cross the
+  fabric.
+
+* **exchange-based** — :func:`cluster_groupby`,
+  :func:`cluster_partitioned_join_count` and :func:`cluster_topk`
+  redistribute (or rank) rows with the
+  :mod:`~repro.cluster.shuffle` partitioned exchange so each DPU owns
+  a disjoint key range; :func:`cluster_tpch_q1` instead pre-aggregates
+  per shard and merges 4-group partials — with NDV ~4, shipping the
+  group table (a few hundred bytes) beats shuffling the whole
+  lineitem, the classic aggregate-pushdown tradeoff.
+
+Every job reports **per-job** fabric accounting: ``network_bytes``
+and ``retransmissions`` are deltas from the job's start, so
+back-to-back jobs on one long-lived cluster don't absorb each other's
+traffic.
 """
 
 from __future__ import annotations
@@ -27,10 +38,28 @@ import numpy as np
 
 from ..apps.hll import HllSketch, dpu_hll, hll_estimate
 from ..apps.sql import Between, Table, dpu_filter
+from ..apps.sql.aggregate import (
+    _as_row_filter,
+    _needed_columns,
+    dpu_groupby,
+    merge_groups,
+)
+from ..apps.sql.join import dpu_partitioned_join_count
+from ..apps.sql.topk import dpu_topk
+from ..apps.sql.tpch_queries import q1_plan
 from ..core.mailbox import A9_ID
 from .rack import Cluster
+from .shuffle import shuffle_exchange
 
-__all__ = ["ScaleOutResult", "cluster_hll", "cluster_filter_count"]
+__all__ = [
+    "ScaleOutResult",
+    "cluster_filter_count",
+    "cluster_groupby",
+    "cluster_hll",
+    "cluster_partitioned_join_count",
+    "cluster_topk",
+    "cluster_tpch_q1",
+]
 
 
 @dataclass
@@ -41,14 +70,54 @@ class ScaleOutResult:
     cycles: float
     num_dpus: int
     clock_hz: float
+    # Per-job deltas (snapshot at job start minus at completion), NOT
+    # cluster-lifetime counters: a second job on the same cluster
+    # reports only its own traffic.
     network_bytes: int
     # Admission outcome (see repro.runtime.admission): True when the
     # coordinator admitted this job at reduced per-DPU core fanout.
     degraded: bool = False
+    retransmissions: int = 0
+    # Phase breakdown for exchange-based jobs (partition_cycles,
+    # exchange_cycles, local_cycles, gather_cycles, parallel_cycles,
+    # rows_moved) — feeds ShuffleRackModel calibration.
+    detail: Optional[Dict[str, float]] = None
 
     @property
     def seconds(self) -> float:
         return self.cycles / self.clock_hz
+
+
+class _JobAccounting:
+    """Snapshot fabric counters at job start; build per-job results."""
+
+    def __init__(self, cluster: Cluster, site: str) -> None:
+        self.cluster = cluster
+        self.site = site
+        self.start = cluster.engine.now
+        self.start_bytes = cluster.fabric.bytes_sent
+        self.start_retransmissions = cluster.fabric.retransmissions
+
+    def result(self, value, ticket, detail=None) -> ScaleOutResult:
+        cluster = self.cluster
+        fabric = cluster.fabric
+        if fabric.trace.enabled:
+            fabric.trace.complete_async(
+                f"cluster.{self.site}", "cluster", self.start,
+                num_dpus=cluster.num_dpus,
+                network_bytes=fabric.bytes_sent - self.start_bytes,
+            )
+        return ScaleOutResult(
+            value=value,
+            cycles=cluster.engine.now - self.start,
+            num_dpus=cluster.num_dpus,
+            clock_hz=cluster.config.clock_hz,
+            network_bytes=fabric.bytes_sent - self.start_bytes,
+            retransmissions=(fabric.retransmissions
+                             - self.start_retransmissions),
+            degraded=bool(ticket.degraded) if ticket is not None else False,
+            detail=detail,
+        )
 
 
 def _a9_uplink(dpu, fabric, dpu_index, coordinator, nbytes):
@@ -75,6 +144,54 @@ def _a9_collector(cluster, coordinator, expected, merge):
     return process()
 
 
+def _gather_partials(cluster, partials, nbytes_of, merge):
+    """Ship one partial result per DPU to coordinator 0 and merge.
+
+    Returns (merged value, gather-phase cycles). Follows the paper's
+    path on every DPU including the coordinator (its A9 loops back
+    through the fabric model, like the merge-only jobs)."""
+    engine = cluster.engine
+    coordinator = 0
+    began = engine.now
+    processes = []
+    for index, (dpu, partial) in enumerate(zip(cluster.dpus, partials)):
+
+        def sender(dpu=dpu, partial=partial):
+            core = dpu.context(0)
+            yield from core.mbox_send(A9_ID, partial)
+
+        processes.append(engine.process(sender()))
+        processes.append(
+            engine.process(
+                _a9_uplink(dpu, cluster.fabric, index, coordinator,
+                           nbytes_of(partial))
+            )
+        )
+    collector = engine.process(
+        _a9_collector(cluster, coordinator, cluster.num_dpus, merge)
+    )
+    processes.append(collector)
+    cluster.run(processes)
+    return collector.value, engine.now - began
+
+
+def _exchange_detail(partition_cycles, exchange_cycles, local_cycles,
+                     gather_cycles, rows_moved) -> Dict[str, float]:
+    return {
+        "partition_cycles": float(partition_cycles),
+        "exchange_cycles": float(exchange_cycles),
+        "local_cycles": float(local_cycles),
+        "gather_cycles": float(gather_cycles),
+        # Critical-path estimate: the per-DPU phases overlap across
+        # DPUs in a real rack (the shared-clock sim runs them in
+        # turn), so parallel time is max-per-phase, not the sum of
+        # every DPU's launch.
+        "parallel_cycles": float(partition_cycles + exchange_cycles
+                                 + local_cycles + gather_cycles),
+        "rows_moved": float(rows_moved),
+    }
+
+
 def cluster_hll(
     cluster: Cluster,
     shards: Sequence[np.ndarray],
@@ -87,7 +204,7 @@ def cluster_hll(
             f"{len(shards)} shards for {cluster.num_dpus} DPUs"
         )
     engine = cluster.engine
-    start = engine.now
+    accounting = _JobAccounting(cluster, "hll")
     # Admission gate (queue time counts toward the job's latency; a
     # shed raises OverloadError before any DPU does work).
     ticket = cluster.admit_job("cluster.hll")
@@ -138,14 +255,7 @@ def cluster_hll(
         cluster.release_job()
     merged = collector.value
     sketch = HllSketch(precision, merged)
-    return ScaleOutResult(
-        value=hll_estimate(sketch),
-        cycles=engine.now - start,
-        num_dpus=cluster.num_dpus,
-        clock_hz=cluster.config.clock_hz,
-        network_bytes=cluster.fabric.bytes_sent,
-        degraded=bool(ticket.degraded) if ticket is not None else False,
-    )
+    return accounting.result(hll_estimate(sketch), ticket)
 
 
 def cluster_filter_count(
@@ -160,7 +270,7 @@ def cluster_filter_count(
             f"{len(shards)} shards for {cluster.num_dpus} DPUs"
         )
     engine = cluster.engine
-    start = engine.now
+    accounting = _JobAccounting(cluster, "filter_count")
     ticket = cluster.admit_job("cluster.filter_count")
     coordinator = 0
     predicate = Between("v", lo, hi)
@@ -196,11 +306,244 @@ def cluster_filter_count(
         cluster.run(processes)
     finally:
         cluster.release_job()
-    return ScaleOutResult(
-        value=collector.value,
-        cycles=engine.now - start,
-        num_dpus=cluster.num_dpus,
-        clock_hz=cluster.config.clock_hz,
-        network_bytes=cluster.fabric.bytes_sent,
-        degraded=bool(ticket.degraded) if ticket is not None else False,
-    )
+    return accounting.result(collector.value, ticket)
+
+
+# -- exchange-based SQL jobs --------------------------------------------------
+
+
+def _validate_shards(cluster: Cluster, shards, what="shards") -> None:
+    if len(shards) != cluster.num_dpus:
+        raise ValueError(
+            f"{len(shards)} {what} for {cluster.num_dpus} DPUs"
+        )
+
+
+def cluster_groupby(
+    cluster: Cluster,
+    shards: Sequence[Table],
+    key: str,
+    aggs,
+    row_filter=None,
+) -> ScaleOutResult:
+    """Distributed group-by: shuffle rows by ``hash(key)`` so each DPU
+    owns a disjoint key set, group locally, union the disjoint partial
+    tables at the coordinator. Byte-equal to
+    :func:`~repro.apps.sql.aggregate.dpu_groupby` over the
+    concatenated shards (integer inputs; float sums below 2^53 are
+    order-independent)."""
+    _validate_shards(cluster, shards)
+    if not isinstance(key, str):
+        raise ValueError(
+            "cluster_groupby shuffles on a single key column; composite "
+            "GroupKeys belong in pre-aggregating jobs (see cluster_tpch_q1)"
+        )
+    accounting = _JobAccounting(cluster, "groupby")
+    ticket = cluster.admit_job("cluster.groupby")
+    engine = cluster.engine
+    try:
+        if cluster.num_dpus == 1:
+            dpu = cluster.dpus[0]
+            local = dpu_groupby(dpu, shards[0].to_dpu(dpu), key, aggs,
+                                row_filter=row_filter)
+            detail = _exchange_detail(0.0, 0.0, local.cycles, 0.0, 0)
+            return accounting.result(local.value, ticket, detail)
+
+        names = _needed_columns(key, aggs, _as_row_filter(row_filter))
+        dtables = [shard.to_dpu(dpu)
+                   for shard, dpu in zip(shards, cluster.dpus)]
+        shuffled = shuffle_exchange(cluster, dtables, key, names)
+
+        partials: List[Dict] = []
+        local_cycles = 0.0
+        for index, (dpu, columns) in enumerate(
+            zip(cluster.dpus, shuffled.columns)
+        ):
+            if len(columns[key]) == 0:
+                partials.append({})
+                continue
+            local_table = Table(f"shuffle{index}", columns).to_dpu(dpu)
+            local = dpu_groupby(dpu, local_table, key, aggs,
+                                row_filter=row_filter)
+            local_cycles = max(local_cycles, local.cycles)
+            partials.append(local.value)
+
+        record_bytes = 8 + 8 * len(aggs)
+
+        def merge(accumulator, partial):
+            merged = accumulator if accumulator is not None else {}
+            merged.update(partial)  # disjoint key sets: plain union
+            return merged
+
+        value, gather_cycles = _gather_partials(
+            cluster, partials,
+            nbytes_of=lambda partial: max(record_bytes * len(partial), 8),
+            merge=merge,
+        )
+        detail = _exchange_detail(
+            shuffled.partition_cycles, shuffled.exchange_cycles,
+            local_cycles, gather_cycles, shuffled.rows_moved,
+        )
+        return accounting.result(value or {}, ticket, detail)
+    finally:
+        cluster.release_job()
+
+
+def cluster_partitioned_join_count(
+    cluster: Cluster,
+    build_shards: Sequence[Table],
+    build_key: str,
+    probe_shards: Sequence[Table],
+    probe_key: str,
+) -> ScaleOutResult:
+    """Distributed join cardinality: shuffle both tables on their join
+    keys (same hash), join each co-located pair with the 32-way
+    intra-DPU partitioned join, sum the match counts."""
+    _validate_shards(cluster, build_shards, "build shards")
+    _validate_shards(cluster, probe_shards, "probe shards")
+    accounting = _JobAccounting(cluster, "join")
+    ticket = cluster.admit_job("cluster.join")
+    try:
+        if cluster.num_dpus == 1:
+            dpu = cluster.dpus[0]
+            local = dpu_partitioned_join_count(
+                dpu, build_shards[0].to_dpu(dpu), build_key,
+                probe_shards[0].to_dpu(dpu), probe_key,
+            )
+            detail = _exchange_detail(0.0, 0.0, local.cycles, 0.0, 0)
+            return accounting.result(int(local.value), ticket, detail)
+
+        build_tables = [shard.to_dpu(dpu)
+                        for shard, dpu in zip(build_shards, cluster.dpus)]
+        probe_tables = [shard.to_dpu(dpu)
+                        for shard, dpu in zip(probe_shards, cluster.dpus)]
+        build_shuffled = shuffle_exchange(
+            cluster, build_tables, build_key, [build_key]
+        )
+        probe_shuffled = shuffle_exchange(
+            cluster, probe_tables, probe_key, [probe_key]
+        )
+
+        partials: List[int] = []
+        local_cycles = 0.0
+        for index, dpu in enumerate(cluster.dpus):
+            build_columns = build_shuffled.columns[index]
+            probe_columns = probe_shuffled.columns[index]
+            if (len(build_columns[build_key]) == 0
+                    or len(probe_columns[probe_key]) == 0):
+                partials.append(0)
+                continue
+            build_local = Table(f"build{index}", build_columns).to_dpu(dpu)
+            probe_local = Table(f"probe{index}", probe_columns).to_dpu(dpu)
+            local = dpu_partitioned_join_count(
+                dpu, build_local, build_key, probe_local, probe_key,
+            )
+            local_cycles = max(local_cycles, local.cycles)
+            partials.append(int(local.value))
+
+        value, gather_cycles = _gather_partials(
+            cluster, partials,
+            nbytes_of=lambda partial: 8,
+            merge=lambda acc, count: (acc or 0) + count,
+        )
+        detail = _exchange_detail(
+            build_shuffled.partition_cycles + probe_shuffled.partition_cycles,
+            build_shuffled.exchange_cycles + probe_shuffled.exchange_cycles,
+            local_cycles, gather_cycles,
+            build_shuffled.rows_moved + probe_shuffled.rows_moved,
+        )
+        return accounting.result(int(value or 0), ticket, detail)
+    finally:
+        cluster.release_job()
+
+
+def cluster_topk(
+    cluster: Cluster,
+    shards: Sequence[Table],
+    column: str,
+    k: int,
+) -> ScaleOutResult:
+    """Distributed top-k: local top-k per shard (row ids offset to the
+    global row space), candidates gathered and re-ranked at the
+    coordinator — no repartition needed, the two-phase scheme of
+    :func:`~repro.apps.sql.topk.dpu_topk` lifted to the cluster.
+    Byte-equal to the single-DPU result when values are distinct (with
+    duplicates at the k-boundary, which tied rows survive depends on
+    the sharding — same caveat as the per-core merge)."""
+    _validate_shards(cluster, shards)
+    accounting = _JobAccounting(cluster, "topk")
+    ticket = cluster.admit_job("cluster.topk")
+    try:
+        offsets = np.cumsum([0] + [shard.num_rows for shard in shards])
+        partials: List[List] = []
+        local_cycles = 0.0
+        for index, (dpu, shard) in enumerate(zip(cluster.dpus, shards)):
+            local = dpu_topk(dpu, shard.to_dpu(dpu), column, k)
+            local_cycles = max(local_cycles, local.cycles)
+            base = int(offsets[index])
+            partials.append(
+                [(value, row + base) for value, row in local.value]
+            )
+
+        def merge(accumulator, candidates):
+            merged = accumulator if accumulator is not None else []
+            merged.extend(candidates)
+            return merged
+
+        candidates, gather_cycles = _gather_partials(
+            cluster, partials,
+            nbytes_of=lambda partial: max(16 * len(partial), 8),
+            merge=merge,
+        )
+        merged = list(candidates or [])
+        merged.sort(reverse=True)
+        detail = _exchange_detail(0.0, 0.0, local_cycles, gather_cycles, 0)
+        return accounting.result(merged[:k], ticket, detail)
+    finally:
+        cluster.release_job()
+
+
+def cluster_tpch_q1(
+    cluster: Cluster,
+    lineitem_shards: Sequence[Table],
+) -> ScaleOutResult:
+    """Distributed TPC-H Q1 over row-sharded lineitem.
+
+    Q1 groups into ~4 buckets, so each DPU runs the full local Q1 plan
+    on its shard and only the tiny partial group tables cross the
+    fabric, combined with the paper's merge operator
+    (:func:`~repro.apps.sql.aggregate.merge_groups`) — shuffling the
+    shards would move ~6 columns of lineitem to save a 4-row merge.
+    All Q1 aggregates are integer sums/counts, so the distributed
+    result is byte-equal to the single-DPU plan."""
+    _validate_shards(cluster, lineitem_shards, "lineitem shards")
+    accounting = _JobAccounting(cluster, "tpch_q1")
+    ticket = cluster.admit_job("cluster.tpch_q1")
+    key, aggs, row_filter = q1_plan()
+    try:
+        partials: List[Dict] = []
+        local_cycles = 0.0
+        for index, (dpu, shard) in enumerate(
+            zip(cluster.dpus, lineitem_shards)
+        ):
+            local = dpu_groupby(dpu, shard.to_dpu(dpu), key, aggs,
+                                row_filter=row_filter)
+            local_cycles = max(local_cycles, local.cycles)
+            partials.append(local.value)
+
+        record_bytes = 8 + 8 * len(aggs)
+
+        def merge(accumulator, partial):
+            if accumulator is None:
+                return merge_groups([partial], aggs)
+            return merge_groups([accumulator, partial], aggs)
+
+        value, gather_cycles = _gather_partials(
+            cluster, partials,
+            nbytes_of=lambda partial: max(record_bytes * len(partial), 8),
+            merge=merge,
+        )
+        detail = _exchange_detail(0.0, 0.0, local_cycles, gather_cycles, 0)
+        return accounting.result(value or {}, ticket, detail)
+    finally:
+        cluster.release_job()

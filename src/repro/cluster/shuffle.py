@@ -1,0 +1,450 @@
+"""Partitioned exchange (shuffle) across a DPU cluster (paper §4).
+
+The paper's system services scaled the §5 applications "across 500+
+DPU clusters". Operators that redistribute data (group-by, join,
+top-k) need an exchange: every DPU splits its shard by a hash of the
+key so that all rows with the same key land on the same destination
+DPU, then the shards cross the fabric all-to-all.
+
+The exchange reuses the hardware the paper provides for exactly this
+(§3.1's hash/range partitioning engine, Fig. 13):
+
+1. **Partition (per source DPU, DMS hardware).** Core 0 drives
+   DDR->DMS->DMEM partition chains with a ``PartitionSpec`` whose
+   fanout is the DPU count and whose ``radix_shift`` inspects *high*
+   CRC bits — the intra-DPU 32-way operators keep using the low bits,
+   so the two partitioning levels nest without correlation. Each
+   participating core drains its per-destination record buffer to a
+   per-destination DRAM region between waves (DMEM->DDR), exactly the
+   chained-output-buffer scheme of §5.3.
+
+2. **Exchange (concurrent, A9s).** Core 0 mailboxes the region
+   pointers to the local A9; the A9s run the all-to-all over the
+   :class:`~repro.cluster.network.IBFabric` in a rotated schedule.
+   The bulk bytes stay "in DRAM" — only simulated sizes cross the
+   fabric model, which charges verbs overheads, link serialization,
+   switch latency, receive credits and (under ``net.drop`` faults)
+   retransmissions.
+
+3. **Reassembly (host-side).** Each destination concatenates the
+   row-major records it received (in source order, so results are
+   deterministic) and splits them back into columns.
+
+:class:`ShuffleRackModel` extends the measured small-cluster numbers
+to rack scale (2 -> 512 DPUs) analytically, the same way
+:class:`~repro.cluster.rack.RackSpec` extends single-DPU bandwidth —
+512 full DPU simulations would add no fidelity to the fabric math.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..apps.sql.aggregate import _parse_records, _record_layout
+from ..apps.streaming import ref_dtype
+from ..core.mailbox import A9_ID
+from ..dms.descriptor import (
+    Descriptor,
+    DescriptorType,
+    PartitionMode,
+    PartitionSpec,
+)
+from ..dms.partition import PartitionLayout, compute_cids
+from .network import FabricConfig
+from .rack import Cluster
+
+__all__ = [
+    "SHUFFLE_RADIX_SHIFT",
+    "ShuffleResult",
+    "ShuffleRackModel",
+    "shuffle_spec",
+    "shuffle_cids",
+    "shuffle_exchange",
+]
+
+# The inter-DPU split inspects CRC bits 16.. while the intra-DPU
+# operators (32-way group-by/join) inspect bits 0..4 and the software
+# round bits 5..9 — disjoint windows of one hash, so nothing starves.
+SHUFFLE_RADIX_SHIFT = 16
+
+_DRAIN_EVENT = 13  # per-core DMEM->DDR completion event
+_BUFFER_CAPACITY = 18 * 1024
+_COUNT_OFFSET = 31 * 1024
+
+
+def shuffle_spec(num_dpus: int) -> PartitionSpec:
+    """The partition spec of an inter-DPU exchange (power-of-two
+    fanout, high CRC bits)."""
+    if num_dpus < 2 or num_dpus & (num_dpus - 1):
+        raise ValueError(
+            f"shuffle fanout must be a power of two >= 2: {num_dpus} "
+            "(the hash engine indexes partitions by radix bits)"
+        )
+    return PartitionSpec(
+        mode=PartitionMode.HASH,
+        radix_bits=num_dpus.bit_length() - 1,
+        radix_shift=SHUFFLE_RADIX_SHIFT,
+    )
+
+
+def shuffle_cids(keys: np.ndarray, num_dpus: int) -> np.ndarray:
+    """Destination DPU per key — the same math the DMS engine applies
+    (used host-side to size destination regions exactly)."""
+    return compute_cids(keys, shuffle_spec(num_dpus))
+
+
+@dataclass
+class ShuffleResult:
+    """One completed all-to-all exchange."""
+
+    # Per destination DPU: the reassembled columns ({name: array}).
+    columns: List[Dict[str, np.ndarray]]
+    # Max per-DPU partition-kernel cycles (the phase is embarrassingly
+    # parallel; the shared engine runs the launches in turn, so the
+    # max — not the serial sum — models rack wall-clock).
+    partition_cycles: float
+    # Span of the concurrent A9 all-to-all on the shared clock.
+    exchange_cycles: float
+    rows_moved: int  # rows that crossed the fabric (self-partition excluded)
+    bytes_moved: int
+
+
+def _partition_kernel(dpu, refs, rows, num_dests, region_addrs, spec, layout):
+    """Build the wave-driven partition kernel for one source DPU.
+
+    Mirrors the §5.3 hardware-partitioned group-by driver: core 0
+    pushes DDR->DMS (key first) -> DMS_TO_DMS -> DMS_TO_DMEM chains in
+    DMEM-capacity waves; after each wave every participating core
+    drains its record buffer to its destination's DRAM region."""
+    dtypes = [ref_dtype(spec_) for _addr, spec_ in refs]
+    widths = [dtype.itemsize for dtype in dtypes]
+    record_width, _offsets = _record_layout(widths)
+    cores = list(layout.target_cores)
+    driver = cores[0]
+    chunk_rows = max(64, dpu.config.cmem_bank_bytes // record_width)
+    wave_rows = int(num_dests * (_BUFFER_CAPACITY / record_width) / 2)
+    wave_chunks = max(1, wave_rows // chunk_rows)
+    chunk_starts = list(range(0, rows, chunk_rows))
+
+    def kernel(ctx):
+        slot = cores.index(ctx.core_id)
+        is_driver = ctx.core_id == driver
+        cursor = 0
+        if is_driver:
+            ctx.push(
+                Descriptor(
+                    dtype=DescriptorType.HASH_CONFIG,
+                    partition=spec,
+                    partition_layout=layout,
+                )
+            )
+        wave_start = 0
+        while True:
+            wave = chunk_starts[wave_start : wave_start + wave_chunks]
+            if is_driver:
+                for start in wave:
+                    count = min(chunk_rows, rows - start)
+                    for col, (addr, _spec) in enumerate(refs):
+                        width = widths[col]
+                        ctx.push(
+                            Descriptor(
+                                dtype=DescriptorType.DDR_TO_DMS,
+                                rows=count,
+                                col_width=width,
+                                ddr_addr=addr + start * width,
+                                is_key_column=(col == 0),
+                            )
+                        )
+                    ctx.push(Descriptor(dtype=DescriptorType.DMS_TO_DMS,
+                                        partition=spec))
+                    ctx.push(Descriptor(dtype=DescriptorType.DMS_TO_DMEM,
+                                        partition=spec))
+                while not ctx.dmad.idle():
+                    yield from ctx.compute(200)
+                for core in cores:
+                    if core != driver:
+                        yield from ctx.mbox_send(core, ("wave",))
+            else:
+                yield from ctx.mbox_receive()
+            # Drain this core's per-destination record buffer to its
+            # destination region in DRAM (raw bytes: col_width=1).
+            count = int(ctx.dmem.view(_COUNT_OFFSET, 4, np.uint32)[0])
+            nbytes = count * record_width
+            if nbytes:
+                ctx.push(
+                    Descriptor(
+                        dtype=DescriptorType.DMEM_TO_DDR,
+                        rows=nbytes,
+                        col_width=1,
+                        ddr_addr=region_addrs[slot] + cursor,
+                        dmem_addr=0,
+                        notify_event=_DRAIN_EVENT,
+                    )
+                )
+                yield from ctx.wfe(_DRAIN_EVENT)
+                ctx.clear_event(_DRAIN_EVENT)
+                cursor += nbytes
+            done = wave_start + wave_chunks >= len(chunk_starts)
+            if is_driver:
+                for _ in range(len(cores) - 1):
+                    yield from ctx.mbox_receive()
+                layout.reset()
+                for core in cores:
+                    dpu.scratchpads[core].view(
+                        _COUNT_OFFSET, 4, np.uint32
+                    )[0] = 0
+                for core in cores:
+                    if core != driver:
+                        yield from ctx.mbox_send(core, ("next", done))
+            else:
+                yield from ctx.mbox_send(driver, ("ack",))
+                yield from ctx.mbox_receive()
+            wave_start += wave_chunks
+            if done:
+                break
+        return cursor
+
+    return kernel
+
+
+def shuffle_exchange(
+    cluster: Cluster,
+    dtables: Sequence,
+    key: str,
+    names: Optional[Sequence[str]] = None,
+) -> ShuffleResult:
+    """Repartition one :class:`~repro.apps.sql.table.DpuTable` per DPU
+    by ``hash(key)`` so equal keys co-locate; returns the reassembled
+    columns per destination DPU.
+    """
+    num_dpus = cluster.num_dpus
+    if len(dtables) != num_dpus:
+        raise ValueError(f"{len(dtables)} tables for {num_dpus} DPUs")
+    spec = shuffle_spec(num_dpus)
+    if num_dpus > len(cluster.config.core_ids):
+        raise ValueError(
+            f"simulated shuffles are limited to {len(cluster.config.core_ids)} "
+            f"DPUs (one drain core per destination); model {num_dpus} DPUs "
+            "with ShuffleRackModel instead"
+        )
+    if names is None:
+        names = list(dtables[0].table.column_names)
+    names = [key] + [name for name in names if name != key]
+    dtypes = [dtables[0].table.column(name).dtype for name in names]
+    record_width = sum(dtype.itemsize for dtype in dtypes)
+    engine = cluster.engine
+
+    # Phase 1 (serial per source DPU on the shared clock; the phase is
+    # embarrassingly parallel, so the max launch — not the span —
+    # feeds the parallel-time model).
+    partitions: List[List[Optional[np.ndarray]]] = [
+        [None] * num_dpus for _ in range(num_dpus)
+    ]  # partitions[src][dst] = raw record bytes
+    partition_cycles = 0.0
+    for src, (dpu, dtable) in enumerate(zip(cluster.dpus, dtables)):
+        rows = dtable.num_rows
+        cores = list(dpu.config.core_ids)[:num_dpus]
+        keys_host = dtable.table.column(key)
+        cids = compute_cids(keys_host, spec)
+        counts = np.bincount(cids, minlength=num_dpus)
+        region_addrs = [
+            dpu.alloc(max(int(counts[dst]) * record_width, 8))
+            for dst in range(num_dpus)
+        ]
+        if rows:
+            refs = [dtable.column_ref(name) for name in names]
+            layout = PartitionLayout(
+                target_cores=tuple(cores),
+                dmem_base=0,
+                capacity=_BUFFER_CAPACITY,
+                count_offset=_COUNT_OFFSET,
+            )
+            kernel = _partition_kernel(
+                dpu, refs, rows, num_dpus, region_addrs, spec, layout
+            )
+            launch = dpu.launch(kernel, cores=cores)
+            partition_cycles = max(partition_cycles, launch.cycles)
+            for slot, written in enumerate(launch.values):
+                expected = int(counts[slot]) * record_width
+                if written != expected:
+                    raise RuntimeError(
+                        f"partition drain mismatch on dpu{src} slot {slot}: "
+                        f"{written} != {expected} bytes"
+                    )
+        for dst in range(num_dpus):
+            nbytes = int(counts[dst]) * record_width
+            raw = dpu.load_array(region_addrs[dst], nbytes, np.uint8).copy()
+            partitions[src][dst] = raw
+            dpu.free(region_addrs[dst])
+
+    # Phase 2: concurrent all-to-all over the A9s/fabric. A rotated
+    # schedule (src s sends to s+1, s+2, ...) avoids synchronized
+    # bursts into one endpoint; receivers index by source so the
+    # reassembly order is deterministic regardless of arrival order.
+    exchange_began = engine.now
+    rows_moved = 0
+    bytes_moved = 0
+    processes = []
+    collectors = []
+    for src, dpu in enumerate(cluster.dpus):
+        outbound = []
+        for offset in range(1, num_dpus):
+            dst = (src + offset) % num_dpus
+            raw = partitions[src][dst]
+            outbound.append((dst, raw, int(raw.nbytes)))
+            rows_moved += raw.nbytes // record_width
+            bytes_moved += int(raw.nbytes)
+
+        def announce(dpu=dpu, outbound=outbound):
+            core = dpu.context(0)
+            yield from core.mbox_send(A9_ID, outbound)
+
+        def scatter(dpu=dpu, src=src):
+            _sender, messages = yield from dpu.mailbox.receive(A9_ID)
+            for dst, payload, nbytes in messages:
+                yield from cluster.fabric.send(src, dst, payload, nbytes)
+
+        def gather(dst=src):
+            received = {}
+            for _ in range(num_dpus - 1):
+                sender, payload = yield from cluster.fabric.receive(dst)
+                received[sender] = payload
+            return received
+
+        processes.append(engine.process(announce()))
+        processes.append(engine.process(scatter(), name=f"a9.shuffle_out[{src}]"))
+        collector = engine.process(gather(), name=f"a9.shuffle_in[{src}]")
+        processes.append(collector)
+        collectors.append(collector)
+    cluster.run(processes)
+    exchange_cycles = engine.now - exchange_began
+
+    # Phase 3: reassemble columns per destination, in source order.
+    columns: List[Dict[str, np.ndarray]] = []
+    for dst in range(num_dpus):
+        received = collectors[dst].value
+        parts = []
+        for src in range(num_dpus):
+            raw = (partitions[src][dst] if src == dst
+                   else received[src])
+            if raw.nbytes:
+                parts.append(raw)
+        raw_all = (np.concatenate(parts) if parts
+                   else np.empty(0, dtype=np.uint8))
+        arrays = _parse_records(raw_all, dtypes)
+        columns.append(dict(zip(names, arrays)))
+    return ShuffleResult(
+        columns=columns,
+        partition_cycles=partition_cycles,
+        exchange_cycles=exchange_cycles,
+        rows_moved=rows_moved,
+        bytes_moved=bytes_moved,
+    )
+
+
+# -- rack-scale analytic model ------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ShuffleRackModel:
+    """§4 scaling arithmetic for a shuffle job at rack scale.
+
+    Per-row compute constants are calibrated from a measured
+    small-cluster run (:meth:`from_sim`); the fabric terms come
+    straight from :class:`FabricConfig`, so the model and the
+    simulator price a message identically. The gather uses a binary
+    reduction tree (log2 D rounds), the standard coordinator-relief
+    scheme at 500+ endpoints.
+
+    ``all_to_all=False`` models the pre-aggregating job family
+    (cluster_hll, cluster_tpch_q1): no repartition phase, only the
+    tiny partials cross the fabric. Those are the jobs the paper
+    scaled "across 500+ DPU clusters" — their speedup stays
+    near-linear because network volume is independent of the input
+    size, while a full shuffle eventually pays the all-to-all.
+    """
+
+    total_rows: int
+    record_bytes: int
+    partition_cycles_per_row: float = 6.0
+    local_cycles_per_row: float = 10.0
+    result_bytes: int = 4096
+    all_to_all: bool = True
+    fabric: FabricConfig = FabricConfig()
+
+    @classmethod
+    def from_sim(cls, detail: Dict[str, float], num_dpus: int,
+                 total_rows: int, record_bytes: int,
+                 result_bytes: int = 4096,
+                 all_to_all: bool = True,
+                 fabric: FabricConfig = FabricConfig()) -> "ShuffleRackModel":
+        """Calibrate the per-row constants from a measured cluster
+        job's ``ScaleOutResult.detail`` phase breakdown."""
+        rows_local = max(1.0, total_rows / num_dpus)
+        return cls(
+            total_rows=total_rows,
+            record_bytes=record_bytes,
+            partition_cycles_per_row=detail["partition_cycles"] / rows_local,
+            local_cycles_per_row=detail["local_cycles"] / rows_local,
+            result_bytes=result_bytes,
+            all_to_all=all_to_all,
+            fabric=fabric,
+        )
+
+    def phase_cycles(self, num_dpus: int) -> Dict[str, float]:
+        if num_dpus < 1:
+            raise ValueError(f"need >= 1 DPU: {num_dpus}")
+        rows_local = self.total_rows / num_dpus
+        cfg = self.fabric
+        partition = (rows_local * self.partition_cycles_per_row
+                     if num_dpus > 1 and self.all_to_all else 0.0)
+        local = rows_local * self.local_cycles_per_row
+        exchange = 0.0
+        gather = 0.0
+        if num_dpus > 1:
+            if self.all_to_all:
+                # Each A9 posts D-1 sends and D-1 receives serially
+                # and serializes ~(D-1)/D of its shard out (and the
+                # same volume back in) at link rate.
+                peers = num_dpus - 1
+                bytes_out = (rows_local * self.record_bytes
+                             * peers / num_dpus)
+                exchange = (
+                    peers * (cfg.a9_send_overhead_cycles
+                             + cfg.a9_receive_overhead_cycles)
+                    + 2 * bytes_out / cfg.link_bytes_per_cycle
+                    + cfg.fabric_latency_cycles
+                )
+            rounds = math.ceil(math.log2(num_dpus))
+            per_hop = (cfg.a9_send_overhead_cycles
+                       + cfg.a9_receive_overhead_cycles
+                       + cfg.fabric_latency_cycles
+                       + max(self.result_bytes, 64) / cfg.link_bytes_per_cycle)
+            gather = rounds * per_hop
+        return {
+            "partition": partition,
+            "exchange": exchange,
+            "local": local,
+            "gather": gather,
+        }
+
+    def job_cycles(self, num_dpus: int) -> float:
+        return sum(self.phase_cycles(num_dpus).values())
+
+    def network_bytes(self, num_dpus: int) -> int:
+        """Per-job fabric bytes: uniform-hash all-to-all volume plus
+        the reduction tree's partial results."""
+        if num_dpus < 2:
+            return 0
+        shuffle = ((self.total_rows * self.record_bytes
+                    * (num_dpus - 1) / num_dpus)
+                   if self.all_to_all else 0.0)
+        gather = (num_dpus - 1) * self.result_bytes
+        return int(shuffle + gather)
+
+    def speedup(self, num_dpus: int) -> float:
+        return self.job_cycles(1) / self.job_cycles(num_dpus)

@@ -83,15 +83,21 @@ class PartitionSpec:
     """Configuration for a partitioning operation.
 
     ``radix_bits`` selects how many bits index the output partition
-    (32-way = 5 bits). ``bounds`` holds the RANGE mode's up-to-32
-    ascending upper bounds. ``key_from_crc`` distinguishes hash-radix
-    (inspect bits of the CRC) from raw radix (§3.1).
+    (32-way = 5 bits) and ``radix_shift`` which bit position they are
+    taken from (the engine can inspect any aligned bit window of the
+    CRC/key, which lets nested partitioning stages — e.g. an
+    inter-DPU shuffle above an intra-DPU 32-way split — use
+    uncorrelated bits of the same hash). ``bounds`` holds the RANGE
+    mode's up-to-32 ascending upper bounds. ``key_from_crc``
+    distinguishes hash-radix (inspect bits of the CRC) from raw radix
+    (§3.1).
     """
 
     mode: PartitionMode
     radix_bits: int = 5
     bounds: Tuple[int, ...] = ()
     key_from_crc: bool = True
+    radix_shift: int = 0
 
     def __post_init__(self) -> None:
         if self.mode is PartitionMode.RANGE:
@@ -105,6 +111,11 @@ class PartitionSpec:
             if not 1 <= self.radix_bits <= 10:
                 raise DescriptorError(
                     f"radix_bits must be 1..10, got {self.radix_bits}"
+                )
+            if not 0 <= self.radix_shift <= 32 - self.radix_bits:
+                raise DescriptorError(
+                    f"radix_shift must be 0..{32 - self.radix_bits} for "
+                    f"{self.radix_bits} radix bits, got {self.radix_shift}"
                 )
 
     @property

@@ -457,7 +457,10 @@ class Dmac:
         )
         if spec.mode is PartitionMode.HASH:
             chunk.hashes = crc32_column(chunk.key)
-            chunk.cids = (chunk.hashes & np.uint32(spec.fanout - 1)).astype(
+            window = chunk.hashes
+            if spec.radix_shift:
+                window = window >> np.uint32(spec.radix_shift)
+            chunk.cids = (window & np.uint32(spec.fanout - 1)).astype(
                 np.uint16
             )
         else:

@@ -35,9 +35,13 @@ def compute_cids(keys: np.ndarray, spec: PartitionSpec) -> np.ndarray:
         hashes = crc32_column(keys)
         if spec.key_from_crc is False:
             raise DescriptorError("hash mode always inspects the CRC column")
+        if spec.radix_shift:
+            hashes = hashes >> np.uint32(spec.radix_shift)
         return (hashes & np.uint32(spec.fanout - 1)).astype(np.uint16)
     if spec.mode is PartitionMode.RADIX:
         raw = keys.astype(np.uint64, copy=False)
+        if spec.radix_shift:
+            raw = raw >> np.uint64(spec.radix_shift)
         return (raw & np.uint64(spec.fanout - 1)).astype(np.uint16)
     # RANGE: bounds are ascending upper bounds; keys above the last
     # bound clamp into the final partition.

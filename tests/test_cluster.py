@@ -12,6 +12,7 @@ from repro.cluster import (
     cluster_filter_count,
     cluster_hll,
 )
+from repro.faults import FaultInjector, FaultPlan
 from repro.sim import Engine, SimulationError
 
 
@@ -73,6 +74,76 @@ class TestFabric:
         with pytest.raises(SimulationError):
             next(fabric.send(0, 5, None, 8))
 
+    def test_inbox_depth_validated(self):
+        with pytest.raises(SimulationError):
+            IBFabric(Engine(), 2, FabricConfig(fabric_inbox_depth=0))
+
+    def test_retransmitted_bytes_accounted(self):
+        """Regression: the retransmit path re-serializes the message
+        but used to leave the re-sent bytes uncounted."""
+        engine = Engine()
+        injector = FaultInjector(
+            FaultPlan(seed=3, rates={"net.drop": 0.5}), engine
+        )
+        fabric = IBFabric(engine, 2, faults=injector)
+
+        def sender():
+            for _ in range(6):
+                yield from fabric.send(0, 1, "m", 4096)
+
+        def receiver():
+            for _ in range(6):
+                yield from fabric.receive(1)
+
+        engine.process(sender())
+        proc = engine.process(receiver())
+        engine.run_until_complete(proc)
+        assert fabric.retransmissions > 0
+        assert (
+            fabric.bytes_retransmitted == 4096 * fabric.retransmissions
+        )
+        # bytes_sent stays first-transmission-only; the repeat traffic
+        # is reported separately.
+        assert fabric.bytes_sent == 6 * 4096
+
+    def test_slow_receiver_backpressures_senders(self):
+        """With one receive credit, a slow coordinator stalls its
+        senders instead of queueing unboundedly."""
+        engine = Engine()
+        config = FabricConfig(
+            fabric_inbox_depth=1,
+            a9_send_overhead_cycles=0,
+            a9_receive_overhead_cycles=0,
+        )
+        fabric = IBFabric(engine, 3, config)
+        received = []
+
+        def sender(src):
+            for _ in range(3):
+                yield from fabric.send(src, 0, f"from{src}", 4096)
+
+        def slow_coordinator():
+            for _ in range(6):
+                yield engine.timeout(50_000)
+                src, _payload = yield from fabric.receive(0)
+                received.append(src)
+
+        engine.process(sender(1))
+        engine.process(sender(2))
+        proc = engine.process(slow_coordinator())
+        engine.run_until_complete(proc)
+        assert sorted(received) == [1, 1, 1, 2, 2, 2]
+        assert fabric.inbox_stalls > 0
+        assert fabric.inbox_stall_cycles > 0
+
+    def test_default_depth_never_stalls_small_jobs(self):
+        rng = np.random.default_rng(4)
+        shards = [rng.integers(0, 2**63, 4000, dtype=np.uint64)
+                  for _ in range(4)]
+        cluster = Cluster(num_dpus=4)
+        cluster_hll(cluster, shards)
+        assert cluster.fabric.inbox_stalls == 0
+
 
 class TestClusterScaleOut:
     def test_distributed_hll_matches_single_node_merge(self):
@@ -96,6 +167,22 @@ class TestClusterScaleOut:
             int(((shard >= 250) & (shard <= 499)).sum()) for shard in shards
         )
         assert result.value == expected
+
+    def test_back_to_back_jobs_report_per_job_bytes(self):
+        """Regression: network_bytes was the fabric's cumulative
+        counter, so a second job on the same cluster reported the
+        first job's traffic too."""
+        rng = np.random.default_rng(3)
+        shards = [rng.integers(0, 1000, 20000).astype(np.int32)
+                  for _ in range(2)]
+        cluster = Cluster(num_dpus=2)
+        first = cluster_filter_count(cluster, shards, 100, 199)
+        second = cluster_filter_count(cluster, shards, 500, 599)
+        assert first.network_bytes == 2 * 8  # one 8-byte count per DPU
+        assert second.network_bytes == 2 * 8
+        assert cluster.fabric.bytes_sent == 4 * 8
+        assert first.retransmissions == 0
+        assert second.retransmissions == 0
 
     def test_shard_count_validated(self):
         cluster = Cluster(num_dpus=2)
