@@ -2,6 +2,12 @@
 
 from .network import FabricConfig, IBFabric
 from .rack import PAPER_RACK, Cluster, RackSpec
+from .recovery import (
+    ClusterError,
+    RecoveryConfig,
+    RecoveryManager,
+    RecoveryStats,
+)
 from .scaleout import (
     ScaleOutResult,
     cluster_filter_count,
@@ -14,6 +20,7 @@ from .scaleout import (
 from .shuffle import (
     ShuffleRackModel,
     ShuffleResult,
+    partition_source,
     shuffle_cids,
     shuffle_exchange,
     shuffle_spec,
@@ -21,10 +28,14 @@ from .shuffle import (
 
 __all__ = [
     "Cluster",
+    "ClusterError",
     "FabricConfig",
     "IBFabric",
     "PAPER_RACK",
     "RackSpec",
+    "RecoveryConfig",
+    "RecoveryManager",
+    "RecoveryStats",
     "ScaleOutResult",
     "ShuffleRackModel",
     "ShuffleResult",
@@ -34,6 +45,7 @@ __all__ = [
     "cluster_partitioned_join_count",
     "cluster_topk",
     "cluster_tpch_q1",
+    "partition_source",
     "shuffle_cids",
     "shuffle_exchange",
     "shuffle_spec",

@@ -48,6 +48,12 @@ class FabricConfig:
     # reach, so existing cycle goldens are bit-identical; shallow
     # depths exercise end-to-end backpressure.
     fabric_inbox_depth: int = 64
+    # Lease on a coordinator-side gather: if a collector waits longer
+    # than this for the next partial, it aborts with a structured
+    # ClusterError instead of hanging until the global watchdog. Sized
+    # >> the largest fault-free gather (tens of millions of cycles at
+    # 800 MHz is tens of milliseconds) so it can never false-positive.
+    gather_lease_cycles: int = 50_000_000
 
 
 class IBFabric:
@@ -100,6 +106,15 @@ class IBFabric:
         self.bytes_retransmitted = 0
         self.inbox_stalls = 0
         self.inbox_stall_cycles = 0.0
+        # Rack-scale fault state (empty on the fault-free path: every
+        # check below is a falsy-dict/list conditional, no events).
+        # _dead_at maps endpoint -> cycle of its fail-stop; _severs
+        # holds (group, start, end) partition windows.
+        self._dead_at: Dict[int, float] = {}
+        self._severs: List[Tuple[frozenset, float, float]] = []
+        self.partition_drops = 0  # messages lost to a severed link
+        self.blackholed = 0  # messages to/from a dead endpoint
+        self.credits_released_on_death = 0
         # Observability hook; cluster coordinators swap in a live
         # tracer (fabric events land on ib.tx[i]/ib.rx[i] tracks).
         self.trace = NULL_TRACER
@@ -135,6 +150,74 @@ class IBFabric:
         else:
             self._credits[dst] += 1
 
+    # -- rack-scale fault primitives ------------------------------------
+
+    def schedule_kill(self, endpoint: int, at_cycle: float) -> None:
+        """Fail-stop ``endpoint`` at ``at_cycle``: nothing sent at or
+        after that instant leaves the node, nothing is delivered to it.
+        In-flight messages (already past the egress link) still arrive.
+        Pure state — no simulation events are scheduled."""
+        self._check(endpoint)
+        if at_cycle < 0:
+            raise SimulationError(f"negative kill time {at_cycle}")
+        current = self._dead_at.get(endpoint)
+        if current is None or at_cycle < current:
+            self._dead_at[endpoint] = float(at_cycle)
+
+    def endpoint_dead(self, endpoint: int) -> bool:
+        """Is the endpoint past its fail-stop instant?"""
+        dead_at = self._dead_at.get(endpoint)
+        return dead_at is not None and self.engine.now >= dead_at
+
+    def dead_since(self, endpoint: int) -> Optional[float]:
+        """The endpoint's fail-stop cycle, if one is scheduled."""
+        return self._dead_at.get(endpoint)
+
+    def declare_dead(self, endpoint: int) -> int:
+        """Survivor-side cleanup once the failure detector declares
+        ``endpoint`` dead: wake every sender stalled on the corpse's
+        receive credits, restore the credit pool to full depth, and
+        drop its queued inbox items (nobody will ever receive them).
+        Returns the number of stalled senders released."""
+        self._check(endpoint)
+        waiters = self._credit_waiters[endpoint]
+        released = len(waiters)
+        while waiters:
+            waiters.popleft().succeed()
+        restored = self.config.fabric_inbox_depth - self._credits[endpoint]
+        self._credits[endpoint] = self.config.fabric_inbox_depth
+        self._inboxes[endpoint].items.clear()
+        self.credits_released_on_death += restored
+        if restored and self.trace.enabled:
+            self.trace.instant("ib.credits_released", unit=f"ib.rx[{endpoint}]",
+                               endpoint=endpoint, released=restored)
+        return released
+
+    def sever(self, targets, start_cycle: float, end_cycle: float) -> None:
+        """Partition window: links between ``targets`` and every other
+        endpoint are down for ``[start_cycle, end_cycle)``. Messages
+        crossing the cut at their delivery instant are lost (counted
+        in ``partition_drops``); traffic within either side flows."""
+        group = frozenset(targets)
+        for endpoint in group:
+            self._check(endpoint)
+        if not group or end_cycle <= start_cycle:
+            raise SimulationError(
+                f"bad partition window {sorted(group)} "
+                f"[{start_cycle}, {end_cycle})"
+            )
+        self._severs.append((group, float(start_cycle), float(end_cycle)))
+
+    def severed(self, src: int, dst: int) -> bool:
+        """Is the src->dst link inside an active partition window?"""
+        if not self._severs:
+            return False
+        now = self.engine.now
+        for group, start, end in self._severs:
+            if start <= now < end and (src in group) != (dst in group):
+                return True
+        return False
+
     def _trace_tx_bytes(self, src: int) -> None:
         self.trace.counter(
             "ib.bytes",
@@ -151,6 +234,13 @@ class IBFabric:
         self._check(dst)
         if nbytes < 0:
             raise SimulationError(f"negative message size {nbytes}")
+        if self._dead_at and self.endpoint_dead(src):
+            # Fail-stop: the source A9 is past its kill instant, so
+            # the post never happens. (Sends *to* a corpse still burn
+            # the link and blackhole at delivery — the sender cannot
+            # know the peer is dead until the detector declares it.)
+            self.blackholed += 1
+            return
         send_began = self.engine.now
         yield self.engine.timeout(self.config.a9_send_overhead_cycles)
         yield from self._acquire_credit(dst)
@@ -172,6 +262,14 @@ class IBFabric:
             hop_began = self.engine.now
             yield self.engine.timeout(self.config.fabric_latency_cycles)
             while self.faults.roll("net.drop", detail=f"link {src}->{dst}"):
+                if self._dead_at and self.endpoint_dead(src):
+                    # The source died before the link-level retry could
+                    # re-serialize the frame: the message is gone. The
+                    # destination's receive WQE was never consumed, so
+                    # its credit goes back to the pool.
+                    self.blackholed += 1
+                    self._release_credit(dst)
+                    return
                 self.retransmissions += 1
                 if self.trace.enabled:
                     self.trace.instant("ib.retransmit", unit=f"ib.tx[{src}]",
@@ -182,6 +280,24 @@ class IBFabric:
                 if self.trace.enabled:
                     self._trace_tx_bytes(src)
                 yield self.engine.timeout(self.config.fabric_latency_cycles)
+            if self._dead_at and self.endpoint_dead(dst):
+                # The destination is past its fail-stop instant: the
+                # frame arrives at a dark NIC and is lost.
+                self.blackholed += 1
+                self._release_credit(dst)
+                return
+            if self._severs and self.severed(src, dst):
+                # The link is inside a partition window at the delivery
+                # instant. IB link-level retry does not span a downed
+                # link — recovery happens end-to-end (epoch restart).
+                # The unconsumed receive WQE's credit returns.
+                self.partition_drops += 1
+                self._release_credit(dst)
+                if self.trace.enabled:
+                    self.trace.instant("ib.partition_drop",
+                                       unit=f"ib.rx[{dst}]",
+                                       src=src, bytes=nbytes)
+                return
             yield self._ingress[dst].transfer(max(nbytes, 64))
             yield self._inboxes[dst].put((src, payload))
             if self.trace.enabled:
@@ -190,13 +306,44 @@ class IBFabric:
 
         self.engine.process(deliver(), name=f"ib.deliver->{dst}")
 
-    def receive(self, endpoint: int):
-        """A9-side receive (process generator): returns (src, payload)."""
+    def receive(self, endpoint: int, abort_event: Optional[SimEvent] = None):
+        """A9-side receive (process generator): returns (src, payload).
+
+        With ``abort_event`` (e.g. a lease :class:`Timeout`), the wait
+        races the inbox against the abort and returns ``None`` if the
+        abort wins — the pending get is withdrawn so no later message
+        is swallowed. If both trigger at the same instant the message
+        wins (the inbox handoff schedules its callback first)."""
         self._check(endpoint)
-        message = yield self._inboxes[endpoint].get()
+        inbox = self._inboxes[endpoint]
+        if abort_event is None:
+            message = yield inbox.get()
+        else:
+            get_event = inbox.get()
+            yield self.engine.any_of([get_event, abort_event])
+            if not get_event.triggered:
+                inbox.cancel_get(get_event)
+                return None
+            message = get_event.value
         self._release_credit(endpoint)
         yield self.engine.timeout(self.config.a9_receive_overhead_cycles)
         return message
+
+    def counters(self) -> Dict[str, float]:
+        """Point-in-time snapshot of the fabric's scalar counters
+        (attached to :class:`~repro.cluster.recovery.ClusterError` and
+        merged into the cluster counter registry)."""
+        return {
+            "messages_sent": self.messages_sent,
+            "bytes_sent": self.bytes_sent,
+            "retransmissions": self.retransmissions,
+            "bytes_retransmitted": self.bytes_retransmitted,
+            "inbox_stalls": self.inbox_stalls,
+            "inbox_stall_cycles": self.inbox_stall_cycles,
+            "partition_drops": self.partition_drops,
+            "blackholed": self.blackholed,
+            "credits_released_on_death": self.credits_released_on_death,
+        }
 
     def link_utilization(self, endpoint: int) -> Tuple[float, float]:
         """(egress, ingress) utilization of one endpoint's links."""

@@ -26,6 +26,7 @@ from ..faults import FaultInjector, FaultPlan
 from ..obs import CounterRegistry, Tracer
 from ..sim import Engine
 from .network import FabricConfig, IBFabric
+from .recovery import RecoveryConfig, RecoveryManager
 
 __all__ = ["Cluster", "RackSpec", "PAPER_RACK"]
 
@@ -39,6 +40,7 @@ class Cluster:
         config: DPUConfig = DPU_40NM,
         fabric_config: FabricConfig = FabricConfig(),
         fault_plan: "FaultPlan | None" = None,
+        recovery_config: "RecoveryConfig | None" = None,
     ) -> None:
         if num_dpus < 1:
             raise ValueError(f"need >= 1 DPU: {num_dpus}")
@@ -63,6 +65,17 @@ class Cluster:
         # Optional coordinator-side admission gate for cluster jobs
         # (see repro.runtime.admission); None = pre-existing behaviour.
         self.admission = None
+        # Rack-scale fault tolerance (see repro.cluster.recovery):
+        # active only when the plan schedules chaos events, so a plain
+        # FaultPlan keeps every job on the exact pre-recovery path.
+        plan = self.faults.plan
+        if plan.chaos or recovery_config is not None:
+            self.recovery: "RecoveryManager | None" = RecoveryManager(
+                self, recovery_config
+            )
+            self.recovery.install()
+        else:
+            self.recovery = None
 
     @property
     def num_dpus(self) -> int:
@@ -132,16 +145,16 @@ class Cluster:
         for dpu in self.dpus:
             registry.merge(dpu.counter_registry())
         scope = registry.scope("fabric")
-        scope.set("messages_sent", self.fabric.messages_sent)
-        scope.set("bytes_sent", self.fabric.bytes_sent)
-        scope.set("bytes_retransmitted", self.fabric.bytes_retransmitted)
-        scope.set("retransmissions", self.fabric.retransmissions)
-        scope.set("inbox_stalls", self.fabric.inbox_stalls)
-        scope.set("inbox_stall_cycles", self.fabric.inbox_stall_cycles)
+        for name, value in self.fabric.counters().items():
+            scope.set(name, value)
         for endpoint in range(self.num_dpus):
             egress, ingress = self.fabric.link_utilization(endpoint)
             scope.set(f"tx{endpoint}.utilization", egress)
             scope.set(f"rx{endpoint}.utilization", ingress)
+        if self.recovery is not None:
+            recovery_scope = registry.scope("recovery")
+            for name, value in self.recovery.stats.counters().items():
+                recovery_scope.set(name, value)
         return registry
 
     def total_watts(self) -> float:

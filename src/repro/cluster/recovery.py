@@ -1,0 +1,818 @@
+"""Rack-level fault tolerance for distributed ``cluster_*`` jobs.
+
+The paper scaled applications "across 500+ DPU clusters"; at that
+scale whole-node failure is routine, not exceptional. This module
+adds the distributed-systems half of resilience on top of the
+single-DPU machinery in :mod:`repro.faults`:
+
+* **Failure detection** — an A9 control-plane detector: every worker
+  A9 heartbeats the coordinator's A9 over the
+  :class:`~repro.cluster.network.IBFabric`; the coordinator grants
+  each worker a lease and declares it dead when the lease expires
+  with no heartbeat. Lease >> heartbeat interval (validated in
+  :class:`RecoveryConfig`), and leases are re-granted at every
+  gather-phase start, so a fault-free run can never false-positive.
+
+* **Deterministic recovery** — job inputs are DDR-resident on their
+  home DPU *and* durable (row-sharded from host tables), so a lost
+  shard is re-executed on a surviving DPU and yields the exact same
+  partial: every kernel here is deterministic. The coordinator merge
+  is idempotent (per-shard dedup, merge in shard order), so retried,
+  speculative and duplicate partials cannot change the result — the
+  recovered answer is byte-equal to the fault-free reference.
+
+* **Epoch-tagged exchanges** — every message carries
+  ``(job_tag, epoch)``. A death bumps the epoch and invalidates the
+  affected shards' assignments; packets from a dead epoch are
+  discarded on arrival (``stale_discards``), so a restarted shuffle
+  cannot consume bytes addressed under a stale ownership map.
+
+* **Straggler mitigation** — a worker inside a seeded ``dpu.slow``
+  window has its A9 job-side sends dilated by the spec's factor.
+  When a shard stalls past the patience threshold while its owner's
+  lease is current, the coordinator launches a speculative copy on a
+  second DPU; first result wins through the same dedup.
+
+The simulator constraint that shapes the control flow: ``dpu.launch``
+drives the shared engine, so kernels cannot be launched from inside a
+simulation process. Recovery therefore alternates *host-side* compute
+(launches on current shard owners) with *bounded simulation phases*
+(heartbeats + epoch-tagged sends + a lease-guarded collector), looping
+until every shard has arrived — the classic coordinator retry loop,
+with the event clock advancing through every phase.
+
+Activated only when the cluster's :class:`~repro.faults.FaultPlan`
+carries chaos specs; ``FaultPlan.none()`` keeps every job on the
+pre-existing code path, bit-identical to the equivalence goldens.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from ..core.mailbox import A9_ID
+from ..faults import FaultError
+from ..sim import DeadlockError, Watchdog
+
+__all__ = [
+    "ClusterError",
+    "RecoveryConfig",
+    "RecoveryManager",
+    "RecoveryStats",
+]
+
+HEARTBEAT_BYTES = 16  # one verbs inline send: seq + source id
+
+
+class ClusterError(RuntimeError):
+    """A distributed job failed fast instead of hanging.
+
+    Carries the diagnosis a rack operator needs: which job, at what
+    sim time, which DPUs were missing, and the fabric counter
+    snapshot at the moment of failure.
+    """
+
+    def __init__(
+        self,
+        site: str,
+        cycle: float,
+        missing: Sequence[int] = (),
+        fabric: Optional[Dict[str, float]] = None,
+        reason: str = "gather lease expired",
+    ) -> None:
+        self.site = site
+        self.cycle = float(cycle)
+        self.missing = tuple(sorted(set(missing)))
+        self.fabric = dict(fabric or {})
+        self.reason = reason
+        super().__init__(
+            f"cluster job {site!r} failed at cycle {self.cycle:.0f}: "
+            f"{reason}; missing DPUs {list(self.missing)}; "
+            f"fabric counters {self.fabric}"
+        )
+
+
+@dataclass(frozen=True)
+class RecoveryConfig:
+    """Detector and retry tuning (cycles at the DPU clock)."""
+
+    # Worker A9 -> coordinator A9 heartbeat period. Also the granule
+    # at which a waiting collector wakes to re-evaluate leases.
+    heartbeat_interval_cycles: float = 50_000.0
+    # Liveness lease: a worker with no heartbeat for this long is
+    # declared dead. Must dominate several heartbeat round trips
+    # (interval + verbs overheads + switch latency) so a live,
+    # unpartitioned worker can never be declared dead.
+    lease_cycles: float = 250_000.0
+    # A shard whose owner is still leased-alive but whose partial has
+    # not arrived for this long is considered stuck (partition in
+    # flight or straggler) and triggers a resend, then a speculative
+    # re-execution on a second DPU.
+    stall_patience_cycles: float = 300_000.0
+    # Host-side retry budget: rounds of (compute, send, collect) per
+    # job phase before giving up with ClusterError.
+    max_rounds: int = 12
+    # Per-phase event budget (livelock guard on the shared engine).
+    watchdog_events: int = 50_000_000
+
+    def __post_init__(self) -> None:
+        if self.heartbeat_interval_cycles <= 0:
+            raise FaultError(
+                f"heartbeat interval must be positive: "
+                f"{self.heartbeat_interval_cycles}"
+            )
+        if self.lease_cycles < 4 * self.heartbeat_interval_cycles:
+            raise FaultError(
+                f"lease {self.lease_cycles} must cover >= 4 heartbeat "
+                f"intervals of {self.heartbeat_interval_cycles} — a "
+                "tighter lease can declare a live worker dead"
+            )
+        if self.stall_patience_cycles < self.lease_cycles:
+            raise FaultError(
+                f"stall patience {self.stall_patience_cycles} must be >= "
+                f"the lease {self.lease_cycles}: a dead owner should be "
+                "declared before its shard is treated as merely stuck"
+            )
+        if self.max_rounds < 1:
+            raise FaultError(f"max_rounds must be >= 1: {self.max_rounds}")
+
+
+@dataclass
+class RecoveryStats:
+    """Per-job recovery outcome (reset at every job start)."""
+
+    site: str = ""
+    rounds: int = 0
+    epochs: int = 0
+    heartbeats_sent: int = 0
+    reexecuted_shards: int = 0
+    speculative_launches: int = 0
+    speculative_wins: int = 0
+    stale_discards: int = 0
+    duplicates: int = 0
+    resends: int = 0
+    # (dpu index, declared-at cycle, detection latency in cycles from
+    # the injected failure instant — None if no spec matches).
+    detections: List[Tuple[int, float, Optional[float]]] = field(
+        default_factory=list
+    )
+    declared_dead: Tuple[int, ...] = ()
+
+    @property
+    def detection_latency_cycles(self) -> Optional[float]:
+        """Latency of the first declaration this job made."""
+        for _dpu, _cycle, latency in self.detections:
+            if latency is not None:
+                return latency
+        return None
+
+    def counters(self) -> Dict[str, float]:
+        """Scalar view for the cluster counter registry."""
+        latency = self.detection_latency_cycles
+        return {
+            "rounds": self.rounds,
+            "epochs": self.epochs,
+            "heartbeats_sent": self.heartbeats_sent,
+            "reexecuted_shards": self.reexecuted_shards,
+            "speculative_launches": self.speculative_launches,
+            "speculative_wins": self.speculative_wins,
+            "stale_discards": self.stale_discards,
+            "duplicates": self.duplicates,
+            "resends": self.resends,
+            "detections": len(self.detections),
+            "detection_latency_cycles": (
+                latency if latency is not None else 0.0
+            ),
+        }
+
+
+class RecoveryManager:
+    """Coordinator-side fault tolerance for one :class:`Cluster`.
+
+    Owns the failure detector state (leases, declared-dead set), the
+    global epoch counter, and the retry loops that run every
+    ``cluster_*`` job to completion under the cluster's chaos plan.
+    DPU 0 is the coordinator and must not be a ``dpu.dead`` target
+    (coordinator failover is out of scope; the chaos harness never
+    draws it).
+    """
+
+    def __init__(self, cluster, config: Optional[RecoveryConfig] = None) -> None:
+        self.cluster = cluster
+        self.config = config if config is not None else RecoveryConfig()
+        self.plan = cluster.faults.plan
+        self.stats = RecoveryStats()
+        self.declared_dead: Set[int] = set()
+        self.last_seen: Dict[int, float] = {}
+        self.epoch = 0
+        self._job_tag = 0
+        self._hb_generation = 0
+        self._slow = self.plan.chaos_for("dpu.slow")
+        self._installed = False
+        # Final slot -> owner map of the most recent run_exchange, so
+        # the caller can run post-shuffle local compute (and the gather
+        # that follows) on the DPUs that actually own each slot.
+        self.last_slot_owner: Dict[int, int] = {}
+
+    # -- chaos installation -------------------------------------------------
+
+    def install(self) -> None:
+        """Register the plan's scheduled kills and partition windows
+        with the fabric. Idempotent; called at cluster construction."""
+        if self._installed:
+            return
+        self._installed = True
+        fabric = self.cluster.fabric
+        for spec in self.plan.chaos_for("dpu.dead"):
+            for target in spec.targets:
+                if target == 0:
+                    raise FaultError(
+                        "dpu.dead cannot target DPU 0: it coordinates "
+                        "every cluster job (coordinator failover is out "
+                        "of scope — see docs/RESILIENCE.md)"
+                    )
+                if target < self.cluster.num_dpus:
+                    fabric.schedule_kill(target, spec.at_cycle)
+        for spec in self.plan.chaos_for("fabric.partition"):
+            targets = [t for t in spec.targets if t < self.cluster.num_dpus]
+            if 0 in targets:
+                raise FaultError(
+                    "fabric.partition cannot isolate DPU 0 (the "
+                    "coordinator); sever a worker group instead"
+                )
+            if targets:
+                fabric.sever(targets, spec.at_cycle, spec.end_cycle)
+
+    def slow_delay(self, dpu_index: int) -> float:
+        """Extra A9-side cycles for a job send beginning now on a
+        straggling DPU: work inside a ``dpu.slow`` window runs at
+        ``1/factor`` speed, so the window's remainder stretches by
+        ``(factor - 1) x``."""
+        if not self._slow:
+            return 0.0
+        now = self.cluster.engine.now
+        extra = 0.0
+        for spec in self._slow:
+            if dpu_index in spec.targets and spec.at_cycle <= now < spec.end_cycle:
+                extra += (spec.end_cycle - now) * (spec.factor - 1.0)
+        return extra
+
+    # -- membership ---------------------------------------------------------
+
+    def alive(self) -> List[int]:
+        """DPUs the detector currently believes are alive."""
+        return [i for i in range(self.cluster.num_dpus)
+                if i not in self.declared_dead]
+
+    def _survivor_for(self, key: Any, exclude: Tuple[int, ...] = ()) -> int:
+        """Deterministic survivor choice for a lost/stuck shard."""
+        candidates = [i for i in self.alive() if i not in exclude]
+        if not candidates:
+            raise ClusterError(
+                self.stats.site, self.cluster.engine.now,
+                missing=sorted(self.declared_dead),
+                fabric=self.cluster.fabric.counters(),
+                reason="no surviving DPUs to re-execute on",
+            )
+        return candidates[hash(key) % len(candidates)]
+
+    def _declare(self, victims: Sequence[int]) -> None:
+        """Process lease expiries: mark dead, free fabric credits owed
+        by the corpse, record detection latency against the injected
+        failure instant."""
+        engine = self.cluster.engine
+        fabric = self.cluster.fabric
+        now = engine.now
+        for victim in sorted(victims):
+            if victim in self.declared_dead:
+                continue
+            self.declared_dead.add(victim)
+            fabric.declare_dead(victim)
+            injected = [
+                spec.at_cycle for spec in self.plan.chaos
+                if victim in spec.targets and spec.at_cycle <= now
+            ]
+            latency = now - max(injected) if injected else None
+            self.stats.detections.append((victim, now, latency))
+            if fabric.trace.enabled:
+                fabric.trace.instant(
+                    "recover.declare_dead", unit="cluster",
+                    dpu=victim, latency=latency,
+                )
+        self.stats.declared_dead = tuple(sorted(self.declared_dead))
+
+    def _grant_leases(self) -> None:
+        """Re-grant every live worker a full lease. Called at each
+        collect-phase start so silence accrued while the host ran
+        local compute (when nobody was draining heartbeats) can never
+        be mistaken for death."""
+        now = self.cluster.engine.now
+        for index in self.alive():
+            current = self.last_seen.get(index, now)
+            self.last_seen[index] = max(current, now)
+
+    # -- job lifecycle ------------------------------------------------------
+
+    def begin_job(self, site: str) -> None:
+        """Reset per-job stats, bump the job tag (stale cross-job
+        packets are discarded on arrival), start heartbeat daemons."""
+        self._job_tag += 1
+        self.stats = RecoveryStats(site=site)
+        self._grant_leases()
+        self._start_heartbeats()
+
+    def end_job(self) -> None:
+        """Retire this job's heartbeat daemons (each exits at its next
+        wakeup; the generation check makes leftovers inert)."""
+        self._hb_generation += 1
+
+    def _start_heartbeats(self) -> None:
+        engine = self.cluster.engine
+        fabric = self.cluster.fabric
+        interval = self.config.heartbeat_interval_cycles
+        self._hb_generation += 1
+        generation = self._hb_generation
+
+        for index in self.alive():
+            if index == 0:
+                continue  # the coordinator's liveness is its own
+
+            def daemon(index=index):
+                sequence = 0
+                while generation == self._hb_generation:
+                    if fabric.endpoint_dead(index):
+                        return
+                    yield from fabric.send(
+                        index, 0, ("hb", index, sequence), HEARTBEAT_BYTES
+                    )
+                    self.stats.heartbeats_sent += 1
+                    sequence += 1
+                    yield engine.timeout(interval)
+
+            engine.process(daemon(), name=f"recover.hb[{index}]", daemon=True)
+
+    # -- bounded simulation phases ------------------------------------------
+
+    def _drive(self, gate, site: str, missing_owners: Sequence[int]):
+        """Run the engine until ``gate`` completes, converting engine
+        deadlock/livelock into a structured ClusterError."""
+        engine = self.cluster.engine
+        previous = engine.watchdog
+        engine.watchdog = Watchdog(max_events=self.config.watchdog_events)
+        try:
+            return engine.run_until_complete(gate, limit=10**13)
+        except DeadlockError as error:
+            raise ClusterError(
+                site, engine.now, missing=missing_owners,
+                fabric=self.cluster.fabric.counters(), reason=str(error),
+            ) from error
+        finally:
+            engine.watchdog = previous
+
+    def _collector(self, endpoint: int, kind: str, needed: Set[Any],
+                   arrivals: Dict[Any, Tuple[Any, int, int]],
+                   min_epoch: Dict[Any, int],
+                   local_keys: Optional[Callable[[], Set[Any]]] = None,
+                   watch: Optional[Callable[[], Dict[Any, int]]] = None):
+        """Build one lease-guarded collector process for ``endpoint``.
+
+        Drains epoch-tagged ``kind`` messages into ``arrivals`` as
+        ``key -> (value, sender endpoint, receiver endpoint)`` (dedup
+        by key, first result wins) and heartbeats into the lease table.
+        Returns ``("done", [])``, ``("dead", victims)`` (endpoint 0
+        only, via ``watch``), or ``("stalled", [])`` after the patience
+        window with no progress — it always terminates, so a recovery
+        phase can never hang until the global watchdog.
+        """
+        engine = self.cluster.engine
+        fabric = self.cluster.fabric
+        config = self.config
+        mine = local_keys if local_keys is not None else (lambda: needed)
+
+        def process():
+            last_progress = engine.now
+            while mine() or (watch is not None and needed):
+                abort = engine.timeout(config.heartbeat_interval_cycles)
+                message = yield from fabric.receive(endpoint, abort_event=abort)
+                now = engine.now
+                if message is not None:
+                    abort.cancel()
+                    src, payload = message
+                    label = payload[0]
+                    if label == "hb":
+                        self.last_seen[payload[1]] = now
+                    elif label == kind:
+                        _label, msg_tag, epoch, key, _owner, value = payload
+                        if msg_tag != self._job_tag or key not in min_epoch:
+                            self.stats.stale_discards += 1
+                        elif epoch < min_epoch[key]:
+                            self.stats.stale_discards += 1
+                        elif key not in needed:
+                            self.stats.duplicates += 1
+                        else:
+                            needed.discard(key)
+                            arrivals[key] = (value, src, endpoint)
+                            last_progress = now
+                    else:
+                        # A different phase's payload family (e.g. an
+                        # exchange pair landing during a gather): from
+                        # an invalidated schedule, so it is stale.
+                        self.stats.stale_discards += 1
+                if watch is not None:
+                    owners = watch()
+                    # Endpoint 0 is the detector itself: it sends no
+                    # heartbeats, so it is never a lease suspect.
+                    victims = sorted({
+                        owner for owner in owners.values()
+                        if owner != 0
+                        and owner not in self.declared_dead
+                        and now - self.last_seen.get(owner, now)
+                        > config.lease_cycles
+                    })
+                    if victims:
+                        return ("dead", victims)
+                if mine() and now - last_progress > config.stall_patience_cycles:
+                    return ("stalled", [])
+                if not mine() and watch is not None and needed:
+                    # Coordinator keeps draining heartbeats while other
+                    # endpoints finish, but bounded by patience too.
+                    if now - last_progress > config.stall_patience_cycles:
+                        return ("stalled", [])
+            return ("done", [])
+
+        return engine.process(
+            process(), name=f"recover.collect[{endpoint}]"
+        )
+
+    def _spawn_sender(self, owner: int, kind: str, key: Any, value: Any,
+                      nbytes: int) -> None:
+        """Paper-faithful send path with dilation: core 0 mailboxes the
+        result pointer to the local A9; the A9 (dilated when inside a
+        ``dpu.slow`` window) ships the epoch-tagged message to the
+        coordinator. The payload rides the mailbox so two in-flight
+        sends on one DPU can never cross-deliver."""
+        cluster = self.cluster
+        engine = cluster.engine
+        fabric = cluster.fabric
+        dpu = cluster.dpus[owner]
+        tag, epoch = self._job_tag, self.epoch
+
+        def core_side():
+            core = dpu.context(0)
+            yield from core.mbox_send(A9_ID, (key, value, nbytes))
+
+        def a9_side():
+            _src, (msg_key, msg_value, msg_bytes) = (
+                yield from dpu.mailbox.receive(A9_ID)
+            )
+            delay = self.slow_delay(owner)
+            if delay:
+                yield engine.timeout(delay)
+            yield from fabric.send(
+                owner, 0,
+                (kind, tag, epoch, msg_key, owner, msg_value), msg_bytes,
+            )
+
+        engine.process(core_side(), name=f"recover.core[{owner}]")
+        engine.process(a9_side(), name=f"recover.uplink[{owner}]")
+
+    # -- the merge-family retry loop ----------------------------------------
+
+    def run_job(
+        self,
+        site: str,
+        compute: Callable[[int, Any, int], Any],
+        merge: Callable[[Any, Any], Any],
+        nbytes_of: Callable[[Any], int],
+        owners: Optional[Dict[int, int]] = None,
+        num_shards: Optional[int] = None,
+    ) -> Tuple[Any, float]:
+        """Run a merge-family job to completion under faults.
+
+        ``compute(shard, dpu, dpu_index)`` is host-side (it may call
+        ``dpu.launch``) and must be deterministic — re-execution on a
+        survivor must reproduce the lost partial exactly. Partials are
+        merged in shard order after per-shard dedup, so duplicates and
+        speculative copies cannot perturb the result. Returns
+        ``(merged value, phase cycles)``.
+        """
+        cluster = self.cluster
+        engine = cluster.engine
+        config = self.config
+        count = num_shards if num_shards is not None else cluster.num_dpus
+        shard_owner: Dict[int, int] = (
+            dict(owners) if owners else {k: k for k in range(count)}
+        )
+        rerouted: Set[int] = set()
+        for key in sorted(shard_owner):
+            if shard_owner[key] in self.declared_dead:
+                shard_owner[key] = self._survivor_for(key)
+                rerouted.add(key)
+        began = engine.now
+        needed: Set[int] = set(range(count))
+        arrivals: Dict[int, Tuple[Any, int]] = {}
+        min_epoch = {key: self.epoch for key in needed}
+        values: Dict[int, Any] = {}
+        value_owner: Dict[int, int] = {}
+        stall_strikes: Dict[int, int] = {key: 0 for key in needed}
+        backups: Dict[int, int] = {}
+
+        for round_index in range(config.max_rounds):
+            self.stats.rounds += 1
+            # Host phase: (re-)execute missing shards on their current
+            # owners from the durable inputs.
+            for key in sorted(needed):
+                owner = shard_owner[key]
+                if value_owner.get(key) != owner:
+                    recompute = key in value_owner or key in rerouted
+                    values[key] = compute(key, cluster.dpus[owner], owner)
+                    value_owner[key] = owner
+                    if recompute:
+                        self.stats.reexecuted_shards += 1
+            # Simulation phase: epoch-tagged sends race the detector's
+            # lease-guarded collector.
+            for key in sorted(needed):
+                if round_index > 0:
+                    self.stats.resends += 1
+                self._spawn_sender(
+                    shard_owner[key], "data", key, values[key],
+                    nbytes_of(values[key]),
+                )
+            self._grant_leases()
+            collector = self._collector(
+                0, "data", needed, arrivals, min_epoch,
+                watch=lambda: {k: shard_owner[k] for k in needed},
+            )
+            status, victims = self._drive(
+                collector, site,
+                sorted({shard_owner[k] for k in needed}),
+            )
+            if status == "done":
+                break
+            if status == "dead":
+                self._declare(victims)
+                self.epoch += 1
+                self.stats.epochs += 1
+                for key in sorted(needed):
+                    if shard_owner[key] in self.declared_dead:
+                        shard_owner[key] = self._survivor_for(key)
+                        min_epoch[key] = self.epoch
+            else:  # stalled: resend, then speculate on a second DPU
+                for key in sorted(needed):
+                    stall_strikes[key] += 1
+                    if stall_strikes[key] >= 2 and key not in backups:
+                        owner = shard_owner[key]
+                        backup = self._survivor_for(key, exclude=(owner,))
+                        backups[key] = backup
+                        self.stats.speculative_launches += 1
+                        backup_value = compute(key, cluster.dpus[backup],
+                                               backup)
+                        self._spawn_sender(
+                            backup, "data", key, backup_value,
+                            nbytes_of(backup_value),
+                        )
+        if needed:
+            raise ClusterError(
+                site, engine.now,
+                missing=sorted({shard_owner[k] for k in needed}),
+                fabric=cluster.fabric.counters(),
+                reason=(f"recovery budget of {config.max_rounds} rounds "
+                        f"exhausted with shards {sorted(needed)} missing"),
+            )
+        self.stats.speculative_wins += sum(
+            1 for key, backup in backups.items()
+            if key in arrivals and arrivals[key][1] == backup
+        )
+        merged = None
+        for key in range(count):
+            merged = merge(merged, arrivals[key][0])
+        return merged, engine.now - began
+
+    # -- the restartable exchange -------------------------------------------
+
+    def run_exchange(self, site: str, tables: Sequence, key: str,
+                     names: Sequence[str]):
+        """Epoch-tagged, restartable all-to-all over logical slots.
+
+        The slot space stays the original power-of-two fanout (the
+        hash engine's radix does not change when a node dies); a dead
+        slot owner's shard is re-partitioned on a survivor from the
+        durable host table and its pairs re-sent under a new epoch.
+        Returns a :class:`~repro.cluster.shuffle.ShuffleResult`.
+        """
+        from .shuffle import ShuffleResult, partition_source
+
+        cluster = self.cluster
+        engine = cluster.engine
+        config = self.config
+        # Key column first — the layout partition_source serialises.
+        names = [key] + [n for n in names if n != key]
+        num_slots = cluster.num_dpus
+        slots = range(num_slots)
+        slot_owner: Dict[int, int] = {}
+        for slot in slots:
+            slot_owner[slot] = (slot if slot not in self.declared_dead
+                                else self._survivor_for(slot))
+
+        partitions: Dict[int, List[np.ndarray]] = {}
+        partition_owner: Dict[int, int] = {}
+        partition_cycles = 0.0
+        record_width = 0
+        dtypes = None
+        exchange_began = engine.now
+        arrivals: Dict[Tuple[int, int], Tuple[np.ndarray, int]] = {}
+        min_epoch: Dict[Tuple[int, int], int] = {
+            (s, d): self.epoch for s in slots for d in slots if s != d
+        }
+        stall_strikes: Dict[Tuple[int, int], int] = {}
+        backups: Dict[Tuple[int, int], int] = {}
+
+        def pending_pairs() -> List[Tuple[int, int]]:
+            return [
+                (s, d) for s in slots for d in slots
+                if slot_owner[s] != slot_owner[d] and (s, d) not in arrivals
+            ]
+
+        for round_index in range(config.max_rounds):
+            self.stats.rounds += 1
+            # Host phase: partition every slot's shard on its current
+            # owner (the DMS hash-engine kernel; deterministic bytes).
+            for slot in slots:
+                owner = slot_owner[slot]
+                if partition_owner.get(slot) == owner:
+                    continue
+                dpu = cluster.dpus[owner]
+                dtable = tables[slot].to_dpu(dpu)
+                raws, cycles, record_width, dtypes = partition_source(
+                    dpu, dtable, key, names, num_slots
+                )
+                partitions[slot] = raws
+                partition_owner[slot] = owner
+                partition_cycles = max(partition_cycles, cycles)
+                if round_index > 0:
+                    self.stats.reexecuted_shards += 1
+            pending = pending_pairs()
+            if not pending:
+                break
+            needed: Set[Tuple[int, int]] = set(pending)
+            # Rotated sends (src owner s ships to s+1, s+2, ... to
+            # avoid synchronized bursts), one epoch-tagged message per
+            # (src slot, dst slot) pair.
+            by_owner: Dict[int, List[Tuple[int, int]]] = {}
+            for pair in pending:
+                by_owner.setdefault(slot_owner[pair[0]], []).append(pair)
+            for owner, pairs in sorted(by_owner.items()):
+                pairs.sort(key=lambda pair: (
+                    (slot_owner[pair[1]] - owner) % num_slots, pair
+                ))
+                for src_slot, dst_slot in pairs:
+                    if round_index > 0:
+                        self.stats.resends += 1
+                    raw = partitions[src_slot][dst_slot]
+                    self._spawn_exchange_sender(
+                        owner, slot_owner[dst_slot],
+                        (src_slot, dst_slot), raw,
+                    )
+            self._grant_leases()
+            dest_owners = sorted({slot_owner[d] for _s, d in pending})
+            watched = {
+                pair: slot_owner[pair[0]] for pair in pending
+            }
+            watched.update({
+                (pair, "dst"): slot_owner[pair[1]] for pair in pending
+            })
+            collectors = []
+            for endpoint in dest_owners:
+                local = {
+                    pair for pair in needed
+                    if slot_owner[pair[1]] == endpoint
+                }
+                collectors.append(self._collector(
+                    endpoint, "x", needed, arrivals, min_epoch,
+                    local_keys=lambda local=local: local & needed,
+                    watch=(lambda: watched) if endpoint == 0 else None,
+                ))
+            if 0 not in dest_owners:
+                # Keep the detector draining heartbeats even when the
+                # coordinator receives no pairs this round.
+                collectors.append(self._collector(
+                    0, "x", needed, arrivals, min_epoch,
+                    local_keys=lambda: set(),
+                    watch=lambda: watched,
+                ))
+            gate = engine.all_of(collectors)
+            self._drive(gate, site, sorted({slot_owner[s]
+                                            for s, _d in pending_pairs()}))
+            victims = []
+            for collector in collectors:
+                status, found = collector.value
+                if status == "dead":
+                    victims.extend(found)
+            if victims:
+                self._declare(victims)
+                self.epoch += 1
+                self.stats.epochs += 1
+                for slot in slots:
+                    if slot_owner[slot] in self.declared_dead:
+                        slot_owner[slot] = self._survivor_for(slot)
+                # Pairs received *at* a now-dead owner died with its
+                # DRAM; pairs *from* a dead owner were sent under an
+                # invalidated map. Both restart under the new epoch.
+                for pair in list(arrivals):
+                    if arrivals[pair][2] in self.declared_dead:
+                        del arrivals[pair]
+                for pair in min_epoch:
+                    if pair not in arrivals:
+                        min_epoch[pair] = self.epoch
+            else:
+                for pair in pending_pairs():
+                    stall_strikes[pair] = stall_strikes.get(pair, 0) + 1
+                    if stall_strikes[pair] >= 2 and pair not in backups:
+                        owner = slot_owner[pair[0]]
+                        backup = self._survivor_for(pair, exclude=(owner,))
+                        backups[pair] = backup
+                        self.stats.speculative_launches += 1
+                        self._spawn_exchange_sender(
+                            backup, slot_owner[pair[1]], pair,
+                            partitions[pair[0]][pair[1]],
+                        )
+        remaining = pending_pairs()
+        if remaining:
+            raise ClusterError(
+                site, engine.now,
+                missing=sorted({slot_owner[s] for s, _d in remaining}),
+                fabric=cluster.fabric.counters(),
+                reason=(f"exchange budget of {config.max_rounds} rounds "
+                        f"exhausted with pairs {sorted(remaining)} missing"),
+            )
+        self.stats.speculative_wins += sum(
+            1 for pair, backup in backups.items()
+            if pair in arrivals and arrivals[pair][1] == backup
+        )
+        self.last_slot_owner = dict(slot_owner)
+
+        # Reassembly in source-slot order (deterministic regardless of
+        # arrival order), exactly like the fault-free exchange.
+        from ..apps.sql.aggregate import _parse_records
+
+        columns: List[Dict[str, np.ndarray]] = []
+        rows_moved = 0
+        bytes_moved = 0
+        for dst in slots:
+            parts = []
+            for src in slots:
+                if src == dst or slot_owner[src] == slot_owner[dst]:
+                    raw = partitions[src][dst]
+                else:
+                    raw = arrivals[(src, dst)][0]
+                if src != dst:
+                    rows_moved += (raw.nbytes // record_width
+                                   if record_width else 0)
+                    bytes_moved += int(raw.nbytes)
+                if raw.nbytes:
+                    parts.append(raw)
+            raw_all = (np.concatenate(parts) if parts
+                       else np.empty(0, dtype=np.uint8))
+            arrays = _parse_records(raw_all, dtypes)
+            columns.append(dict(zip(names, arrays)))
+        return ShuffleResult(
+            columns=columns,
+            partition_cycles=partition_cycles,
+            exchange_cycles=engine.now - exchange_began,
+            rows_moved=rows_moved,
+            bytes_moved=bytes_moved,
+        )
+
+    def _spawn_exchange_sender(self, src_endpoint: int, dst_endpoint: int,
+                               pair: Tuple[int, int],
+                               raw: np.ndarray) -> None:
+        """One epoch-tagged pair transfer between A9 endpoints, with
+        straggler dilation on the sending side."""
+        cluster = self.cluster
+        engine = cluster.engine
+        fabric = cluster.fabric
+        dpu = cluster.dpus[src_endpoint]
+        tag, epoch = self._job_tag, self.epoch
+
+        def core_side():
+            core = dpu.context(0)
+            yield from core.mbox_send(A9_ID, (pair, raw, int(raw.nbytes)))
+
+        def a9_side():
+            _src, (msg_pair, payload, nbytes) = (
+                yield from dpu.mailbox.receive(A9_ID)
+            )
+            delay = self.slow_delay(src_endpoint)
+            if delay:
+                yield engine.timeout(delay)
+            yield from fabric.send(
+                src_endpoint, dst_endpoint,
+                ("x", tag, epoch, msg_pair, src_endpoint, payload),
+                nbytes,
+            )
+
+        engine.process(core_side(), name=f"recover.xcore[{src_endpoint}]")
+        engine.process(a9_side(), name=f"recover.xlink[{src_endpoint}]")

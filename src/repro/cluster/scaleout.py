@@ -49,6 +49,7 @@ from ..apps.sql.topk import dpu_topk
 from ..apps.sql.tpch_queries import q1_plan
 from ..core.mailbox import A9_ID
 from .rack import Cluster
+from .recovery import ClusterError, RecoveryStats
 from .shuffle import shuffle_exchange
 
 __all__ = [
@@ -82,6 +83,10 @@ class ScaleOutResult:
     # exchange_cycles, local_cycles, gather_cycles, parallel_cycles,
     # rows_moved) — feeds ShuffleRackModel calibration.
     detail: Optional[Dict[str, float]] = None
+    # Recovery outcome when the cluster ran this job under a chaos
+    # plan (declared deaths, re-executed shards, speculative wins...);
+    # None on the fault-free path.
+    recovery: Optional[RecoveryStats] = None
 
     @property
     def seconds(self) -> float:
@@ -98,7 +103,8 @@ class _JobAccounting:
         self.start_bytes = cluster.fabric.bytes_sent
         self.start_retransmissions = cluster.fabric.retransmissions
 
-    def result(self, value, ticket, detail=None) -> ScaleOutResult:
+    def result(self, value, ticket, detail=None,
+               recovery=None) -> ScaleOutResult:
         cluster = self.cluster
         fabric = cluster.fabric
         if fabric.trace.enabled:
@@ -117,6 +123,7 @@ class _JobAccounting:
                              - self.start_retransmissions),
             degraded=bool(ticket.degraded) if ticket is not None else False,
             detail=detail,
+            recovery=recovery,
         )
 
 
@@ -131,20 +138,45 @@ def _a9_uplink(dpu, fabric, dpu_index, coordinator, nbytes):
     return process()
 
 
-def _a9_collector(cluster, coordinator, expected, merge):
-    """Coordinator A9: gather ``expected`` messages and merge."""
+def _a9_collector(cluster, coordinator, expected, merge, site="gather"):
+    """Coordinator A9: gather ``expected`` messages and merge.
+
+    Each receive is guarded by the fabric's gather lease
+    (:attr:`~repro.cluster.network.FabricConfig.gather_lease_cycles`,
+    sized far above any fault-free gather): a missing partial raises a
+    structured :class:`~repro.cluster.recovery.ClusterError` — naming
+    the job, the sim time, the missing DPUs, and the fabric counter
+    snapshot — instead of hanging until the engine watchdog."""
 
     def process():
+        engine = cluster.engine
+        fabric = cluster.fabric
+        lease = fabric.config.gather_lease_cycles
         merged = None
+        received = []
         for _ in range(expected):
-            _src, payload = yield from cluster.fabric.receive(coordinator)
+            abort = engine.timeout(lease)
+            message = yield from fabric.receive(coordinator,
+                                               abort_event=abort)
+            if message is None:
+                raise ClusterError(
+                    site, engine.now,
+                    missing=sorted(set(range(cluster.num_dpus))
+                                   - set(received)),
+                    fabric=fabric.counters(),
+                    reason=(f"gather lease of {lease:.0f} cycles expired "
+                            f"with {len(received)}/{expected} partials"),
+                )
+            abort.cancel()
+            src, payload = message
+            received.append(src)
             merged = merge(merged, payload)
         return merged
 
     return process()
 
 
-def _gather_partials(cluster, partials, nbytes_of, merge):
+def _gather_partials(cluster, partials, nbytes_of, merge, site="gather"):
     """Ship one partial result per DPU to coordinator 0 and merge.
 
     Returns (merged value, gather-phase cycles). Follows the paper's
@@ -168,7 +200,8 @@ def _gather_partials(cluster, partials, nbytes_of, merge):
             )
         )
     collector = engine.process(
-        _a9_collector(cluster, coordinator, cluster.num_dpus, merge)
+        _a9_collector(cluster, coordinator, cluster.num_dpus, merge,
+                      site=site)
     )
     processes.append(collector)
     cluster.run(processes)
@@ -212,6 +245,37 @@ def cluster_hll(
     register_bytes = (1 << precision)
 
     try:
+        if cluster.recovery is not None and cluster.num_dpus > 1:
+            manager = cluster.recovery
+            manager.begin_job("hll")
+            try:
+                def compute(shard_index, dpu, dpu_index):
+                    cores = (ticket.fanout(list(dpu.config.core_ids))
+                             if ticket is not None else None)
+                    shard = shards[shard_index]
+                    address = dpu.store_array(shard)
+                    local = dpu_hll(
+                        dpu, address, len(shard), precision=precision,
+                        hash_fn=hash_fn, cores=cores,
+                    )
+                    return local.detail["registers"]
+
+                def merge_registers(accumulator, registers):
+                    if accumulator is None:
+                        return registers.copy()
+                    np.maximum(accumulator, registers, out=accumulator)
+                    return accumulator
+
+                merged, _cycles = manager.run_job(
+                    "hll", compute, merge_registers,
+                    nbytes_of=lambda registers: register_bytes,
+                )
+            finally:
+                manager.end_job()
+            sketch = HllSketch(precision, merged)
+            return accounting.result(hll_estimate(sketch), ticket,
+                                     recovery=manager.stats)
+
         processes = []
         for index, (dpu, shard) in enumerate(zip(cluster.dpus, shards)):
             cores = (ticket.fanout(list(dpu.config.core_ids))
@@ -247,7 +311,8 @@ def cluster_hll(
             return accumulator
 
         collector = engine.process(
-            _a9_collector(cluster, coordinator, cluster.num_dpus, merge)
+            _a9_collector(cluster, coordinator, cluster.num_dpus, merge,
+                          site="hll")
         )
         processes.append(collector)
         cluster.run(processes)
@@ -276,6 +341,29 @@ def cluster_filter_count(
     predicate = Between("v", lo, hi)
 
     try:
+        if cluster.recovery is not None and cluster.num_dpus > 1:
+            manager = cluster.recovery
+            manager.begin_job("filter_count")
+            try:
+                def compute(shard_index, dpu, dpu_index):
+                    cores = (ticket.fanout(list(dpu.config.core_ids))
+                             if ticket is not None else None)
+                    table = Table(f"shard{shard_index}",
+                                  {"v": shards[shard_index]})
+                    result = dpu_filter(dpu, table.to_dpu(dpu), predicate,
+                                        cores=cores)
+                    return int(result.detail["selected"])
+
+                value, _cycles = manager.run_job(
+                    "filter_count", compute,
+                    merge=lambda acc, count: (acc or 0) + count,
+                    nbytes_of=lambda partial: 8,
+                )
+            finally:
+                manager.end_job()
+            return accounting.result(value, ticket,
+                                     recovery=manager.stats)
+
         processes = []
         for index, (dpu, shard) in enumerate(zip(cluster.dpus, shards)):
             cores = (ticket.fanout(list(dpu.config.core_ids))
@@ -300,6 +388,7 @@ def cluster_filter_count(
             _a9_collector(
                 cluster, coordinator, cluster.num_dpus,
                 lambda acc, count: (acc or 0) + count,
+                site="filter_count",
             )
         )
         processes.append(collector)
@@ -350,6 +439,49 @@ def cluster_groupby(
             return accounting.result(local.value, ticket, detail)
 
         names = _needed_columns(key, aggs, _as_row_filter(row_filter))
+        record_bytes = 8 + 8 * len(aggs)
+
+        if cluster.recovery is not None:
+            manager = cluster.recovery
+            manager.begin_job("groupby")
+            try:
+                shuffled = manager.run_exchange("groupby", shards, key,
+                                                names)
+                owners = dict(manager.last_slot_owner)
+                local_cycles = 0.0
+
+                def compute(slot, dpu, dpu_index):
+                    nonlocal local_cycles
+                    columns = shuffled.columns[slot]
+                    if len(columns[key]) == 0:
+                        return {}
+                    local_table = Table(f"shuffle{slot}",
+                                        columns).to_dpu(dpu)
+                    local = dpu_groupby(dpu, local_table, key, aggs,
+                                        row_filter=row_filter)
+                    local_cycles = max(local_cycles, local.cycles)
+                    return local.value
+
+                def merge(accumulator, partial):
+                    merged = accumulator if accumulator is not None else {}
+                    merged.update(partial)  # disjoint key sets
+                    return merged
+
+                value, gather_cycles = manager.run_job(
+                    "groupby", compute, merge,
+                    nbytes_of=lambda partial: max(
+                        record_bytes * len(partial), 8),
+                    owners=owners,
+                )
+            finally:
+                manager.end_job()
+            detail = _exchange_detail(
+                shuffled.partition_cycles, shuffled.exchange_cycles,
+                local_cycles, gather_cycles, shuffled.rows_moved,
+            )
+            return accounting.result(value or {}, ticket, detail,
+                                     recovery=manager.stats)
+
         dtables = [shard.to_dpu(dpu)
                    for shard, dpu in zip(shards, cluster.dpus)]
         shuffled = shuffle_exchange(cluster, dtables, key, names)
@@ -368,8 +500,6 @@ def cluster_groupby(
             local_cycles = max(local_cycles, local.cycles)
             partials.append(local.value)
 
-        record_bytes = 8 + 8 * len(aggs)
-
         def merge(accumulator, partial):
             merged = accumulator if accumulator is not None else {}
             merged.update(partial)  # disjoint key sets: plain union
@@ -378,7 +508,7 @@ def cluster_groupby(
         value, gather_cycles = _gather_partials(
             cluster, partials,
             nbytes_of=lambda partial: max(record_bytes * len(partial), 8),
-            merge=merge,
+            merge=merge, site="groupby",
         )
         detail = _exchange_detail(
             shuffled.partition_cycles, shuffled.exchange_cycles,
@@ -413,6 +543,56 @@ def cluster_partitioned_join_count(
             detail = _exchange_detail(0.0, 0.0, local.cycles, 0.0, 0)
             return accounting.result(int(local.value), ticket, detail)
 
+        if cluster.recovery is not None:
+            manager = cluster.recovery
+            manager.begin_job("join")
+            try:
+                build_shuffled = manager.run_exchange(
+                    "join.build", build_shards, build_key, [build_key]
+                )
+                probe_shuffled = manager.run_exchange(
+                    "join.probe", probe_shards, probe_key, [probe_key]
+                )
+                owners = dict(manager.last_slot_owner)
+                local_cycles = 0.0
+
+                def compute(slot, dpu, dpu_index):
+                    nonlocal local_cycles
+                    build_columns = build_shuffled.columns[slot]
+                    probe_columns = probe_shuffled.columns[slot]
+                    if (len(build_columns[build_key]) == 0
+                            or len(probe_columns[probe_key]) == 0):
+                        return 0
+                    build_local = Table(f"build{slot}",
+                                        build_columns).to_dpu(dpu)
+                    probe_local = Table(f"probe{slot}",
+                                        probe_columns).to_dpu(dpu)
+                    local = dpu_partitioned_join_count(
+                        dpu, build_local, build_key,
+                        probe_local, probe_key,
+                    )
+                    local_cycles = max(local_cycles, local.cycles)
+                    return int(local.value)
+
+                value, gather_cycles = manager.run_job(
+                    "join", compute,
+                    merge=lambda acc, count: (acc or 0) + count,
+                    nbytes_of=lambda partial: 8,
+                    owners=owners,
+                )
+            finally:
+                manager.end_job()
+            detail = _exchange_detail(
+                build_shuffled.partition_cycles
+                + probe_shuffled.partition_cycles,
+                build_shuffled.exchange_cycles
+                + probe_shuffled.exchange_cycles,
+                local_cycles, gather_cycles,
+                build_shuffled.rows_moved + probe_shuffled.rows_moved,
+            )
+            return accounting.result(int(value or 0), ticket, detail,
+                                     recovery=manager.stats)
+
         build_tables = [shard.to_dpu(dpu)
                         for shard, dpu in zip(build_shards, cluster.dpus)]
         probe_tables = [shard.to_dpu(dpu)
@@ -445,6 +625,7 @@ def cluster_partitioned_join_count(
             cluster, partials,
             nbytes_of=lambda partial: 8,
             merge=lambda acc, count: (acc or 0) + count,
+            site="join",
         )
         detail = _exchange_detail(
             build_shuffled.partition_cycles + probe_shuffled.partition_cycles,
@@ -475,6 +656,41 @@ def cluster_topk(
     ticket = cluster.admit_job("cluster.topk")
     try:
         offsets = np.cumsum([0] + [shard.num_rows for shard in shards])
+
+        def merge(accumulator, candidates):
+            merged = accumulator if accumulator is not None else []
+            merged.extend(candidates)
+            return merged
+
+        if cluster.recovery is not None and cluster.num_dpus > 1:
+            manager = cluster.recovery
+            manager.begin_job("topk")
+            try:
+                local_cycles = 0.0
+
+                def compute(shard_index, dpu, dpu_index):
+                    nonlocal local_cycles
+                    local = dpu_topk(
+                        dpu, shards[shard_index].to_dpu(dpu), column, k
+                    )
+                    local_cycles = max(local_cycles, local.cycles)
+                    base = int(offsets[shard_index])
+                    return [(value, row + base)
+                            for value, row in local.value]
+
+                candidates, gather_cycles = manager.run_job(
+                    "topk", compute, merge,
+                    nbytes_of=lambda partial: max(16 * len(partial), 8),
+                )
+            finally:
+                manager.end_job()
+            merged = list(candidates or [])
+            merged.sort(reverse=True)
+            detail = _exchange_detail(0.0, 0.0, local_cycles,
+                                      gather_cycles, 0)
+            return accounting.result(merged[:k], ticket, detail,
+                                     recovery=manager.stats)
+
         partials: List[List] = []
         local_cycles = 0.0
         for index, (dpu, shard) in enumerate(zip(cluster.dpus, shards)):
@@ -485,15 +701,10 @@ def cluster_topk(
                 [(value, row + base) for value, row in local.value]
             )
 
-        def merge(accumulator, candidates):
-            merged = accumulator if accumulator is not None else []
-            merged.extend(candidates)
-            return merged
-
         candidates, gather_cycles = _gather_partials(
             cluster, partials,
             nbytes_of=lambda partial: max(16 * len(partial), 8),
-            merge=merge,
+            merge=merge, site="topk",
         )
         merged = list(candidates or [])
         merged.sort(reverse=True)
@@ -520,7 +731,41 @@ def cluster_tpch_q1(
     accounting = _JobAccounting(cluster, "tpch_q1")
     ticket = cluster.admit_job("cluster.tpch_q1")
     key, aggs, row_filter = q1_plan()
+    record_bytes = 8 + 8 * len(aggs)
+
+    def merge(accumulator, partial):
+        if accumulator is None:
+            return merge_groups([partial], aggs)
+        return merge_groups([accumulator, partial], aggs)
+
     try:
+        if cluster.recovery is not None and cluster.num_dpus > 1:
+            manager = cluster.recovery
+            manager.begin_job("tpch_q1")
+            try:
+                local_cycles = 0.0
+
+                def compute(shard_index, dpu, dpu_index):
+                    nonlocal local_cycles
+                    local = dpu_groupby(
+                        dpu, lineitem_shards[shard_index].to_dpu(dpu),
+                        key, aggs, row_filter=row_filter,
+                    )
+                    local_cycles = max(local_cycles, local.cycles)
+                    return local.value
+
+                value, gather_cycles = manager.run_job(
+                    "tpch_q1", compute, merge,
+                    nbytes_of=lambda partial: max(
+                        record_bytes * len(partial), 8),
+                )
+            finally:
+                manager.end_job()
+            detail = _exchange_detail(0.0, 0.0, local_cycles,
+                                      gather_cycles, 0)
+            return accounting.result(value or {}, ticket, detail,
+                                     recovery=manager.stats)
+
         partials: List[Dict] = []
         local_cycles = 0.0
         for index, (dpu, shard) in enumerate(
@@ -531,17 +776,10 @@ def cluster_tpch_q1(
             local_cycles = max(local_cycles, local.cycles)
             partials.append(local.value)
 
-        record_bytes = 8 + 8 * len(aggs)
-
-        def merge(accumulator, partial):
-            if accumulator is None:
-                return merge_groups([partial], aggs)
-            return merge_groups([accumulator, partial], aggs)
-
         value, gather_cycles = _gather_partials(
             cluster, partials,
             nbytes_of=lambda partial: max(record_bytes * len(partial), 8),
-            merge=merge,
+            merge=merge, site="tpch_q1",
         )
         detail = _exchange_detail(0.0, 0.0, local_cycles, gather_cycles, 0)
         return accounting.result(value or {}, ticket, detail)

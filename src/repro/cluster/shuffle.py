@@ -61,6 +61,7 @@ __all__ = [
     "SHUFFLE_RADIX_SHIFT",
     "ShuffleResult",
     "ShuffleRackModel",
+    "partition_source",
     "shuffle_spec",
     "shuffle_cids",
     "shuffle_exchange",
@@ -211,6 +212,66 @@ def _partition_kernel(dpu, refs, rows, num_dests, region_addrs, spec, layout):
     return kernel
 
 
+def partition_source(dpu, dtable, key: str, names: Sequence[str],
+                     num_dests: int):
+    """Partition one DPU-resident table into ``num_dests`` raw record
+    blobs with the DMS hash engine (§3.1), draining each destination's
+    records to its own DRAM region.
+
+    This is the per-source unit of the exchange, exposed separately so
+    the recovery layer can re-partition a dead DPU's shard on a
+    survivor — the kernel is deterministic, so the survivor produces
+    byte-identical blobs. Returns ``(raws, cycles, record_width,
+    dtypes)`` where ``raws[dst]`` is the row-major record bytes bound
+    for destination slot ``dst``.
+    """
+    spec = shuffle_spec(num_dests)
+    names = [key] + [name for name in names if name != key]
+    dtypes = [dtable.table.column(name).dtype for name in names]
+    record_width = sum(dtype.itemsize for dtype in dtypes)
+    rows = dtable.num_rows
+    cores = list(dpu.config.core_ids)[:num_dests]
+    if num_dests > len(dpu.config.core_ids):
+        raise ValueError(
+            f"simulated shuffles are limited to {len(dpu.config.core_ids)} "
+            f"destinations (one drain core per destination): {num_dests}"
+        )
+    keys_host = dtable.table.column(key)
+    cids = compute_cids(keys_host, spec)
+    counts = np.bincount(cids, minlength=num_dests)
+    region_addrs = [
+        dpu.alloc(max(int(counts[dst]) * record_width, 8))
+        for dst in range(num_dests)
+    ]
+    cycles = 0.0
+    if rows:
+        refs = [dtable.column_ref(name) for name in names]
+        layout = PartitionLayout(
+            target_cores=tuple(cores),
+            dmem_base=0,
+            capacity=_BUFFER_CAPACITY,
+            count_offset=_COUNT_OFFSET,
+        )
+        kernel = _partition_kernel(
+            dpu, refs, rows, num_dests, region_addrs, spec, layout
+        )
+        launch = dpu.launch(kernel, cores=cores)
+        cycles = launch.cycles
+        for slot, written in enumerate(launch.values):
+            expected = int(counts[slot]) * record_width
+            if written != expected:
+                raise RuntimeError(
+                    f"partition drain mismatch on {dpu.name} slot {slot}: "
+                    f"{written} != {expected} bytes"
+                )
+    raws = []
+    for dst in range(num_dests):
+        nbytes = int(counts[dst]) * record_width
+        raws.append(dpu.load_array(region_addrs[dst], nbytes, np.uint8).copy())
+        dpu.free(region_addrs[dst])
+    return raws, cycles, record_width, dtypes
+
+
 def shuffle_exchange(
     cluster: Cluster,
     dtables: Sequence,
@@ -246,40 +307,11 @@ def shuffle_exchange(
     ]  # partitions[src][dst] = raw record bytes
     partition_cycles = 0.0
     for src, (dpu, dtable) in enumerate(zip(cluster.dpus, dtables)):
-        rows = dtable.num_rows
-        cores = list(dpu.config.core_ids)[:num_dpus]
-        keys_host = dtable.table.column(key)
-        cids = compute_cids(keys_host, spec)
-        counts = np.bincount(cids, minlength=num_dpus)
-        region_addrs = [
-            dpu.alloc(max(int(counts[dst]) * record_width, 8))
-            for dst in range(num_dpus)
-        ]
-        if rows:
-            refs = [dtable.column_ref(name) for name in names]
-            layout = PartitionLayout(
-                target_cores=tuple(cores),
-                dmem_base=0,
-                capacity=_BUFFER_CAPACITY,
-                count_offset=_COUNT_OFFSET,
-            )
-            kernel = _partition_kernel(
-                dpu, refs, rows, num_dpus, region_addrs, spec, layout
-            )
-            launch = dpu.launch(kernel, cores=cores)
-            partition_cycles = max(partition_cycles, launch.cycles)
-            for slot, written in enumerate(launch.values):
-                expected = int(counts[slot]) * record_width
-                if written != expected:
-                    raise RuntimeError(
-                        f"partition drain mismatch on dpu{src} slot {slot}: "
-                        f"{written} != {expected} bytes"
-                    )
-        for dst in range(num_dpus):
-            nbytes = int(counts[dst]) * record_width
-            raw = dpu.load_array(region_addrs[dst], nbytes, np.uint8).copy()
-            partitions[src][dst] = raw
-            dpu.free(region_addrs[dst])
+        raws, cycles, record_width, dtypes = partition_source(
+            dpu, dtable, key, names, num_dpus
+        )
+        partitions[src] = raws
+        partition_cycles = max(partition_cycles, cycles)
 
     # Phase 2: concurrent all-to-all over the A9s/fabric. A rotated
     # schedule (src s sends to s+1, s+2, ...) avoids synchronized

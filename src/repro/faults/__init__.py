@@ -1,7 +1,10 @@
 """Deterministic fault injection and the resilience machinery's knobs."""
 
+from .chaos import chaos_plan, chaos_schedule
 from .plan import (
+    CHAOS_SITES,
     FAULT_SITES,
+    ChaosSpec,
     FaultError,
     FaultInjector,
     FaultPlan,
@@ -9,9 +12,13 @@ from .plan import (
 )
 
 __all__ = [
+    "CHAOS_SITES",
     "FAULT_SITES",
+    "ChaosSpec",
     "FaultError",
     "FaultInjector",
     "FaultPlan",
     "FaultRecord",
+    "chaos_plan",
+    "chaos_schedule",
 ]

@@ -1,0 +1,137 @@
+"""Seeded chaos schedules: kill / partition / straggler timelines.
+
+MuchiSim-style rack simulations need failure *schedules*, not just
+per-event coin flips: a whole DPU dies at a drawn time, a switch
+partition isolates a drawn subset for a window, a node stragglers at
+a drawn dilation. :func:`chaos_schedule` draws such a timeline from a
+seed so every chaos run is exactly reproducible, and
+:func:`chaos_plan` packages it straight into a
+:class:`~repro.faults.FaultPlan` for ``Cluster(fault_plan=...)``.
+
+DPU 0 is never targeted: it is the coordinator of every ``cluster_*``
+job and coordinator failover is out of scope for the recovery layer
+(see docs/RESILIENCE.md, "Rack-scale recovery").
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from .plan import ChaosSpec, FaultError, FaultPlan
+
+__all__ = ["chaos_schedule", "chaos_plan", "describe"]
+
+
+def _stream(seed: int, label: str) -> np.random.Generator:
+    """Same derivation as FaultInjector's per-site streams, so one
+    chaos site's draws never perturb another's."""
+    mix = zlib.crc32(label.encode("ascii"))
+    return np.random.Generator(np.random.PCG64((int(seed) << 32) ^ mix))
+
+
+def chaos_schedule(
+    seed: int,
+    num_dpus: int,
+    horizon_cycles: float,
+    kills: int = 0,
+    partitions: int = 0,
+    stragglers: int = 0,
+    partition_cycles: float = 500_000.0,
+    slow_cycles: float = 2_000_000.0,
+    slow_factor: float = 4.0,
+) -> Tuple[ChaosSpec, ...]:
+    """Draw a deterministic chaos timeline.
+
+    ``kills`` whole-node deaths, ``partitions`` transient fabric cuts
+    (each isolating one victim DPU for ``partition_cycles``), and
+    ``stragglers`` slow spells (dilation ``slow_factor`` for
+    ``slow_cycles``) are placed uniformly in ``[0, horizon_cycles)``.
+    Victims are drawn without replacement per site from DPUs 1..N-1,
+    so the coordinator survives and at least one worker remains.
+    """
+    if num_dpus < 2:
+        raise FaultError(f"chaos needs >= 2 DPUs: {num_dpus}")
+    if horizon_cycles <= 0:
+        raise FaultError(f"horizon must be positive: {horizon_cycles}")
+    candidates = num_dpus - 1  # DPUs 1..N-1
+    for count, what in ((kills, "kills"), (partitions, "partitions"),
+                        (stragglers, "stragglers")):
+        if count < 0:
+            raise FaultError(f"negative {what}: {count}")
+    if kills >= candidates:
+        raise FaultError(
+            f"{kills} kills would leave < 1 worker of {num_dpus} DPUs "
+            "(DPU 0 is the coordinator and cannot be killed)"
+        )
+    if max(partitions, stragglers) > candidates:
+        raise FaultError(
+            f"at most {candidates} partition/straggler victims exist"
+        )
+    specs = []
+    for site, count in (("dpu.dead", kills),
+                        ("fabric.partition", partitions),
+                        ("dpu.slow", stragglers)):
+        if count == 0:
+            continue
+        stream = _stream(seed, site)
+        victims = 1 + stream.choice(candidates, size=count, replace=False)
+        times = np.sort(stream.uniform(0.0, horizon_cycles, size=count))
+        for victim, at_cycle in zip(victims, times):
+            if site == "dpu.dead":
+                spec = ChaosSpec(site, (int(victim),), float(at_cycle))
+            elif site == "fabric.partition":
+                spec = ChaosSpec(site, (int(victim),), float(at_cycle),
+                                 duration=float(partition_cycles))
+            else:
+                spec = ChaosSpec(site, (int(victim),), float(at_cycle),
+                                 duration=float(slow_cycles),
+                                 factor=float(slow_factor))
+            specs.append(spec)
+    specs.sort(key=lambda spec: (spec.at_cycle, spec.site))
+    return tuple(specs)
+
+
+def chaos_plan(
+    seed: int,
+    num_dpus: int,
+    horizon_cycles: float,
+    kills: int = 0,
+    partitions: int = 0,
+    stragglers: int = 0,
+    rates: Optional[dict] = None,
+    **schedule_kwargs,
+) -> FaultPlan:
+    """A :class:`FaultPlan` carrying a drawn chaos timeline (plus any
+    per-event ``rates``, e.g. ``{"net.drop": 1e-3}``)."""
+    return FaultPlan(
+        seed=seed,
+        rates=dict(rates) if rates else {},
+        chaos=chaos_schedule(
+            seed, num_dpus, horizon_cycles,
+            kills=kills, partitions=partitions, stragglers=stragglers,
+            **schedule_kwargs,
+        ),
+    )
+
+
+def describe(specs: Sequence[ChaosSpec]) -> str:
+    """Human-readable one-line-per-event timeline (for reports)."""
+    lines = []
+    for spec in specs:
+        targets = ",".join(f"dpu{t}" for t in spec.targets)
+        if spec.site == "dpu.dead":
+            lines.append(f"t={spec.at_cycle:.0f}: kill {targets}")
+        elif spec.site == "fabric.partition":
+            lines.append(
+                f"t={spec.at_cycle:.0f}: partition {targets} for "
+                f"{spec.duration:.0f} cycles"
+            )
+        else:
+            lines.append(
+                f"t={spec.at_cycle:.0f}: slow {targets} x{spec.factor:g} "
+                f"for {spec.duration:.0f} cycles"
+            )
+    return "\n".join(lines)

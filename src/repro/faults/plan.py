@@ -36,6 +36,22 @@ site                    meaning of one "event"
 ``net.drop``            per-message loss on an inter-DPU fabric link
 ``core.dead``           per-core hard failure, drawn once at launch
 ======================  ================================================
+
+Rack-scale chaos events (:class:`ChaosSpec`, consumed by
+:mod:`repro.cluster.recovery`) are *scheduled* rather than rolled
+per event — each spec names a site, a target DPU set, and a seeded
+sim-time window:
+
+======================  ================================================
+site                    meaning
+======================  ================================================
+``dpu.dead``            whole-node kill: the DPU's A9 stops sending and
+                        receiving at ``at_cycle`` (fail-stop)
+``fabric.partition``    the named DPU set is severed from the rest of
+                        the fabric for ``[at_cycle, at_cycle+duration)``
+``dpu.slow``            straggler: the DPU's job-side sends are dilated
+                        by ``factor`` inside the window
+======================  ================================================
 """
 
 from __future__ import annotations
@@ -47,7 +63,9 @@ from typing import Dict, List, Mapping, Optional, Tuple
 import numpy as np
 
 __all__ = [
+    "CHAOS_SITES",
     "FAULT_SITES",
+    "ChaosSpec",
     "FaultError",
     "FaultPlan",
     "FaultRecord",
@@ -61,6 +79,15 @@ FAULT_SITES: Tuple[str, ...] = (
     "ate.delay",
     "net.drop",
     "core.dead",
+)
+
+# Scheduled rack-scale events (whole-node kill, fabric partition,
+# straggler dilation). Unlike FAULT_SITES these are not Bernoulli
+# rolls: each occurrence is a ChaosSpec pinned to a sim time.
+CHAOS_SITES: Tuple[str, ...] = (
+    "dpu.dead",
+    "fabric.partition",
+    "dpu.slow",
 )
 
 
@@ -80,6 +107,53 @@ class FaultRecord:
     detail: str = ""
 
 
+_CHAOS_SITE_SET = frozenset(CHAOS_SITES)
+
+
+@dataclass(frozen=True)
+class ChaosSpec:
+    """One scheduled rack-scale event.
+
+    ``targets`` names the affected DPU indices — the killed/slowed
+    node, or (for ``fabric.partition``) the group severed from every
+    DPU outside it. ``duration`` is the window length for partitions
+    and slow spells (ignored for ``dpu.dead``, which is fail-stop).
+    ``factor`` is the cycle-dilation multiplier for ``dpu.slow``.
+    """
+
+    site: str
+    targets: Tuple[int, ...]
+    at_cycle: float
+    duration: float = 0.0
+    factor: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.site not in _CHAOS_SITE_SET:
+            raise FaultError(
+                f"unknown chaos site {self.site!r}; known sites: "
+                f"{', '.join(CHAOS_SITES)}"
+            )
+        if not self.targets:
+            raise FaultError(f"{self.site} spec needs at least one target DPU")
+        if any(target < 0 for target in self.targets):
+            raise FaultError(f"negative DPU index in {self.targets}")
+        if self.at_cycle < 0:
+            raise FaultError(f"negative chaos time {self.at_cycle}")
+        if self.duration < 0:
+            raise FaultError(f"negative chaos duration {self.duration}")
+        if self.site == "dpu.slow" and self.factor < 1.0:
+            raise FaultError(
+                f"dpu.slow factor must be >= 1.0: {self.factor}"
+            )
+
+    @property
+    def end_cycle(self) -> float:
+        """Window end (``inf`` for the fail-stop ``dpu.dead``)."""
+        if self.site == "dpu.dead":
+            return float("inf")
+        return self.at_cycle + self.duration
+
+
 @dataclass(frozen=True)
 class FaultPlan:
     """What to inject: a seed and per-site rates.
@@ -93,6 +167,10 @@ class FaultPlan:
     seed: int = 0
     rates: Mapping[str, float] = field(default_factory=dict)
     ate_delay_mean_cycles: float = 2000.0  # mean stall of an ate.delay hit
+    # Scheduled rack-scale events (dpu.dead / fabric.partition /
+    # dpu.slow). An empty tuple keeps every cluster on the exact
+    # pre-recovery code path: no heartbeats, no epochs, no detector.
+    chaos: Tuple[ChaosSpec, ...] = ()
 
     def __post_init__(self) -> None:
         for site, rate in self.rates.items():
@@ -103,6 +181,9 @@ class FaultPlan:
                 )
             if not 0.0 <= rate <= 1.0:
                 raise FaultError(f"rate for {site!r} must be in [0, 1]: {rate}")
+        for spec in self.chaos:
+            if not isinstance(spec, ChaosSpec):
+                raise FaultError(f"chaos entries must be ChaosSpec: {spec!r}")
 
     @classmethod
     def none(cls) -> "FaultPlan":
@@ -121,7 +202,9 @@ class FaultPlan:
 
     @property
     def enabled(self) -> bool:
-        return any(rate > 0.0 for rate in self.rates.values())
+        return bool(self.chaos) or any(
+            rate > 0.0 for rate in self.rates.values()
+        )
 
     def with_rates(self, **rates: float) -> "FaultPlan":
         """A copy with ``rates`` merged in (dots spelled as ``__``)."""
@@ -131,7 +214,26 @@ class FaultPlan:
             seed=self.seed,
             rates=merged,
             ate_delay_mean_cycles=self.ate_delay_mean_cycles,
+            chaos=self.chaos,
         )
+
+    def with_chaos(self, *specs: ChaosSpec) -> "FaultPlan":
+        """A copy with ``specs`` appended to the chaos timeline."""
+        return FaultPlan(
+            seed=self.seed,
+            rates=self.rates,
+            ate_delay_mean_cycles=self.ate_delay_mean_cycles,
+            chaos=tuple(self.chaos) + tuple(specs),
+        )
+
+    def chaos_for(self, site: str) -> Tuple[ChaosSpec, ...]:
+        """The scheduled events of one chaos site, in time order."""
+        if site not in _CHAOS_SITE_SET:
+            raise FaultError(f"unknown chaos site {site!r}")
+        return tuple(sorted(
+            (spec for spec in self.chaos if spec.site == site),
+            key=lambda spec: spec.at_cycle,
+        ))
 
 
 class FaultInjector:

@@ -126,6 +126,22 @@ class Store:
             self._getters.append(event)
         return event
 
+    def cancel_get(self, event: SimEvent) -> bool:
+        """Withdraw a pending ``get``.
+
+        A getter that abandons its wait (e.g. a lease expired while it
+        raced a timeout under ``any_of``) must deregister, or the next
+        ``put`` would hand its item to an event nobody reads — silently
+        swallowing a message. Returns ``True`` if the event was still
+        queued; ``False`` if it already fired (the caller then owns the
+        delivered item and must handle it).
+        """
+        try:
+            self._getters.remove(event)
+        except ValueError:
+            return False
+        return True
+
     def try_get(self) -> tuple:
         """Non-blocking get: returns ``(True, item)`` or ``(False, None)``."""
         if self.items:
