@@ -22,7 +22,7 @@ from conftest import run_once
 
 from repro.apps.sql import Table
 from repro.apps.sql.aggregate import AggSpec, dpu_groupby
-from repro.cluster import Cluster, cluster_groupby
+from repro.cluster import Cluster, RecoveryConfig, cluster_groupby
 from repro.core import DPU
 from repro.faults import ChaosSpec, FaultPlan
 
@@ -135,3 +135,85 @@ def test_resilience_cluster_recovery(benchmark, report):
             assert p["detection_latency"] is not None
             assert p["detection_latency"] < 600_000.0
             assert p["reexecuted"] >= 1
+
+
+def coordinator_failover_curve():
+    """Kill the coordinator mid-job at 2/4/8 DPUs and sweep the
+    standby count, reporting leader-election latency and the journal
+    replication overhead the standbys cost."""
+    data = _data()
+    single = DPU()
+    reference = dpu_groupby(
+        single, Table("t", data).to_dpu(single), "k", AGGS
+    ).value
+    plan = FaultPlan.none().with_chaos(
+        ChaosSpec("dpu.dead", (0,), at_cycle=15_000.0)
+    )
+
+    points = []
+    for num_dpus in (2, 4, 8):
+        shards = _shard(data, num_dpus)
+        baseline = cluster_groupby(
+            Cluster(num_dpus), shards, "k", AGGS
+        )
+        assert baseline.value == reference
+        for standbys in (1, 2):
+            cluster = Cluster(
+                num_dpus, fault_plan=plan,
+                recovery_config=RecoveryConfig(standby_count=standbys),
+            )
+            result = cluster_groupby(cluster, shards, "k", AGGS)
+            assert result.value == reference, (num_dpus, standbys)
+            stats = cluster.recovery.stats
+            assert stats.leader_changes == 1
+            assert cluster.leader == 1
+            points.append({
+                "num_dpus": num_dpus,
+                "standbys": standbys,
+                "cycles": result.cycles,
+                "failover_cycles": result.cycles - baseline.cycles,
+                "election_latency": stats.leader_election_latency_cycles,
+                "journal_records": stats.journal_records,
+                "journal_bytes": stats.journal_bytes,
+                "journal_overhead": (
+                    stats.journal_bytes / max(result.network_bytes, 1)
+                ),
+            })
+    return points
+
+
+def test_resilience_coordinator_failover(benchmark, report):
+    points = run_once(benchmark, coordinator_failover_curve)
+    rows = []
+    for p in points:
+        rows.append(
+            f"  {p['num_dpus']:d} dpus  standbys={p['standbys']:d}"
+            f"  {p['cycles']:>12.0f} cyc"
+            f"  elect={p['election_latency']:>8.0f} cyc"
+            f"  journal={p['journal_bytes']:>8d} B"
+            f"  ({p['journal_overhead'] * 100:5.2f}% of wire)"
+        )
+        benchmark.extra_info[
+            f"elect@{p['num_dpus']}dpus-{p['standbys']}standbys"
+        ] = p["election_latency"]
+        benchmark.extra_info[
+            f"journal@{p['num_dpus']}dpus-{p['standbys']}standbys"
+        ] = p["journal_bytes"]
+    report("Coordinator failover: election latency and journal cost",
+           "  size    standbys       job time   election     journal",
+           rows)
+
+    by_key = {(p["num_dpus"], p["standbys"]): p for p in points}
+    for num_dpus in (2, 4, 8):
+        for standbys in (1, 2):
+            p = by_key[(num_dpus, standbys)]
+            # Election is lease-bounded, like worker-death detection.
+            assert p["election_latency"] is not None
+            assert 0 < p["election_latency"] < 600_000.0
+            assert p["failover_cycles"] > 0
+        # More standbys must cost at least as many journal bytes (the
+        # degenerate 2-DPU cluster has one live peer either way).
+        one, two = by_key[(num_dpus, 1)], by_key[(num_dpus, 2)]
+        assert two["journal_bytes"] >= one["journal_bytes"]
+        if num_dpus > 2:
+            assert two["journal_records"] >= one["journal_records"]

@@ -48,7 +48,7 @@ class FabricConfig:
     # reach, so existing cycle goldens are bit-identical; shallow
     # depths exercise end-to-end backpressure.
     fabric_inbox_depth: int = 64
-    # Lease on a coordinator-side gather: if a collector waits longer
+    # Lease on a leader-side gather: if a collector waits longer
     # than this for the next partial, it aborts with a structured
     # ClusterError instead of hanging until the global watchdog. Sized
     # >> the largest fault-free gather (tens of millions of cycles at
@@ -178,7 +178,9 @@ class IBFabric:
         ``endpoint`` dead: wake every sender stalled on the corpse's
         receive credits, restore the credit pool to full depth, and
         drop its queued inbox items (nobody will ever receive them).
-        Returns the number of stalled senders released."""
+        Works for any endpoint — a deposed leader's inbox is cleaned
+        the same way a worker's is. Returns the number of stalled
+        senders released."""
         self._check(endpoint)
         waiters = self._credit_waiters[endpoint]
         released = len(waiters)

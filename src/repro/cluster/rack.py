@@ -68,6 +68,8 @@ class Cluster:
         # Rack-scale fault tolerance (see repro.cluster.recovery):
         # active only when the plan schedules chaos events, so a plain
         # FaultPlan keeps every job on the exact pre-recovery path.
+        # Any DPU may be chaos-killed — the coordinator included; the
+        # manager elects the lowest surviving index as the new leader.
         plan = self.faults.plan
         if plan.chaos or recovery_config is not None:
             self.recovery: "RecoveryManager | None" = RecoveryManager(
@@ -80,6 +82,12 @@ class Cluster:
     @property
     def num_dpus(self) -> int:
         return len(self.dpus)
+
+    @property
+    def leader(self) -> int:
+        """The DPU currently coordinating cluster jobs: DPU 0 on the
+        fault-free path, the elected leader under a chaos plan."""
+        return self.recovery.leader if self.recovery is not None else 0
 
     def set_admission(self, controller):
         """Attach an :class:`~repro.runtime.admission.AdmissionController`

@@ -1,49 +1,76 @@
 """Rack-level fault tolerance for distributed ``cluster_*`` jobs.
 
 The paper scaled applications "across 500+ DPU clusters"; at that
-scale whole-node failure is routine, not exceptional. This module
-adds the distributed-systems half of resilience on top of the
+scale whole-node failure is routine, not exceptional — and the
+coordinator is just another node inside some failure domain. This
+module adds the distributed-systems half of resilience on top of the
 single-DPU machinery in :mod:`repro.faults`:
 
-* **Failure detection** — an A9 control-plane detector: every worker
-  A9 heartbeats the coordinator's A9 over the
-  :class:`~repro.cluster.network.IBFabric`; the coordinator grants
-  each worker a lease and declares it dead when the lease expires
-  with no heartbeat. Lease >> heartbeat interval (validated in
-  :class:`RecoveryConfig`), and leases are re-granted at every
-  gather-phase start, so a fault-free run can never false-positive.
+* **Failure detection** — an A9 control-plane detector generalized to
+  all-to-all leases: every live DPU's A9 heartbeats every other live
+  A9 over the :class:`~repro.cluster.network.IBFabric`. Receipt of a
+  heartbeat renews the sender's lease in a table shared by every
+  observer (a gossip-merged view: one peer hearing from a node keeps
+  it alive for all, so a minority partition can never depose a leader
+  the majority still hears). Lease >> heartbeat interval (validated
+  in :class:`RecoveryConfig`), and leases are re-granted at every
+  collect-phase start, so a fault-free run can never false-positive.
+
+* **Leader election** — the coordinator role is leased, not pinned.
+  When the current leader's lease expires at the surviving endpoints,
+  the lowest live DPU index becomes the new leader (deterministic, no
+  ballots needed: membership is totally ordered and every survivor
+  shares the lease table). The election is recorded in
+  ``RecoveryStats.leader_changes`` / ``elections``.
+
+* **Replicated job journal** — before acting on a received shard, the
+  leader's A9 streams an acknowledgement record (carrying the shard
+  partial) to ``RecoveryConfig.standby_count`` standby A9s over the
+  fabric. On takeover the new leader replays its journal replica:
+  shards whose ack reached it are merged as-is; shards the old leader
+  accepted but failed to replicate are simply re-requested — correct
+  because every kernel is deterministic and the merge is idempotent.
+  Replication traffic is surfaced as ``journal_bytes`` /
+  ``journal_records``.
 
 * **Deterministic recovery** — job inputs are DDR-resident on their
   home DPU *and* durable (row-sharded from host tables), so a lost
   shard is re-executed on a surviving DPU and yields the exact same
-  partial: every kernel here is deterministic. The coordinator merge
-  is idempotent (per-shard dedup, merge in shard order), so retried,
-  speculative and duplicate partials cannot change the result — the
-  recovered answer is byte-equal to the fault-free reference.
+  partial. The merge is idempotent (per-shard dedup, merge in shard
+  order), so retried, speculative and duplicate partials cannot
+  change the result — the recovered answer is byte-equal to the
+  fault-free reference even when the job ran under two leaders.
 
 * **Epoch-tagged exchanges** — every message carries
-  ``(job_tag, epoch)``. A death bumps the epoch and invalidates the
-  affected shards' assignments; packets from a dead epoch are
-  discarded on arrival (``stale_discards``), so a restarted shuffle
-  cannot consume bytes addressed under a stale ownership map.
+  ``(job_tag, epoch)``. A death (worker or leader) bumps the epoch
+  and invalidates the affected shards' assignments; packets from a
+  dead epoch are discarded on arrival (``stale_discards``), so a
+  restarted shuffle cannot consume bytes addressed under a stale
+  ownership map — including uplinks still addressed to a dead leader.
 
 * **Straggler mitigation** — a worker inside a seeded ``dpu.slow``
   window has its A9 job-side sends dilated by the spec's factor.
   When a shard stalls past the patience threshold while its owner's
-  lease is current, the coordinator launches a speculative copy on a
+  lease is current, the leader launches a speculative copy on a
   second DPU; first result wins through the same dedup.
 
 The simulator constraint that shapes the control flow: ``dpu.launch``
 drives the shared engine, so kernels cannot be launched from inside a
 simulation process. Recovery therefore alternates *host-side* compute
 (launches on current shard owners) with *bounded simulation phases*
-(heartbeats + epoch-tagged sends + a lease-guarded collector), looping
+(heartbeats + epoch-tagged sends + a lease-guarded collector at the
+current leader + drain loops at every other live endpoint), looping
 until every shard has arrived — the classic coordinator retry loop,
-with the event clock advancing through every phase.
+with the event clock advancing through every phase. A phase always
+terminates: the leader's collector bounds itself by the stall
+patience, and the drain loops exit on the shared phase-over flag, on
+their own endpoint's death, or by reporting the leader's lease
+expiry.
 
 Activated only when the cluster's :class:`~repro.faults.FaultPlan`
 carries chaos specs; ``FaultPlan.none()`` keeps every job on the
-pre-existing code path, bit-identical to the equivalence goldens.
+pre-existing code path, bit-identical to the equivalence goldens,
+with no heartbeats and zero journal-replication bytes.
 """
 
 from __future__ import annotations
@@ -65,14 +92,16 @@ __all__ = [
 ]
 
 HEARTBEAT_BYTES = 16  # one verbs inline send: seq + source id
+JOURNAL_HEADER_BYTES = 32  # job tag + epoch + shard key + owner framing
 
 
 class ClusterError(RuntimeError):
     """A distributed job failed fast instead of hanging.
 
     Carries the diagnosis a rack operator needs: which job, at what
-    sim time, which DPUs were missing, and the fabric counter
-    snapshot at the moment of failure.
+    sim time, which DPUs were missing, which coordinator generation
+    (``epoch``) under which ``leader`` was in charge, and the fabric
+    counter snapshot at the moment of failure.
     """
 
     def __init__(
@@ -82,16 +111,24 @@ class ClusterError(RuntimeError):
         missing: Sequence[int] = (),
         fabric: Optional[Dict[str, float]] = None,
         reason: str = "gather lease expired",
+        epoch: Optional[int] = None,
+        leader: Optional[int] = None,
     ) -> None:
         self.site = site
         self.cycle = float(cycle)
         self.missing = tuple(sorted(set(missing)))
         self.fabric = dict(fabric or {})
         self.reason = reason
+        self.epoch = epoch
+        self.leader = leader
+        generation = ""
+        if epoch is not None or leader is not None:
+            generation = (f"epoch {epoch} under leader "
+                          f"{leader}; ")
         super().__init__(
             f"cluster job {site!r} failed at cycle {self.cycle:.0f}: "
             f"{reason}; missing DPUs {list(self.missing)}; "
-            f"fabric counters {self.fabric}"
+            f"{generation}fabric counters {self.fabric}"
         )
 
 
@@ -99,13 +136,13 @@ class ClusterError(RuntimeError):
 class RecoveryConfig:
     """Detector and retry tuning (cycles at the DPU clock)."""
 
-    # Worker A9 -> coordinator A9 heartbeat period. Also the granule
-    # at which a waiting collector wakes to re-evaluate leases.
+    # Peer A9 -> peer A9 heartbeat period (all-to-all). Also the
+    # granule at which a waiting collector wakes to re-evaluate leases.
     heartbeat_interval_cycles: float = 50_000.0
-    # Liveness lease: a worker with no heartbeat for this long is
+    # Liveness lease: a peer with no heartbeat for this long is
     # declared dead. Must dominate several heartbeat round trips
     # (interval + verbs overheads + switch latency) so a live,
-    # unpartitioned worker can never be declared dead.
+    # unpartitioned peer can never be declared dead.
     lease_cycles: float = 250_000.0
     # A shard whose owner is still leased-alive but whose partial has
     # not arrived for this long is considered stuck (partition in
@@ -117,6 +154,11 @@ class RecoveryConfig:
     max_rounds: int = 12
     # Per-phase event budget (livelock guard on the shared engine).
     watchdog_events: int = 50_000_000
+    # Standby A9s the leader replicates its job journal to, so a
+    # takeover can replay received-shard acknowledgements instead of
+    # re-running the whole job. 0 disables replication (a leader kill
+    # then re-runs every shard not yet merged).
+    standby_count: int = 1
 
     def __post_init__(self) -> None:
         if self.heartbeat_interval_cycles <= 0:
@@ -138,6 +180,10 @@ class RecoveryConfig:
             )
         if self.max_rounds < 1:
             raise FaultError(f"max_rounds must be >= 1: {self.max_rounds}")
+        if self.standby_count < 0:
+            raise FaultError(
+                f"standby_count must be >= 0: {self.standby_count}"
+            )
 
 
 @dataclass
@@ -160,6 +206,18 @@ class RecoveryStats:
         default_factory=list
     )
     declared_dead: Tuple[int, ...] = ()
+    # Coordinator failover: one entry per takeover as
+    # (old leader, new leader, elected-at cycle, election latency in
+    # cycles from the injected failure instant — None if no spec
+    # matches).
+    leader_changes: int = 0
+    elections: List[Tuple[int, int, float, Optional[float]]] = field(
+        default_factory=list
+    )
+    # Journal replication cost (leader -> standby acknowledgement
+    # stream); zero without chaos, zero with standby_count=0.
+    journal_records: int = 0
+    journal_bytes: int = 0
 
     @property
     def detection_latency_cycles(self) -> Optional[float]:
@@ -169,9 +227,18 @@ class RecoveryStats:
                 return latency
         return None
 
+    @property
+    def leader_election_latency_cycles(self) -> Optional[float]:
+        """Kill-instant-to-takeover latency of the first election."""
+        for _old, _new, _cycle, latency in self.elections:
+            if latency is not None:
+                return latency
+        return None
+
     def counters(self) -> Dict[str, float]:
         """Scalar view for the cluster counter registry."""
         latency = self.detection_latency_cycles
+        election = self.leader_election_latency_cycles
         return {
             "rounds": self.rounds,
             "epochs": self.epochs,
@@ -186,18 +253,25 @@ class RecoveryStats:
             "detection_latency_cycles": (
                 latency if latency is not None else 0.0
             ),
+            "leader_changes": self.leader_changes,
+            "leader_election_latency_cycles": (
+                election if election is not None else 0.0
+            ),
+            "journal_records": self.journal_records,
+            "journal_bytes": self.journal_bytes,
         }
 
 
 class RecoveryManager:
-    """Coordinator-side fault tolerance for one :class:`Cluster`.
+    """Leader-side fault tolerance for one :class:`Cluster`.
 
     Owns the failure detector state (leases, declared-dead set), the
-    global epoch counter, and the retry loops that run every
+    current leader and its standby set, the replicated job journal,
+    the global epoch counter, and the retry loops that run every
     ``cluster_*`` job to completion under the cluster's chaos plan.
-    DPU 0 is the coordinator and must not be a ``dpu.dead`` target
-    (coordinator failover is out of scope; the chaos harness never
-    draws it).
+    Any DPU — including the initial coordinator, DPU 0 — may be a
+    chaos target: a killed leader is detected by the surviving
+    endpoints' lease checks and the lowest live index takes over.
     """
 
     def __init__(self, cluster, config: Optional[RecoveryConfig] = None) -> None:
@@ -206,12 +280,18 @@ class RecoveryManager:
         self.plan = cluster.faults.plan
         self.stats = RecoveryStats()
         self.declared_dead: Set[int] = set()
+        # Gossip-merged lease table: peer index -> last cycle any live
+        # endpoint drained one of its heartbeats.
         self.last_seen: Dict[int, float] = {}
         self.epoch = 0
+        self.leader = 0
         self._job_tag = 0
         self._hb_generation = 0
         self._slow = self.plan.chaos_for("dpu.slow")
         self._installed = False
+        # Standby replicas of the leader's ack journal:
+        # endpoint -> {shard key -> (value, owner)}; reset per job.
+        self._journal: Dict[int, Dict[Any, Tuple[Any, int]]] = {}
         # Final slot -> owner map of the most recent run_exchange, so
         # the caller can run post-shuffle local compute (and the gather
         # that follows) on the DPUs that actually own each slot.
@@ -221,28 +301,27 @@ class RecoveryManager:
 
     def install(self) -> None:
         """Register the plan's scheduled kills and partition windows
-        with the fabric. Idempotent; called at cluster construction."""
+        with the fabric. Any DPU — including the initial coordinator,
+        DPU 0 — may be targeted; the only invariant is that at least
+        one DPU survives to finish the job. Idempotent; called at
+        cluster construction."""
         if self._installed:
             return
         self._installed = True
         fabric = self.cluster.fabric
+        doomed: Set[int] = set()
         for spec in self.plan.chaos_for("dpu.dead"):
             for target in spec.targets:
-                if target == 0:
-                    raise FaultError(
-                        "dpu.dead cannot target DPU 0: it coordinates "
-                        "every cluster job (coordinator failover is out "
-                        "of scope — see docs/RESILIENCE.md)"
-                    )
                 if target < self.cluster.num_dpus:
+                    doomed.add(target)
                     fabric.schedule_kill(target, spec.at_cycle)
+        if len(doomed) >= self.cluster.num_dpus:
+            raise FaultError(
+                f"chaos plan kills all {self.cluster.num_dpus} DPUs — "
+                "at least one must survive to complete the job"
+            )
         for spec in self.plan.chaos_for("fabric.partition"):
             targets = [t for t in spec.targets if t < self.cluster.num_dpus]
-            if 0 in targets:
-                raise FaultError(
-                    "fabric.partition cannot isolate DPU 0 (the "
-                    "coordinator); sever a worker group instead"
-                )
             if targets:
                 fabric.sever(targets, spec.at_cycle, spec.end_cycle)
 
@@ -267,17 +346,40 @@ class RecoveryManager:
         return [i for i in range(self.cluster.num_dpus)
                 if i not in self.declared_dead]
 
+    def standbys(self) -> List[int]:
+        """The journal replica set: the ``standby_count`` lowest live
+        indices after the current leader (recomputed per phase, so a
+        dead standby is replaced at the next round)."""
+        if self.config.standby_count <= 0:
+            return []
+        live = [i for i in self.alive() if i != self.leader]
+        return live[:self.config.standby_count]
+
     def _survivor_for(self, key: Any, exclude: Tuple[int, ...] = ()) -> int:
         """Deterministic survivor choice for a lost/stuck shard."""
         candidates = [i for i in self.alive() if i not in exclude]
         if not candidates:
-            raise ClusterError(
-                self.stats.site, self.cluster.engine.now,
-                missing=sorted(self.declared_dead),
-                fabric=self.cluster.fabric.counters(),
-                reason="no surviving DPUs to re-execute on",
+            raise self._error(
+                self.stats.site, sorted(self.declared_dead),
+                "no surviving DPUs to re-execute on",
             )
         return candidates[hash(key) % len(candidates)]
+
+    def _error(self, site: str, missing: Sequence[int],
+               reason: str) -> ClusterError:
+        """Build a ClusterError carrying the current coordinator
+        generation, emitting the post-mortem trace instant."""
+        fabric = self.cluster.fabric
+        if fabric.trace.enabled:
+            fabric.trace.instant(
+                "cluster.error", unit="cluster", site=site,
+                epoch=self.epoch, leader=self.leader, reason=reason,
+            )
+        return ClusterError(
+            site, self.cluster.engine.now, missing=missing,
+            fabric=fabric.counters(), reason=reason,
+            epoch=self.epoch, leader=self.leader,
+        )
 
     def _declare(self, victims: Sequence[int]) -> None:
         """Process lease expiries: mark dead, free fabric credits owed
@@ -304,8 +406,44 @@ class RecoveryManager:
                 )
         self.stats.declared_dead = tuple(sorted(self.declared_dead))
 
+    def _takeover(self, old_leader: int) -> int:
+        """Depose ``old_leader`` and elect the lowest live index.
+
+        Called when the surviving endpoints report the leader's lease
+        expired. Declares the old leader dead, bumps the epoch (stale
+        uplinks addressed to the corpse are discarded on arrival), and
+        records the election with its kill-to-takeover latency."""
+        engine = self.cluster.engine
+        fabric = self.cluster.fabric
+        now = engine.now
+        self._declare([old_leader])
+        alive = self.alive()
+        if not alive:
+            raise self._error(
+                self.stats.site, sorted(self.declared_dead),
+                "no surviving DPUs to elect a leader from",
+            )
+        new_leader = min(alive)
+        self.leader = new_leader
+        self.epoch += 1
+        self.stats.epochs += 1
+        self.stats.leader_changes += 1
+        injected = [
+            spec.at_cycle for spec in self.plan.chaos
+            if old_leader in spec.targets and spec.at_cycle <= now
+        ]
+        latency = now - max(injected) if injected else None
+        self.stats.elections.append((old_leader, new_leader, now, latency))
+        if fabric.trace.enabled:
+            fabric.trace.instant(
+                "recover.leader_elected", unit="cluster",
+                old_leader=old_leader, new_leader=new_leader,
+                epoch=self.epoch, latency=latency,
+            )
+        return new_leader
+
     def _grant_leases(self) -> None:
-        """Re-grant every live worker a full lease. Called at each
+        """Re-grant every live peer a full lease. Called at each
         collect-phase start so silence accrued while the host ran
         local compute (when nobody was draining heartbeats) can never
         be mistaken for death."""
@@ -317,10 +455,16 @@ class RecoveryManager:
     # -- job lifecycle ------------------------------------------------------
 
     def begin_job(self, site: str) -> None:
-        """Reset per-job stats, bump the job tag (stale cross-job
-        packets are discarded on arrival), start heartbeat daemons."""
+        """Reset per-job stats and journal, bump the job tag (stale
+        cross-job packets are discarded on arrival), start heartbeat
+        daemons."""
         self._job_tag += 1
         self.stats = RecoveryStats(site=site)
+        self._journal = {}
+        if self.leader in self.declared_dead:
+            # A takeover in an earlier job already counted the change;
+            # this only re-derives the invariant leader = min(alive).
+            self.leader = min(self.alive())
         self._grant_leases()
         self._start_heartbeats()
 
@@ -337,18 +481,26 @@ class RecoveryManager:
         generation = self._hb_generation
 
         for index in self.alive():
-            if index == 0:
-                continue  # the coordinator's liveness is its own
 
             def daemon(index=index):
                 sequence = 0
                 while generation == self._hb_generation:
                     if fabric.endpoint_dead(index):
                         return
-                    yield from fabric.send(
-                        index, 0, ("hb", index, sequence), HEARTBEAT_BYTES
-                    )
-                    self.stats.heartbeats_sent += 1
+                    # Fire-and-forget per-peer sends: one slow or dead
+                    # peer's backpressure must not delay the beats the
+                    # other peers use to keep this node leased.
+                    for peer in self.alive():
+                        if peer == index:
+                            continue
+                        engine.process(
+                            fabric.send(index, peer,
+                                        ("hb", index, sequence),
+                                        HEARTBEAT_BYTES),
+                            name=f"recover.hb[{index}->{peer}]",
+                            daemon=True,
+                        )
+                        self.stats.heartbeats_sent += 1
                     sequence += 1
                     yield engine.timeout(interval)
 
@@ -365,47 +517,73 @@ class RecoveryManager:
         try:
             return engine.run_until_complete(gate, limit=10**13)
         except DeadlockError as error:
-            raise ClusterError(
-                site, engine.now, missing=missing_owners,
-                fabric=self.cluster.fabric.counters(), reason=str(error),
-            ) from error
+            raise self._error(site, missing_owners, str(error)) from error
         finally:
             engine.watchdog = previous
 
     def _collector(self, endpoint: int, kind: str, needed: Set[Any],
                    arrivals: Dict[Any, Tuple[Any, int, int]],
                    min_epoch: Dict[Any, int],
+                   leader: int, phase_over: List[bool],
                    local_keys: Optional[Callable[[], Set[Any]]] = None,
-                   watch: Optional[Callable[[], Dict[Any, int]]] = None):
+                   watch: Optional[Callable[[], Dict[Any, int]]] = None,
+                   standbys: Sequence[int] = (),
+                   journal: bool = False):
         """Build one lease-guarded collector process for ``endpoint``.
 
         Drains epoch-tagged ``kind`` messages into ``arrivals`` as
         ``key -> (value, sender endpoint, receiver endpoint)`` (dedup
-        by key, first result wins) and heartbeats into the lease table.
-        Returns ``("done", [])``, ``("dead", victims)`` (endpoint 0
-        only, via ``watch``), or ``("stalled", [])`` after the patience
-        window with no progress — it always terminates, so a recovery
-        phase can never hang until the global watchdog.
+        by key, first result wins), heartbeats into the lease table,
+        and journal records into the local replica. The leader-role
+        collector (``endpoint == leader``) replicates each accepted
+        acknowledgement to the ``standbys`` *before* recording the
+        arrival (when ``journal`` is set), evaluates worker leases via
+        ``watch``, and bounds the phase by the stall patience; every
+        other collector keeps draining until the shared ``phase_over``
+        flag flips, reporting ``("leader_dead", [leader])`` if the
+        leader's lease expires first. All roles return ``("halted",
+        [])`` if their own endpoint is past its fail-stop instant — a
+        phase can therefore never hang until the global watchdog.
         """
         engine = self.cluster.engine
         fabric = self.cluster.fabric
         config = self.config
         mine = local_keys if local_keys is not None else (lambda: needed)
+        is_leader = endpoint == leader
 
         def process():
             last_progress = engine.now
-            while mine() or (watch is not None and needed):
+            while True:
+                if fabric.endpoint_dead(endpoint):
+                    return ("halted", [])
+                if phase_over[0]:
+                    return ("done", [])
+                if is_leader and not needed:
+                    phase_over[0] = True
+                    return ("done", [])
                 abort = engine.timeout(config.heartbeat_interval_cycles)
-                message = yield from fabric.receive(endpoint, abort_event=abort)
-                now = engine.now
+                message = yield from fabric.receive(endpoint,
+                                                    abort_event=abort)
                 if message is not None:
                     abort.cancel()
+                    if fabric.endpoint_dead(endpoint):
+                        # Killed while the frame was in its inbox: a
+                        # corpse must not ack or journal anything.
+                        return ("halted", [])
                     src, payload = message
                     label = payload[0]
                     if label == "hb":
-                        self.last_seen[payload[1]] = now
+                        if payload[1] not in self.declared_dead:
+                            self.last_seen[payload[1]] = engine.now
+                    elif label == "jrn":
+                        (_label, msg_tag, _epoch, jkey, jowner, jvalue,
+                         _nbytes) = payload
+                        if msg_tag == self._job_tag:
+                            self._journal.setdefault(
+                                endpoint, {})[jkey] = (jvalue, jowner)
                     elif label == kind:
-                        _label, msg_tag, epoch, key, _owner, value = payload
+                        (_label, msg_tag, epoch, key, owner, value,
+                         nbytes) = payload
                         if msg_tag != self._job_tag or key not in min_epoch:
                             self.stats.stale_discards += 1
                         elif epoch < min_epoch[key]:
@@ -413,46 +591,125 @@ class RecoveryManager:
                         elif key not in needed:
                             self.stats.duplicates += 1
                         else:
-                            needed.discard(key)
-                            arrivals[key] = (value, src, endpoint)
-                            last_progress = now
+                            if is_leader and journal and standbys:
+                                # Replicate-before-ack: the record is
+                                # on the wire to every standby before
+                                # the leader treats the shard as
+                                # received.
+                                record = ("jrn", msg_tag, epoch, key,
+                                          owner, value, nbytes)
+                                for standby in standbys:
+                                    self.stats.journal_records += 1
+                                    self.stats.journal_bytes += (
+                                        nbytes + JOURNAL_HEADER_BYTES)
+                                    yield from fabric.send(
+                                        endpoint, standby, record,
+                                        nbytes + JOURNAL_HEADER_BYTES,
+                                    )
+                                if fabric.trace.enabled:
+                                    fabric.trace.instant(
+                                        "recover.journal", unit="cluster",
+                                        key=repr(key),
+                                        standbys=len(standbys),
+                                        bytes=nbytes + JOURNAL_HEADER_BYTES,
+                                    )
+                            if key in needed:
+                                needed.discard(key)
+                                arrivals[key] = (value, src, endpoint)
+                            else:
+                                self.stats.duplicates += 1
+                            last_progress = engine.now
                     else:
                         # A different phase's payload family (e.g. an
                         # exchange pair landing during a gather): from
                         # an invalidated schedule, so it is stale.
                         self.stats.stale_discards += 1
-                if watch is not None:
+                now = engine.now
+                if is_leader and watch is not None:
                     owners = watch()
-                    # Endpoint 0 is the detector itself: it sends no
-                    # heartbeats, so it is never a lease suspect.
+                    # The leader is the detector itself: it sends no
+                    # heartbeats to itself, so it is never a suspect.
                     victims = sorted({
                         owner for owner in owners.values()
-                        if owner != 0
+                        if owner != leader
                         and owner not in self.declared_dead
                         and now - self.last_seen.get(owner, now)
                         > config.lease_cycles
                     })
                     if victims:
+                        phase_over[0] = True
                         return ("dead", victims)
-                if mine() and now - last_progress > config.stall_patience_cycles:
+                if not is_leader:
+                    if (leader not in self.declared_dead
+                            and now - self.last_seen.get(leader, now)
+                            > config.lease_cycles):
+                        phase_over[0] = True
+                        return ("leader_dead", [leader])
+                if (is_leader and (mine() or needed)
+                        and now - last_progress
+                        > config.stall_patience_cycles):
+                    phase_over[0] = True
                     return ("stalled", [])
-                if not mine() and watch is not None and needed:
-                    # Coordinator keeps draining heartbeats while other
-                    # endpoints finish, but bounded by patience too.
-                    if now - last_progress > config.stall_patience_cycles:
-                        return ("stalled", [])
-            return ("done", [])
 
         return engine.process(
             process(), name=f"recover.collect[{endpoint}]"
         )
 
-    def _spawn_sender(self, owner: int, kind: str, key: Any, value: Any,
-                      nbytes: int) -> None:
+    def _drainer(self, endpoint: int, leader: int,
+                 phase_over: List[bool]):
+        """Heartbeat/journal drain loop for a live endpoint with no
+        collect role this phase. Keeps the endpoint's inbox (and its
+        receive credits) flowing, applies journal records to the local
+        replica, and is the detection path for leader death: when the
+        leader's lease expires here, the phase ends with
+        ``("leader_dead", [leader])``."""
+        engine = self.cluster.engine
+        fabric = self.cluster.fabric
+        config = self.config
+
+        def process():
+            while True:
+                if fabric.endpoint_dead(endpoint):
+                    return ("halted", [])
+                if phase_over[0]:
+                    return ("done", [])
+                abort = engine.timeout(config.heartbeat_interval_cycles)
+                message = yield from fabric.receive(endpoint,
+                                                    abort_event=abort)
+                if message is not None:
+                    abort.cancel()
+                    if fabric.endpoint_dead(endpoint):
+                        return ("halted", [])
+                    _src, payload = message
+                    label = payload[0]
+                    if label == "hb":
+                        if payload[1] not in self.declared_dead:
+                            self.last_seen[payload[1]] = engine.now
+                    elif label == "jrn":
+                        (_label, msg_tag, _epoch, key, owner, value,
+                         _nbytes) = payload
+                        if msg_tag == self._job_tag:
+                            self._journal.setdefault(
+                                endpoint, {})[key] = (value, owner)
+                    else:
+                        self.stats.stale_discards += 1
+                now = engine.now
+                if (leader not in self.declared_dead
+                        and now - self.last_seen.get(leader, now)
+                        > config.lease_cycles):
+                    phase_over[0] = True
+                    return ("leader_dead", [leader])
+
+        return engine.process(
+            process(), name=f"recover.drain[{endpoint}]"
+        )
+
+    def _spawn_sender(self, owner: int, dst: int, kind: str, key: Any,
+                      value: Any, nbytes: int) -> None:
         """Paper-faithful send path with dilation: core 0 mailboxes the
         result pointer to the local A9; the A9 (dilated when inside a
         ``dpu.slow`` window) ships the epoch-tagged message to the
-        coordinator. The payload rides the mailbox so two in-flight
+        current leader. The payload rides the mailbox so two in-flight
         sends on one DPU can never cross-deliver."""
         cluster = self.cluster
         engine = cluster.engine
@@ -472,8 +729,9 @@ class RecoveryManager:
             if delay:
                 yield engine.timeout(delay)
             yield from fabric.send(
-                owner, 0,
-                (kind, tag, epoch, msg_key, owner, msg_value), msg_bytes,
+                owner, dst,
+                (kind, tag, epoch, msg_key, owner, msg_value, msg_bytes),
+                msg_bytes,
             )
 
         engine.process(core_side(), name=f"recover.core[{owner}]")
@@ -496,8 +754,11 @@ class RecoveryManager:
         ``dpu.launch``) and must be deterministic — re-execution on a
         survivor must reproduce the lost partial exactly. Partials are
         merged in shard order after per-shard dedup, so duplicates and
-        speculative copies cannot perturb the result. Returns
-        ``(merged value, phase cycles)``.
+        speculative copies cannot perturb the result, and the merge
+        happens exactly once, on the final leader, after every shard
+        has arrived — one result per job even when the job internally
+        ran under two leaders. Returns ``(merged value, phase
+        cycles)``.
         """
         cluster = self.cluster
         engine = cluster.engine
@@ -513,7 +774,7 @@ class RecoveryManager:
                 rerouted.add(key)
         began = engine.now
         needed: Set[int] = set(range(count))
-        arrivals: Dict[int, Tuple[Any, int]] = {}
+        arrivals: Dict[int, Tuple[Any, int, int]] = {}
         min_epoch = {key: self.epoch for key in needed}
         values: Dict[int, Any] = {}
         value_owner: Dict[int, int] = {}
@@ -522,6 +783,8 @@ class RecoveryManager:
 
         for round_index in range(config.max_rounds):
             self.stats.rounds += 1
+            leader = self.leader
+            standbys = self.standbys()
             # Host phase: (re-)execute missing shards on their current
             # owners from the durable inputs.
             for key in sorted(needed):
@@ -533,26 +796,60 @@ class RecoveryManager:
                     if recompute:
                         self.stats.reexecuted_shards += 1
             # Simulation phase: epoch-tagged sends race the detector's
-            # lease-guarded collector.
+            # lease-guarded collector at the current leader, with a
+            # drain loop on every other live endpoint.
             for key in sorted(needed):
                 if round_index > 0:
                     self.stats.resends += 1
                 self._spawn_sender(
-                    shard_owner[key], "data", key, values[key],
+                    shard_owner[key], leader, "data", key, values[key],
                     nbytes_of(values[key]),
                 )
             self._grant_leases()
+            phase_over = [False]
             collector = self._collector(
-                0, "data", needed, arrivals, min_epoch,
+                leader, "data", needed, arrivals, min_epoch,
+                leader=leader, phase_over=phase_over,
                 watch=lambda: {k: shard_owner[k] for k in needed},
+                standbys=standbys, journal=True,
             )
-            status, victims = self._drive(
-                collector, site,
+            drainers = [
+                self._drainer(endpoint, leader, phase_over)
+                for endpoint in self.alive() if endpoint != leader
+            ]
+            participants = [collector] + drainers
+            self._drive(
+                engine.all_of(participants), site,
                 sorted({shard_owner[k] for k in needed}),
             )
-            if status == "done":
+            dethroned = any(
+                p.value[0] == "leader_dead" for p in participants
+            )
+            status, victims = collector.value
+            if dethroned:
+                self._takeover(leader)
+                # Journal replay: the new leader knows exactly the
+                # acknowledgements that reached its replica; anything
+                # the old leader accepted but failed to replicate is
+                # simply re-requested under the new epoch.
+                replica = self._journal.get(self.leader, {})
+                arrivals.clear()
+                for key, (value, owner) in replica.items():
+                    if key in min_epoch:
+                        arrivals[key] = (value, owner, self.leader)
+                needed.clear()
+                needed.update(k for k in range(count)
+                              if k not in arrivals)
+                for key in sorted(needed):
+                    min_epoch[key] = self.epoch
+                    if shard_owner[key] in self.declared_dead:
+                        shard_owner[key] = self._survivor_for(key)
+                        rerouted.add(key)
+                if not needed:
+                    break
+            elif status == "done":
                 break
-            if status == "dead":
+            elif status == "dead":
                 self._declare(victims)
                 self.epoch += 1
                 self.stats.epochs += 1
@@ -571,16 +868,14 @@ class RecoveryManager:
                         backup_value = compute(key, cluster.dpus[backup],
                                                backup)
                         self._spawn_sender(
-                            backup, "data", key, backup_value,
+                            backup, self.leader, "data", key, backup_value,
                             nbytes_of(backup_value),
                         )
         if needed:
-            raise ClusterError(
-                site, engine.now,
-                missing=sorted({shard_owner[k] for k in needed}),
-                fabric=cluster.fabric.counters(),
-                reason=(f"recovery budget of {config.max_rounds} rounds "
-                        f"exhausted with shards {sorted(needed)} missing"),
+            raise self._error(
+                site, sorted({shard_owner[k] for k in needed}),
+                f"recovery budget of {config.max_rounds} rounds "
+                f"exhausted with shards {sorted(needed)} missing",
             )
         self.stats.speculative_wins += sum(
             1 for key, backup in backups.items()
@@ -599,9 +894,12 @@ class RecoveryManager:
 
         The slot space stays the original power-of-two fanout (the
         hash engine's radix does not change when a node dies); a dead
-        slot owner's shard is re-partitioned on a survivor from the
-        durable host table and its pairs re-sent under a new epoch.
-        Returns a :class:`~repro.cluster.shuffle.ShuffleResult`.
+        slot owner's shard — the leader's included — is re-partitioned
+        on a survivor from the durable host table and its pairs
+        re-sent under a new epoch. The leader replicates the round's
+        epoch and slot-owner map to its standbys so a takeover resumes
+        the exchange instead of restarting it. Returns a
+        :class:`~repro.cluster.shuffle.ShuffleResult`.
         """
         from .shuffle import ShuffleResult, partition_source
 
@@ -623,7 +921,7 @@ class RecoveryManager:
         record_width = 0
         dtypes = None
         exchange_began = engine.now
-        arrivals: Dict[Tuple[int, int], Tuple[np.ndarray, int]] = {}
+        arrivals: Dict[Tuple[int, int], Tuple[np.ndarray, int, int]] = {}
         min_epoch: Dict[Tuple[int, int], int] = {
             (s, d): self.epoch for s in slots for d in slots if s != d
         }
@@ -638,6 +936,8 @@ class RecoveryManager:
 
         for round_index in range(config.max_rounds):
             self.stats.rounds += 1
+            leader = self.leader
+            standbys = self.standbys()
             # Host phase: partition every slot's shard on its current
             # owner (the DMS hash-engine kernel; deterministic bytes).
             for slot in slots:
@@ -658,6 +958,12 @@ class RecoveryManager:
             if not pending:
                 break
             needed: Set[Tuple[int, int]] = set(pending)
+            # Leader -> standby journal of this round's coordination
+            # state (epoch + slot-owner map), so a takeover resumes
+            # under a known map instead of a restart from scratch.
+            if standbys:
+                self._replicate_exchange_state(leader, standbys,
+                                               slot_owner, round_index)
             # Rotated sends (src owner s ships to s+1, s+2, ... to
             # avoid synchronized bursts), one epoch-tagged message per
             # (src slot, dst slot) pair.
@@ -677,6 +983,7 @@ class RecoveryManager:
                         (src_slot, dst_slot), raw,
                     )
             self._grant_leases()
+            phase_over = [False]
             dest_owners = sorted({slot_owner[d] for _s, d in pending})
             watched = {
                 pair: slot_owner[pair[0]] for pair in pending
@@ -692,35 +999,51 @@ class RecoveryManager:
                 }
                 collectors.append(self._collector(
                     endpoint, "x", needed, arrivals, min_epoch,
+                    leader=leader, phase_over=phase_over,
                     local_keys=lambda local=local: local & needed,
-                    watch=(lambda: watched) if endpoint == 0 else None,
+                    watch=(lambda: watched) if endpoint == leader else None,
                 ))
-            if 0 not in dest_owners:
+            if leader not in dest_owners:
                 # Keep the detector draining heartbeats even when the
-                # coordinator receives no pairs this round.
+                # leader receives no pairs this round.
                 collectors.append(self._collector(
-                    0, "x", needed, arrivals, min_epoch,
+                    leader, "x", needed, arrivals, min_epoch,
+                    leader=leader, phase_over=phase_over,
                     local_keys=lambda: set(),
                     watch=lambda: watched,
                 ))
-            gate = engine.all_of(collectors)
-            self._drive(gate, site, sorted({slot_owner[s]
-                                            for s, _d in pending_pairs()}))
+            drainers = [
+                self._drainer(endpoint, leader, phase_over)
+                for endpoint in self.alive()
+                if endpoint != leader and endpoint not in dest_owners
+            ]
+            participants = collectors + drainers
+            self._drive(
+                engine.all_of(participants), site,
+                sorted({slot_owner[s] for s, _d in pending_pairs()}),
+            )
+            dethroned = any(
+                p.value[0] == "leader_dead" for p in participants
+            )
             victims = []
-            for collector in collectors:
-                status, found = collector.value
+            for participant in participants:
+                status, found = participant.value
                 if status == "dead":
                     victims.extend(found)
-            if victims:
+            if dethroned:
+                self._takeover(leader)
+            elif victims:
                 self._declare(victims)
                 self.epoch += 1
                 self.stats.epochs += 1
+            if dethroned or victims:
                 for slot in slots:
                     if slot_owner[slot] in self.declared_dead:
                         slot_owner[slot] = self._survivor_for(slot)
-                # Pairs received *at* a now-dead owner died with its
-                # DRAM; pairs *from* a dead owner were sent under an
-                # invalidated map. Both restart under the new epoch.
+                # Pairs received *at* a now-dead owner (the old leader
+                # included) died with its DRAM; pairs *from* a dead
+                # owner were sent under an invalidated map. Both
+                # restart under the new epoch.
                 for pair in list(arrivals):
                     if arrivals[pair][2] in self.declared_dead:
                         del arrivals[pair]
@@ -741,12 +1064,10 @@ class RecoveryManager:
                         )
         remaining = pending_pairs()
         if remaining:
-            raise ClusterError(
-                site, engine.now,
-                missing=sorted({slot_owner[s] for s, _d in remaining}),
-                fabric=cluster.fabric.counters(),
-                reason=(f"exchange budget of {config.max_rounds} rounds "
-                        f"exhausted with pairs {sorted(remaining)} missing"),
+            raise self._error(
+                site, sorted({slot_owner[s] for s, _d in remaining}),
+                f"exchange budget of {config.max_rounds} rounds "
+                f"exhausted with pairs {sorted(remaining)} missing",
             )
         self.stats.speculative_wins += sum(
             1 for pair, backup in backups.items()
@@ -786,6 +1107,30 @@ class RecoveryManager:
             bytes_moved=bytes_moved,
         )
 
+    def _replicate_exchange_state(self, leader: int,
+                                  standbys: Sequence[int],
+                                  slot_owner: Dict[int, int],
+                                  round_index: int) -> None:
+        """Stream the round's coordination record (epoch + slot-owner
+        map) from the leader's A9 to each standby, before any pair of
+        the round is acted on (the sends are spawned ahead of the
+        collect phase)."""
+        engine = self.cluster.engine
+        fabric = self.cluster.fabric
+        tag, epoch = self._job_tag, self.epoch
+        owner_map = tuple(sorted(slot_owner.items()))
+        nbytes = JOURNAL_HEADER_BYTES + 8 * len(owner_map)
+        record = ("jrn", tag, epoch, ("xctl", round_index), leader,
+                  owner_map, nbytes)
+        for standby in standbys:
+            self.stats.journal_records += 1
+            self.stats.journal_bytes += nbytes
+            engine.process(
+                fabric.send(leader, standby, record, nbytes),
+                name=f"recover.jctl[{leader}->{standby}]",
+                daemon=True,
+            )
+
     def _spawn_exchange_sender(self, src_endpoint: int, dst_endpoint: int,
                                pair: Tuple[int, int],
                                raw: np.ndarray) -> None:
@@ -810,7 +1155,7 @@ class RecoveryManager:
                 yield engine.timeout(delay)
             yield from fabric.send(
                 src_endpoint, dst_endpoint,
-                ("x", tag, epoch, msg_pair, src_endpoint, payload),
+                ("x", tag, epoch, msg_pair, src_endpoint, payload, nbytes),
                 nbytes,
             )
 

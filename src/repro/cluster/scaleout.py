@@ -27,6 +27,14 @@ Every job reports **per-job** fabric accounting: ``network_bytes``
 and ``retransmissions`` are deltas from the job's start, so
 back-to-back jobs on one long-lived cluster don't absorb each other's
 traffic.
+
+On the fault-free path the coordinator is pinned to DPU 0. Under a
+chaos plan every job runs through the
+:class:`~repro.cluster.recovery.RecoveryManager` retry loops instead,
+which address partials to the *current elected leader* — DPU 0 until
+it dies, the lowest surviving index afterwards — and still hand back
+exactly one :class:`ScaleOutResult` per job (merge happens once, on
+the final leader, after every shard arrived).
 """
 
 from __future__ import annotations
@@ -159,13 +167,22 @@ def _a9_collector(cluster, coordinator, expected, merge, site="gather"):
             message = yield from fabric.receive(coordinator,
                                                abort_event=abort)
             if message is None:
+                reason = (f"gather lease of {lease:.0f} cycles expired "
+                          f"with {len(received)}/{expected} partials")
+                if fabric.trace.enabled:
+                    fabric.trace.instant(
+                        "cluster.error", unit="cluster", site=site,
+                        epoch=0, leader=coordinator, reason=reason,
+                    )
                 raise ClusterError(
                     site, engine.now,
                     missing=sorted(set(range(cluster.num_dpus))
                                    - set(received)),
                     fabric=fabric.counters(),
-                    reason=(f"gather lease of {lease:.0f} cycles expired "
-                            f"with {len(received)}/{expected} partials"),
+                    reason=reason,
+                    # The fault-free gather never changes leadership:
+                    # generation 0 under the pinned coordinator.
+                    epoch=0, leader=coordinator,
                 )
             abort.cancel()
             src, payload = message

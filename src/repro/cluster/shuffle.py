@@ -30,6 +30,14 @@ The exchange reuses the hardware the paper provides for exactly this
    row-major records it received (in source order, so results are
    deterministic) and splits them back into columns.
 
+Under a chaos plan the exchange runs through
+:meth:`~repro.cluster.recovery.RecoveryManager.run_exchange` instead:
+the same partition kernel and slot space, but epoch-tagged and
+restartable, surviving worker deaths, fabric partitions *and* the
+death of the coordinating leader itself (the slot space never
+changes — a dead slot owner's shard is re-partitioned on a survivor
+from the durable host table).
+
 :class:`ShuffleRackModel` extends the measured small-cluster numbers
 to rack scale (2 -> 512 DPUs) analytically, the same way
 :class:`~repro.cluster.rack.RackSpec` extends single-DPU bandwidth —

@@ -8,9 +8,12 @@ seed so every chaos run is exactly reproducible, and
 :func:`chaos_plan` packages it straight into a
 :class:`~repro.faults.FaultPlan` for ``Cluster(fault_plan=...)``.
 
-DPU 0 is never targeted: it is the coordinator of every ``cluster_*``
-job and coordinator failover is out of scope for the recovery layer
-(see docs/RESILIENCE.md, "Rack-scale recovery").
+By default victims are drawn from DPUs 1..N-1, which keeps every
+pre-existing seed reproducing its exact historical schedule. Pass
+``include_coordinator=True`` to widen the draw to all N DPUs — the
+recovery layer elects a new leader when DPU 0 dies (see
+docs/RESILIENCE.md, "Coordinator failover"). The only hard invariant
+is that at least one DPU survives the kill schedule.
 """
 
 from __future__ import annotations
@@ -42,6 +45,7 @@ def chaos_schedule(
     partition_cycles: float = 500_000.0,
     slow_cycles: float = 2_000_000.0,
     slow_factor: float = 4.0,
+    include_coordinator: bool = False,
 ) -> Tuple[ChaosSpec, ...]:
     """Draw a deterministic chaos timeline.
 
@@ -49,22 +53,25 @@ def chaos_schedule(
     (each isolating one victim DPU for ``partition_cycles``), and
     ``stragglers`` slow spells (dilation ``slow_factor`` for
     ``slow_cycles``) are placed uniformly in ``[0, horizon_cycles)``.
-    Victims are drawn without replacement per site from DPUs 1..N-1,
-    so the coordinator survives and at least one worker remains.
+    Victims are drawn without replacement per site over the sorted DPU
+    ids — DPUs 1..N-1 by default (bit-identical to every historical
+    seed), or all of 0..N-1 with ``include_coordinator=True``, which
+    puts the coordinator itself in the blast radius. The one hard
+    invariant, either way: at least one DPU survives the kills.
     """
     if num_dpus < 2:
         raise FaultError(f"chaos needs >= 2 DPUs: {num_dpus}")
     if horizon_cycles <= 0:
         raise FaultError(f"horizon must be positive: {horizon_cycles}")
-    candidates = num_dpus - 1  # DPUs 1..N-1
+    candidates = num_dpus if include_coordinator else num_dpus - 1
     for count, what in ((kills, "kills"), (partitions, "partitions"),
                         (stragglers, "stragglers")):
         if count < 0:
             raise FaultError(f"negative {what}: {count}")
-    if kills >= candidates:
+    if kills > candidates or kills >= num_dpus:
         raise FaultError(
-            f"{kills} kills would leave < 1 worker of {num_dpus} DPUs "
-            "(DPU 0 is the coordinator and cannot be killed)"
+            f"{kills} kills drawn from {candidates} candidate DPUs of "
+            f"{num_dpus} would not leave at least one DPU alive"
         )
     if max(partitions, stragglers) > candidates:
         raise FaultError(
@@ -77,7 +84,11 @@ def chaos_schedule(
         if count == 0:
             continue
         stream = _stream(seed, site)
-        victims = 1 + stream.choice(candidates, size=count, replace=False)
+        if include_coordinator:
+            victims = stream.choice(num_dpus, size=count, replace=False)
+        else:
+            victims = 1 + stream.choice(num_dpus - 1, size=count,
+                                        replace=False)
         times = np.sort(stream.uniform(0.0, horizon_cycles, size=count))
         for victim, at_cycle in zip(victims, times):
             if site == "dpu.dead":

@@ -46,7 +46,9 @@ sim-time window:
 site                    meaning
 ======================  ================================================
 ``dpu.dead``            whole-node kill: the DPU's A9 stops sending and
-                        receiving at ``at_cycle`` (fail-stop)
+                        receiving at ``at_cycle`` (fail-stop). Any DPU
+                        may be targeted, the coordinator included —
+                        the recovery layer elects a new leader
 ``fabric.partition``    the named DPU set is severed from the rest of
                         the fabric for ``[at_cycle, at_cycle+duration)``
 ``dpu.slow``            straggler: the DPU's job-side sends are dilated

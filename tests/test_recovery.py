@@ -79,7 +79,10 @@ class TestChaosSchedule:
         b = chaos_schedule(seed=8, num_dpus=8, horizon_cycles=1e6, kills=3)
         assert a != b
 
-    def test_coordinator_never_targeted(self):
+    def test_coordinator_not_targeted_by_default(self):
+        # Default draws stay over DPUs 1..N-1 so every historical seed
+        # reproduces its exact schedule (seed-compat); targeting the
+        # coordinator is opt-in via include_coordinator=True.
         for seed in range(20):
             specs = chaos_schedule(seed=seed, num_dpus=4,
                                    horizon_cycles=1e6, kills=2,
@@ -87,9 +90,84 @@ class TestChaosSchedule:
             for spec in specs:
                 assert 0 not in spec.targets
 
-    def test_too_many_kills_rejected(self):
+    def test_include_coordinator_widens_the_pool(self):
+        hit = False
+        for seed in range(40):
+            specs = chaos_schedule(seed=seed, num_dpus=4,
+                                   horizon_cycles=1e6, kills=2,
+                                   include_coordinator=True)
+            if any(0 in spec.targets for spec in specs):
+                hit = True
+                break
+        assert hit, "40 seeds never drew DPU 0 from a 4-wide pool"
+
+    def test_seed_compat_pinned_schedule(self):
+        # Regression pin: the old "DPU 0 cannot be killed" guard was
+        # replaced by "at least one DPU survives", but the default
+        # victim draw must stay bit-identical for old seeds.
+        specs = chaos_schedule(seed=7, num_dpus=8, horizon_cycles=1e6,
+                               kills=2, partitions=1, stragglers=1)
+        summary = [(s.site, s.targets, round(s.at_cycle, 3))
+                   for s in specs]
+        assert summary == [
+            ("dpu.dead", (1,), 83702.059),
+            ("dpu.dead", (3,), 163428.635),
+            ("dpu.slow", (5,), 534387.818),
+            ("fabric.partition", (4,), 843126.169),
+        ]
+
+    def test_all_workers_may_die_but_not_everyone(self):
+        # New guard: "at least one DPU survives". Killing every worker
+        # is now legal (the coordinator finishes the job alone)...
+        specs = chaos_schedule(seed=1, num_dpus=4, horizon_cycles=1e6,
+                               kills=3)
+        assert len(specs) == 3
+        # ...killing every DPU is not, from either candidate pool.
         with pytest.raises(FaultError):
-            chaos_schedule(seed=1, num_dpus=4, horizon_cycles=1e6, kills=3)
+            chaos_schedule(seed=1, num_dpus=4, horizon_cycles=1e6,
+                           kills=4)
+        with pytest.raises(FaultError):
+            chaos_schedule(seed=1, num_dpus=4, horizon_cycles=1e6,
+                           kills=4, include_coordinator=True)
+
+    @pytest.mark.parametrize("num_dpus", [2, 4, 8])
+    def test_deterministic_and_iteration_order_free(self, num_dpus):
+        # The draw must depend only on (seed, sorted DPU ids), never
+        # on dict/set iteration order: building unrelated dicts (which
+        # perturbs the hash state of the interpreter session) between
+        # two draws must not change the schedule.
+        first = chaos_schedule(seed=13, num_dpus=num_dpus,
+                               horizon_cycles=2e6,
+                               kills=num_dpus - 1,
+                               include_coordinator=True)
+        _noise = {object(): i for i in range(64)}
+        second = chaos_schedule(seed=13, num_dpus=num_dpus,
+                                horizon_cycles=2e6,
+                                kills=num_dpus - 1,
+                                include_coordinator=True)
+        assert first == second
+        for spec in first:
+            assert all(0 <= t < num_dpus for t in spec.targets)
+
+    PINNED_COORDINATOR_KILLS = {
+        2: (0,),
+        4: (0, 2, 3),
+        8: (0, 2, 3, 4, 5, 6, 7),
+    }
+
+    @pytest.mark.parametrize("num_dpus", [2, 4, 8])
+    def test_pinned_coordinator_draws(self, num_dpus):
+        # Pin the include_coordinator victim draw at 2/4/8 DPUs so a
+        # numpy or derivation change cannot silently reshuffle every
+        # chaos run in CI.
+        specs = chaos_schedule(seed=0, num_dpus=num_dpus,
+                               horizon_cycles=2e6,
+                               kills=num_dpus - 1,
+                               include_coordinator=True)
+        victims = tuple(sorted(t for s in specs for t in s.targets))
+        assert victims == tuple(
+            sorted(self.PINNED_COORDINATOR_KILLS[num_dpus])
+        )
 
     def test_specs_sorted_by_time(self):
         specs = chaos_schedule(seed=3, num_dpus=8, horizon_cycles=1e6,
