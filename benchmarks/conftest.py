@@ -21,6 +21,14 @@ def pytest_addoption(parser):
         help="enable sim-time tracing on every DPU a benchmark builds "
              "and write one Chrome-trace JSON per DPU into DIR",
     )
+    parser.addoption(
+        "--emit-metrics",
+        metavar="DIR",
+        default=None,
+        help="enable continuous sim-time metrics sampling on every DPU "
+             "a benchmark builds and write one metrics JSONL per DPU "
+             "into DIR (validate/report with python -m repro.obs.metrics)",
+    )
 
 
 @pytest.fixture(autouse=True)
@@ -55,6 +63,44 @@ def _emit_trace(request):
         for index, dpu in enumerate(created):
             suffix = f"-{index}" if len(created) > 1 else ""
             dpu.trace.export(os.path.join(out_dir, f"{safe}{suffix}.json"))
+
+
+@pytest.fixture(autouse=True)
+def _emit_metrics(request):
+    """With ``--emit-metrics DIR``, every DPU constructed during the
+    test samples its counters continuously, exported as
+    ``DIR/<test>[-N].jsonl`` at teardown.
+
+    Sampler ticks are pure host-side reads on the sim clock, so
+    benchmark numbers are unchanged. A coarse cadence bounds the host
+    cost of full-registry snapshots across a whole benchmark tier.
+    """
+    out_dir = request.config.getoption("--emit-metrics")
+    if not out_dir:
+        yield
+        return
+    from repro.core import dpu as dpu_mod
+
+    created = []
+    original_init = dpu_mod.DPU.__init__
+
+    def metered_init(self, *args, **kwargs):
+        original_init(self, *args, **kwargs)
+        self.enable_metrics(cadence=50_000.0, capacity=4096)
+        created.append(self)
+
+    dpu_mod.DPU.__init__ = metered_init
+    try:
+        yield
+    finally:
+        dpu_mod.DPU.__init__ = original_init
+        os.makedirs(out_dir, exist_ok=True)
+        safe = re.sub(r"[^\w.-]+", "_", request.node.name)
+        for index, dpu in enumerate(created):
+            suffix = f"-{index}" if len(created) > 1 else ""
+            dpu.metrics.export_jsonl(
+                os.path.join(out_dir, f"{safe}{suffix}.jsonl")
+            )
 
 
 def run_once(benchmark, fn):

@@ -18,12 +18,12 @@ Two pieces:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence
 
 from ..core.config import DPU_40NM, DPUConfig
 from ..core.dpu import DPU
 from ..faults import FaultInjector, FaultPlan
-from ..obs import CounterRegistry, Tracer
+from ..obs import NULL_HUB, CounterRegistry, MetricsHub, Tracer
 from ..sim import Engine
 from .network import FabricConfig, IBFabric
 from .recovery import RecoveryConfig, RecoveryManager
@@ -65,6 +65,8 @@ class Cluster:
         # Optional coordinator-side admission gate for cluster jobs
         # (see repro.runtime.admission); None = pre-existing behaviour.
         self.admission = None
+        # Continuous metrics: the no-op hub until enable_metrics().
+        self.metrics = NULL_HUB
         # Rack-scale fault tolerance (see repro.cluster.recovery):
         # active only when the plan schedules chaos events, so a plain
         # FaultPlan keeps every job on the exact pre-recovery path.
@@ -111,7 +113,13 @@ class Cluster:
     def run(self, processes, limit_cycles: float = 10**13):
         """Drive the shared engine until every process completes."""
         gate = self.engine.all_of(list(processes))
-        return self.engine.run_until_complete(gate, limit=limit_cycles)
+        metrics = self.metrics
+        if metrics.enabled:
+            metrics.touch()
+        result = self.engine.run_until_complete(gate, limit=limit_cycles)
+        if metrics.enabled:
+            metrics.flush()
+        return result
 
     def launch_everywhere(
         self,
@@ -143,7 +151,54 @@ class Cluster:
             dpu.enable_tracing(tracer.view(pid=index + 1,
                                            process_name=dpu.name))
         self.fabric.trace = tracer
+        if self.metrics.enabled:
+            self.metrics.trace = tracer
         return tracer
+
+    def enable_metrics(
+        self,
+        hub: Optional[MetricsHub] = None,
+        cadence: float = 10_000.0,
+        capacity: int = 4096,
+    ) -> MetricsHub:
+        """One shared metrics hub across every DPU and the fabric.
+
+        The hub samples the merged cluster registry (``dpu<i>.*``,
+        ``fabric.*``, ``recovery.*``) plus live fabric inbox occupancy
+        on the shared engine clock, and is handed to every DPU so
+        per-op digests (launches, jobs, admission waits) aggregate
+        cluster-wide. Scheduled chaos events are annotated onto the
+        timeline up front at their drawn fire cycles.
+        """
+        if hub is None:
+            hub = MetricsHub(
+                self.engine, cadence=cadence, capacity=capacity,
+                clock_hz=self.config.clock_hz, trace=self.dpus[0].trace,
+            )
+        self.metrics = hub
+        for dpu in self.dpus:
+            dpu.metrics = hub
+            if dpu.admission is not None:
+                dpu.admission.metrics = hub
+        if self.admission is not None:
+            self.admission.metrics = hub
+        hub.add_sampler(self._metrics_sample)
+        # The chaos schedule is fixed at plan time (RecoveryManager
+        # installed it during __init__), so its fire cycles are known
+        # now: put them on the timeline before the run starts.
+        for spec in self.faults.plan.chaos:
+            hub.annotate(
+                f"chaos.{spec.site}", t=spec.at_cycle,
+                targets=",".join(str(t) for t in spec.targets),
+                duration=spec.duration, factor=spec.factor,
+            )
+        return hub
+
+    def _metrics_sample(self) -> Dict[str, float]:
+        sample = self.counter_registry().snapshot()
+        for endpoint, inbox in self.fabric._inboxes.items():
+            sample[f"fabric.inbox{endpoint}.occupancy"] = float(len(inbox))
+        return sample
 
     def counter_registry(self) -> CounterRegistry:
         """Merge every DPU's counter registry plus the fabric's

@@ -404,6 +404,10 @@ class RecoveryManager:
                     "recover.declare_dead", unit="cluster",
                     dpu=victim, latency=latency,
                 )
+            metrics = self.cluster.metrics
+            if metrics.enabled:
+                metrics.annotate("recover.declare_dead", dpu=victim,
+                                 latency=latency)
         self.stats.declared_dead = tuple(sorted(self.declared_dead))
 
     def _takeover(self, old_leader: int) -> int:
@@ -440,6 +444,11 @@ class RecoveryManager:
                 old_leader=old_leader, new_leader=new_leader,
                 epoch=self.epoch, latency=latency,
             )
+        metrics = self.cluster.metrics
+        if metrics.enabled:
+            metrics.annotate("recover.leader_elected",
+                             old_leader=old_leader, new_leader=new_leader,
+                             epoch=self.epoch)
         return new_leader
 
     def _grant_leases(self) -> None:
@@ -514,12 +523,17 @@ class RecoveryManager:
         engine = self.cluster.engine
         previous = engine.watchdog
         engine.watchdog = Watchdog(max_events=self.config.watchdog_events)
+        metrics = self.cluster.metrics
+        if metrics.enabled:
+            metrics.touch()
         try:
             return engine.run_until_complete(gate, limit=10**13)
         except DeadlockError as error:
             raise self._error(site, missing_owners, str(error)) from error
         finally:
             engine.watchdog = previous
+            if metrics.enabled:
+                metrics.flush()
 
     def _collector(self, endpoint: int, kind: str, needed: Set[Any],
                    arrivals: Dict[Any, Tuple[Any, int, int]],
@@ -833,6 +847,11 @@ class RecoveryManager:
                 # the old leader accepted but failed to replicate is
                 # simply re-requested under the new epoch.
                 replica = self._journal.get(self.leader, {})
+                metrics = self.cluster.metrics
+                if metrics.enabled:
+                    metrics.annotate("recover.journal_replay",
+                                     leader=self.leader,
+                                     records=len(replica))
                 arrivals.clear()
                 for key, (value, owner) in replica.items():
                     if key in min_epoch:
@@ -865,6 +884,11 @@ class RecoveryManager:
                         backup = self._survivor_for(key, exclude=(owner,))
                         backups[key] = backup
                         self.stats.speculative_launches += 1
+                        if self.cluster.metrics.enabled:
+                            self.cluster.metrics.annotate(
+                                "recover.speculative_launch",
+                                shard=key, backup=backup,
+                            )
                         backup_value = compute(key, cluster.dpus[backup],
                                                backup)
                         self._spawn_sender(
@@ -1058,6 +1082,11 @@ class RecoveryManager:
                         backup = self._survivor_for(pair, exclude=(owner,))
                         backups[pair] = backup
                         self.stats.speculative_launches += 1
+                        if self.cluster.metrics.enabled:
+                            self.cluster.metrics.annotate(
+                                "recover.speculative_launch",
+                                pair=str(pair), backup=backup,
+                            )
                         self._spawn_exchange_sender(
                             backup, slot_owner[pair[1]], pair,
                             partitions[pair[0]][pair[1]],

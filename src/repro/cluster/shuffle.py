@@ -362,6 +362,9 @@ def shuffle_exchange(
         collectors.append(collector)
     cluster.run(processes)
     exchange_cycles = engine.now - exchange_began
+    if cluster.metrics.enabled:
+        cluster.metrics.observe("shuffle.partition.cycles", partition_cycles)
+        cluster.metrics.observe("shuffle.exchange.cycles", exchange_cycles)
 
     # Phase 3: reassemble columns per destination, in source order.
     columns: List[Dict[str, np.ndarray]] = []

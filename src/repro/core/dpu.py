@@ -31,7 +31,14 @@ from ..memory import (
     MacroCacheHierarchy,
     Scratchpad,
 )
-from ..obs import NULL_TRACER, CounterRegistry, PerfReport, Tracer
+from ..obs import (
+    NULL_HUB,
+    NULL_TRACER,
+    CounterRegistry,
+    MetricsHub,
+    PerfReport,
+    Tracer,
+)
 from ..sim import Engine, SimulationError, StatsRecorder
 from .config import DPU_40NM, DPUConfig
 from .mailbox import MailboxController
@@ -89,8 +96,10 @@ class DPU:
         self.engine = engine if engine is not None else Engine()
         self.stats = StatsRecorder()
         # Observability: NULL_TRACER until enable_tracing() swaps in a
-        # live tracer (also mirrored onto every unit's .trace).
+        # live tracer (also mirrored onto every unit's .trace), and the
+        # no-op metrics hub until enable_metrics() attaches a sampler.
         self.trace = NULL_TRACER
+        self.metrics = NULL_HUB
         # One injector per DPU unless the caller shares one (clusters
         # pass a single injector so the fault trace is global).
         self.faults = (
@@ -218,6 +227,7 @@ class DPU:
         self.admission = controller
         if controller is not None:
             controller.trace = self.trace
+            controller.metrics = self.metrics
 
     def launch(
         self,
@@ -259,6 +269,11 @@ class DPU:
         limit_cycles: float,
     ) -> LaunchResult:
         start = self.engine.now
+        metrics = self.metrics
+        if metrics.enabled:
+            # Re-arm the periodic sampler (it goes dormant when the
+            # engine queue holds nothing but sampler ticks).
+            metrics.touch()
         processes = []
         for core_id in core_list:
             context = self.context(core_id)
@@ -274,6 +289,11 @@ class DPU:
             )
         gate = self.engine.all_of(processes)
         values = self.engine.run_until_complete(gate, limit=limit_cycles)
+        if metrics.enabled:
+            # Final sample lands exactly on the completion cycle, so
+            # interval integration reproduces LaunchResult totals.
+            metrics.flush()
+            metrics.observe("dpu.launch.cycles", self.engine.now - start)
         if self.trace.enabled:
             self.trace.complete_async(
                 "dpu.launch", "sched", start,
@@ -305,6 +325,8 @@ class DPU:
 
         def job():
             began = self.engine.now
+            if self.metrics.enabled:
+                self.metrics.touch()
             ticket = None
             job_cores = core_list
             if self.admission is not None:
@@ -318,6 +340,10 @@ class DPU:
             finally:
                 if ticket is not None:
                     self.admission.release()
+                if self.metrics.enabled:
+                    self.metrics.observe(
+                        "dpu.job.cycles", self.engine.now - began
+                    )
                 if self.trace.enabled:
                     self.trace.complete_async(
                         "dpu.job", "sched", began, site=label,
@@ -391,6 +417,9 @@ class DPU:
         self.engine.tracer = tracer
         for unit in self._traced_units():
             unit.trace = tracer
+        if self.metrics.enabled:
+            # Counter-track samples merge into the same Chrome trace.
+            self.metrics.trace = tracer
         return tracer
 
     def disable_tracing(self) -> None:
@@ -399,6 +428,61 @@ class DPU:
         self.engine.tracer = None
         for unit in self._traced_units():
             unit.trace = NULL_TRACER
+        if self.metrics.enabled:
+            self.metrics.trace = NULL_TRACER
+
+    def enable_metrics(
+        self,
+        hub: Optional[MetricsHub] = None,
+        cadence: float = 10_000.0,
+        capacity: int = 4096,
+    ) -> MetricsHub:
+        """Attach a continuous-metrics hub sampling this DPU.
+
+        The hub registers a periodic sampler on the engine clock that
+        snapshots the full counter registry (plus live DMAD channel
+        occupancy and admission gate depth) into ring-buffered time
+        series. Sampler ticks are pure host-side reads — they never
+        mutate modelled state or wake a process — so cycle counts are
+        identical to a metrics-off run (pinned, like the tracer). Pass
+        an existing cluster hub to aggregate several DPUs.
+        """
+        if hub is None:
+            hub = MetricsHub(
+                self.engine, cadence=cadence, capacity=capacity,
+                clock_hz=self.config.clock_hz, trace=self.trace,
+            )
+        self.metrics = hub
+        hub.add_sampler(self._metrics_sample)
+        if self.admission is not None:
+            self.admission.metrics = hub
+        return hub
+
+    def disable_metrics(self) -> None:
+        """Swap the no-op hub back in (strictly zero overhead)."""
+        self.metrics = NULL_HUB
+        if self.admission is not None:
+            self.admission.metrics = NULL_HUB
+
+    def _metrics_sample(self) -> Dict[str, float]:
+        """One sampler tick: the registry, plus gauges the registry
+        does not carry (live DMAD occupancy, admission gate depth)."""
+        sample = self.counter_registry().snapshot()
+        prefix = self.name
+        for core_id, dmad in self.dmads.items():
+            sample[f"{prefix}.dmad{core_id}.occupancy"] = float(
+                sum(dmad.occupancy(channel)
+                    for channel in range(dmad.NUM_CHANNELS))
+            )
+        admission = self.admission
+        if admission is not None:
+            occupancy = admission.occupancy()
+            scope = f"{prefix}.{admission.name}"
+            sample[f"{scope}.running"] = float(occupancy["running"])
+            sample[f"{scope}.queued"] = float(occupancy["queued"])
+            sample[f"{scope}.shed"] = float(admission.shed)
+            sample[f"{scope}.degraded"] = float(admission.degraded)
+        return sample
 
     def counter_registry(self) -> CounterRegistry:
         """Harvest every hardware counter into one dot-path registry.

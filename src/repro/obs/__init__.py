@@ -7,6 +7,18 @@ rendering, and a trace-schema validator used by CI.  See
 ``docs/OBSERVABILITY.md``.
 """
 
+from .metrics import (
+    NULL_HUB,
+    Alert,
+    Annotation,
+    LatencyDigest,
+    MetricsHub,
+    NullMetricsHub,
+    SloRule,
+    TimeSeries,
+    render_report,
+    validate_metrics_jsonl,
+)
 from .registry import CounterRegistry, UnitCounters
 from .report import PerfReport, render_histogram
 from .tracer import (
@@ -20,16 +32,26 @@ from .tracer import (
 from .validate import validate_chrome_trace, validate_file
 
 __all__ = [
+    "Alert",
+    "Annotation",
     "CounterRegistry",
-    "UnitCounters",
+    "LatencyDigest",
+    "MetricsHub",
+    "NULL_HUB",
     "NULL_TRACER",
+    "NullMetricsHub",
     "NullTracer",
     "PerfReport",
+    "SloRule",
     "Span",
+    "TimeSeries",
     "TraceBuffer",
     "Tracer",
+    "UnitCounters",
     "render_histogram",
+    "render_report",
     "traced_op",
     "validate_chrome_trace",
     "validate_file",
+    "validate_metrics_jsonl",
 ]

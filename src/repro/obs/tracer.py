@@ -208,17 +208,30 @@ NULL_TRACER = NullTracer()
 def traced_op(name: str, unit: str = "sql"):
     """Decorator for host-side operators whose first argument is a DPU
     (or anything with a ``.trace``): wraps the call in a span on the
-    given track. With tracing disabled the only cost is one attribute
-    load and a truthiness test."""
+    given track, and feeds the op's simulated duration into the DPU's
+    metrics hub latency digest (``<name>.cycles``) when one is
+    attached. With tracing and metrics disabled the only cost is two
+    attribute loads and truthiness tests."""
 
     def wrap(fn):
         @functools.wraps(fn)
         def inner(dpu, *args: Any, **kwargs: Any):
             trace = getattr(dpu, "trace", NULL_TRACER)
-            if not trace.enabled:
+            metrics = getattr(dpu, "metrics", None)
+            engine = getattr(dpu, "engine", None)
+            sampling = (metrics is not None and metrics.enabled
+                        and engine is not None)
+            if not trace.enabled and not sampling:
                 return fn(dpu, *args, **kwargs)
-            with trace.span(name, unit=unit):
-                return fn(dpu, *args, **kwargs)
+            begin = engine.now if sampling else 0.0
+            if trace.enabled:
+                with trace.span(name, unit=unit):
+                    result = fn(dpu, *args, **kwargs)
+            else:
+                result = fn(dpu, *args, **kwargs)
+            if sampling:
+                metrics.observe(f"{name}.cycles", engine.now - begin)
+            return result
 
         return inner
 

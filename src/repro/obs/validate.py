@@ -12,7 +12,14 @@ cannot silently emit malformed traces.  Checks are structural:
 * per ``(pid, tid)`` track, complete events are properly nested —
   a span either contains or is disjoint from every other span on
   its track (partial overlap means someone used ``span()`` where
-  ``async_span()`` was required).
+  ``async_span()`` was required);
+* counter (``C``) samples carry finite numeric values and
+  non-decreasing timestamps per ``(pid, tid, name)`` series (the
+  metrics hub samples on a monotone sim clock — out-of-order samples
+  mean a broken exporter);
+* SLO alert instants (``cat == "alert"``) carry the structured args
+  the alert engine promises (rule/state/value/threshold/since);
+  timeline annotations (``cat == "annotation"``) carry their kind.
 
 Usable as a library (:func:`validate_chrome_trace` returns a list of
 problem strings, empty when valid) or a CLI::
@@ -31,6 +38,64 @@ __all__ = ["validate_chrome_trace", "validate_file"]
 _REQUIRED = ("ph", "ts", "pid", "tid")
 _KNOWN_PHASES = {"X", "B", "E", "b", "e", "n", "i", "I", "C", "M", "s", "t",
                  "f", "P", "N", "O", "D"}
+_ALERT_ARGS = ("rule", "state", "value", "threshold", "since")
+_ALERT_STATES = ("firing", "resolved")
+
+
+def _check_counter(index: int, event: Dict[str, Any],
+                   last_ts: Dict[Tuple[Any, Any, Any], float],
+                   problems: List[str]) -> None:
+    """Counter samples: numeric finite values, monotone per series."""
+    args = event.get("args")
+    if not isinstance(args, dict):
+        problems.append(f"event {index}: counter event needs an "
+                        f"args object ({event.get('name')})")
+        return
+    for key, value in args.items():
+        if not isinstance(value, (int, float)) or value != value \
+                or value in (float("inf"), float("-inf")):
+            problems.append(
+                f"event {index}: counter {event.get('name')!r} sample "
+                f"{key!r} is not finite numeric: {value!r}"
+            )
+    series = (event["pid"], event["tid"], event.get("name"))
+    previous = last_ts.get(series)
+    if previous is not None and event["ts"] < previous:
+        problems.append(
+            f"event {index}: counter series {series} timestamp "
+            f"{event['ts']} precedes previous sample at {previous}"
+        )
+    last_ts[series] = event["ts"]
+
+
+def _check_instant(index: int, event: Dict[str, Any],
+                   problems: List[str]) -> None:
+    """Alert/annotation instants carry their structured args."""
+    cat = event.get("cat")
+    if cat == "alert":
+        args = event.get("args")
+        if not isinstance(args, dict):
+            problems.append(f"event {index}: alert instant "
+                            f"{event.get('name')!r} has no args")
+            return
+        for field in _ALERT_ARGS:
+            if field not in args:
+                problems.append(
+                    f"event {index}: alert {event.get('name')!r} args "
+                    f"missing {field!r}"
+                )
+        if "state" in args and args["state"] not in _ALERT_STATES:
+            problems.append(
+                f"event {index}: alert {event.get('name')!r} has unknown "
+                f"state {args['state']!r}"
+            )
+    elif cat == "annotation":
+        args = event.get("args")
+        if not isinstance(args, dict) or "kind" not in args:
+            problems.append(
+                f"event {index}: annotation instant {event.get('name')!r} "
+                f"needs args with a 'kind'"
+            )
 
 
 def _check_required(index: int, event: Dict[str, Any],
@@ -88,6 +153,7 @@ def validate_chrome_trace(payload: Any) -> List[str]:
     open_async: Dict[Tuple[Any, Any, Any], List[float]] = {}
     flows: Dict[Tuple[Any, Any, Any], List[str]] = {}
     tracks: Dict[Tuple[Any, Any], List[Dict[str, Any]]] = {}
+    counter_ts: Dict[Tuple[Any, Any, Any], float] = {}
     span_count = 0
 
     for index, event in enumerate(events):
@@ -140,9 +206,10 @@ def validate_chrome_trace(payload: Any) -> List[str]:
                 continue
             key = (event["cat"], event.get("name"), event["id"])
             flows.setdefault(key, []).append(phase)
-        elif phase == "C" and not isinstance(event.get("args"), dict):
-            problems.append(f"event {index}: counter event needs an "
-                            f"args object ({event.get('name')})")
+        elif phase == "C":
+            _check_counter(index, event, counter_ts, problems)
+        elif phase in ("i", "I"):
+            _check_instant(index, event, problems)
 
     for key, begun in open_async.items():
         if begun:

@@ -30,7 +30,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Optional
 
-from ..obs import NULL_TRACER
+from ..obs import NULL_HUB, NULL_TRACER
 from ..sim import Engine, Resource, StatsRecorder
 
 __all__ = [
@@ -217,8 +217,10 @@ class AdmissionController:
             TokenBucket(rate_per_kcycle, burst) if rate_per_kcycle > 0 else None
         )
         self.stats = stats if stats is not None else StatsRecorder()
-        # Observability hook; DPU.enable_tracing swaps in a live tracer.
+        # Observability hooks; DPU.enable_tracing swaps in a live
+        # tracer, DPU.enable_metrics a live hub (wait-latency digest).
         self.trace = NULL_TRACER
+        self.metrics = NULL_HUB
         self.admitted = 0
         self.shed = 0
         self.degraded = 0
@@ -332,6 +334,8 @@ class AdmissionController:
         waited = self.engine.now - began
         if waited > 0:
             self.stats.count(f"{self.name}.wait_cycles", waited)
+        if self.metrics.enabled:
+            self.metrics.observe(f"{self.name}.wait_cycles", waited)
         self.admitted += 1
         self.stats.count(f"{self.name}.admitted", 1)
         self.stats.peak(

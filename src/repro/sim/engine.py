@@ -484,6 +484,12 @@ class Engine:
         # Optional observability hook (repro.obs.Tracer). None keeps the
         # process start/finish paths to a single attribute test.
         self.tracer: Optional[Any] = None
+        # Pending metrics-sampler ticks (repro.obs.metrics.MetricsHub).
+        # Sampler ticks re-arm only while the queue holds *other* work;
+        # this count lets several hubs sharing one engine (per-DPU hubs
+        # in a cluster) distinguish each other's dormant-going ticks
+        # from real events, so they never keep one another alive.
+        self._metric_ticks = 0
         self._processes: List["Process"] = []
         self._process_prune_at = 256
         self._unobserved_failures: List[SimEvent] = []

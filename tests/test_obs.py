@@ -212,6 +212,39 @@ class TestCounterRegistry:
         assert a.get("dpu0.dms.bytes_read") == 150
         assert a.get("dpu0.dmad.occupancy_peak") == 9
 
+    def test_delta_from_empty_snapshot_is_everything(self):
+        registry = CounterRegistry()
+        before = registry.snapshot()
+        registry.add("a.one", 1)
+        registry.peak("b.depth_peak", 4)
+        assert registry.delta(before) == {"a.one": 1.0, "b.depth_peak": 4.0}
+
+    def test_delta_of_unchanged_registry_is_empty(self):
+        registry = CounterRegistry()
+        registry.add("a.one", 1)
+        assert registry.delta(registry.snapshot()) == {}
+
+    def test_merge_peak_missing_on_one_side(self):
+        """Max-folding must treat an absent peak as -inf, not clobber
+        or drop the present side."""
+        a, b = CounterRegistry(), CounterRegistry()
+        b.peak("dmad.occupancy_peak", 7)
+        a.merge(b)
+        assert a.get("dmad.occupancy_peak") == 7
+        c = CounterRegistry()
+        c.peak("dmad.occupancy_peak", 3)
+        a.merge(c)  # lower incoming peak must not regress the max
+        assert a.get("dmad.occupancy_peak") == 7
+
+    def test_merge_mixes_new_and_existing_keys(self):
+        a, b = CounterRegistry(), CounterRegistry()
+        a.add("x.bytes", 10)
+        b.add("x.bytes", 5)
+        b.add("y.bytes", 2)
+        a.merge(b)
+        assert a.get("x.bytes") == 15
+        assert a.get("y.bytes") == 2
+
     def test_adopt_stats_imports_counters_and_gauges(self):
         from repro.sim import StatsRecorder
 
@@ -329,6 +362,75 @@ class TestValidator:
         problems = validate_chrome_trace(events)
         assert any("dur" in p for p in problems)
 
+    def _with_span(self, *events):
+        """Pad with one valid span so only the checks under test fire."""
+        return [{"name": "s", "ph": "X", "ts": 0, "dur": 1,
+                 "pid": 0, "tid": 1}, *events]
+
+    def test_rejects_non_finite_counter_sample(self):
+        events = self._with_span(
+            {"name": "c", "ph": "C", "ts": 0, "pid": 0, "tid": 2,
+             "args": {"v": float("nan")}},
+        )
+        problems = validate_chrome_trace(events)
+        assert any("not finite numeric" in p for p in problems)
+
+    def test_rejects_counter_timestamp_regression(self):
+        events = self._with_span(
+            {"name": "c", "ph": "C", "ts": 10, "pid": 0, "tid": 2,
+             "args": {"v": 1.0}},
+            {"name": "c", "ph": "C", "ts": 5, "pid": 0, "tid": 2,
+             "args": {"v": 2.0}},
+        )
+        problems = validate_chrome_trace(events)
+        assert any("precedes previous sample" in p for p in problems)
+
+    def test_counter_series_are_tracked_independently(self):
+        events = self._with_span(
+            {"name": "c", "ph": "C", "ts": 10, "pid": 0, "tid": 2,
+             "args": {"v": 1.0}},
+            {"name": "other", "ph": "C", "ts": 5, "pid": 0, "tid": 2,
+             "args": {"v": 2.0}},
+        )
+        assert validate_chrome_trace(events) == []
+
+    def test_rejects_alert_instant_without_args(self):
+        events = self._with_span(
+            {"name": "slo.x", "ph": "i", "ts": 0, "pid": 0, "tid": 3,
+             "cat": "alert"},
+        )
+        problems = validate_chrome_trace(events)
+        assert any("has no args" in p for p in problems)
+
+    def test_rejects_alert_with_unknown_state(self):
+        events = self._with_span(
+            {"name": "slo.x", "ph": "i", "ts": 0, "pid": 0, "tid": 3,
+             "cat": "alert",
+             "args": {"rule": "x", "state": "maybe", "value": 1,
+                      "threshold": 1, "since": 0}},
+        )
+        problems = validate_chrome_trace(events)
+        assert any("unknown state" in p for p in problems)
+
+    def test_rejects_annotation_without_kind(self):
+        events = self._with_span(
+            {"name": "note.x", "ph": "i", "ts": 0, "pid": 0, "tid": 3,
+             "cat": "annotation", "args": {}},
+        )
+        problems = validate_chrome_trace(events)
+        assert any("needs args with a 'kind'" in p for p in problems)
+
+    def test_accepts_well_formed_alert_and_annotation(self):
+        events = self._with_span(
+            {"name": "slo.x", "ph": "i", "ts": 0, "pid": 0, "tid": 3,
+             "cat": "alert",
+             "args": {"rule": "x", "state": "firing", "value": 2.0,
+                      "threshold": 1.0, "since": 0.0}},
+            {"name": "note.x", "ph": "i", "ts": 1, "pid": 0, "tid": 3,
+             "cat": "annotation", "args": {"kind": "chaos.dpu.dead"}},
+        )
+        assert validate_chrome_trace(events) == []
+
 
 class TestTracedSqlOperators:
     def test_operator_span_on_sql_track(self):
@@ -356,6 +458,14 @@ class TestTracerBuffer:
         assert tracer.dropped == 6
         payload = tracer.to_chrome()
         assert payload["otherData"]["dropped_events"] == 6
+
+    def test_overflow_evicts_oldest_first(self):
+        dpu = DPU()
+        tracer = dpu.enable_tracing(capacity=4)
+        for i in range(10):
+            tracer.instant(f"e{i}", unit="core0")
+        names = [e["name"] for e in tracer.events]
+        assert names == ["e6", "e7", "e8", "e9"]  # newest window survives
 
     def test_export_writes_valid_json(self, tmp_path):
         from repro.obs import validate_file

@@ -18,6 +18,10 @@ much host wall-clock the simulation itself burns. Two subcommands:
     * ``fig11_body_s``    — DMS bandwidth sweep body, in-process
     * ``engine_1m_events_s`` — one million timer events through the
       raw event engine, in-process (events/s also recorded)
+    * ``metrics_sweep_s``  — repeated DMS streaming launches with
+      continuous metrics sampling enabled at a fine cadence,
+      in-process (records the sampling path's host cost; the
+      disabled path is pinned to literally zero by tests)
 
 ``compare``
     Diff a baseline report against a current one::
@@ -132,12 +136,37 @@ def measure_engine_1m() -> float:
     return run_engine_events(1_000_000)
 
 
+def measure_metrics_sweep() -> float:
+    """Repeated DMS streaming launches with the continuous-metrics
+    sampler on at a fine cadence: full-registry snapshots every 500
+    cycles plus digest feeds, the worst realistic sampling load."""
+    import numpy as np
+    from repro.apps.streaming import stream_columns
+    from repro.core import DPU
+
+    dpu = DPU()
+    dpu.enable_metrics(cadence=500.0)
+    rows = 2048
+    addr = dpu.store_array(np.arange(rows, dtype=np.uint64))
+
+    def kernel(ctx):
+        yield from stream_columns(
+            ctx, [(addr, 8)], rows, 512, lambda *a: 8, dmem_base=64
+        )
+
+    began = time.perf_counter()
+    for _ in range(40):
+        dpu.launch(kernel, cores=[0, 1])
+    return time.perf_counter() - began
+
+
 WORKLOADS = {
     "tier1_wall_s": measure_tier1,
     "goldens_wall_s": measure_goldens,
     "fig16_body_s": measure_fig16_body,
     "fig11_body_s": measure_fig11_body,
     "engine_1m_events_s": measure_engine_1m,
+    "metrics_sweep_s": measure_metrics_sweep,
 }
 
 # The CI regression gate applies to this key.
