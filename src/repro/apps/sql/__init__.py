@@ -24,6 +24,8 @@ from .engine import (
 )
 from .expr import And, Between, Eq, Ge, InSet, Le, Or, Predicate
 from .filter import dpu_filter, dpu_scan_project, xeon_filter
+from .frontend import compile_query, load_query, parse_sql
+from .ir import Catalog, LogicalPlan, PlanError, compile_logical
 from .join import (
     bitmap_filter,
     broadcast_array,
@@ -32,6 +34,7 @@ from .join import (
     lookup_filter,
     xeon_join_count,
 )
+from .physical import CompiledQuery, lower_plan, tpch_catalog
 from .planner import DmemBudget, PartitionPlan, plan_partitioning
 from .sort import dpu_sort, xeon_sort
 from .table import DpuTable, Table
@@ -44,6 +47,8 @@ __all__ = [
     "And",
     "Between",
     "Broadcast",
+    "Catalog",
+    "CompiledQuery",
     "DmemBudget",
     "DpuOpResult",
     "DpuTable",
@@ -53,8 +58,10 @@ __all__ = [
     "GroupKey",
     "InSet",
     "Le",
+    "LogicalPlan",
     "Or",
     "PartitionPlan",
+    "PlanError",
     "Predicate",
     "QueryComparison",
     "RowFilter",
@@ -65,6 +72,8 @@ __all__ = [
     "bitmap_filter",
     "broadcast_array",
     "comparison_table",
+    "compile_logical",
+    "compile_query",
     "dpu_filter",
     "dpu_groupby",
     "dpu_partitioned_join_count",
@@ -73,13 +82,17 @@ __all__ = [
     "dpu_topk",
     "efficiency_gain",
     "key_bitmap",
+    "load_query",
     "load_tpch_on_dpu",
     "lookup_filter",
+    "lower_plan",
     "measure_agg_loop",
     "measure_filter_loop",
     "merge_groups",
+    "parse_sql",
     "plan_partitioning",
     "run_query",
+    "tpch_catalog",
     "xeon_filter",
     "xeon_groupby",
     "xeon_join_count",

@@ -1,0 +1,442 @@
+"""SQL-text frontend: tokenizer + recursive-descent parser.
+
+Layer 1 of the compile pipeline (see ``docs/SQL.md``): turns SQL text
+into the AST of :mod:`repro.apps.sql.ir`. Grammar covers the analytic
+subset the lowering supports — single SELECT, comma-FROM or explicit
+``JOIN .. ON``, WHERE conjunctions of ranges / IN lists / prefix LIKE
+/ OR-of-ranges, GROUP BY plain columns, aggregate select expressions
+(sum/count/avg/min/max over arithmetic + CASE), ORDER BY (alias,
+position, or expression; ASC/DESC) and LIMIT. ``date 'Y-M-D'``
+literals become day codes against the 1992-01-01 epoch at parse time;
+``+/- interval 'n' day|month|year`` folds with calendar math.
+
+Anything outside the subset raises :class:`~repro.apps.sql.ir.PlanError`
+with the query text and the offending clause — never a mid-parse
+assertion.
+"""
+
+from __future__ import annotations
+
+import datetime
+import os
+import re
+from typing import Any, List, Optional, Tuple
+
+from .ir import (
+    AggCall,
+    Arith,
+    Case,
+    Cmp,
+    Col,
+    InList,
+    Interval,
+    Like,
+    Lit,
+    Logic,
+    PlanError,
+    RangeTest,
+    SelectStmt,
+    fold_date_arith,
+)
+
+__all__ = ["compile_query", "load_query", "parse_sql", "QUERY_DIR"]
+
+QUERY_DIR = os.path.join(os.path.dirname(__file__), "queries")
+
+_TOKEN_RE = re.compile(
+    r"\s+"
+    r"|--[^\n]*"
+    r"|(?P<num>\d+\.\d*|\.\d+|\d+)"
+    r"|(?P<str>'[^']*')"
+    r"|(?P<id>[A-Za-z_][A-Za-z0-9_]*)"
+    r"|(?P<op><=|>=|<>|!=|=|<|>|\+|-|\*|/|\(|\)|,|;|\.)"
+)
+
+_AGG_FNS = ("sum", "count", "avg", "min", "max")
+_KEYWORDS = frozenset(
+    "select from where group by order limit join inner on and or not "
+    "between in like as asc desc case when then else end date interval "
+    "distinct having union".split()
+) | frozenset(_AGG_FNS)
+
+
+class _Token:
+    __slots__ = ("kind", "value")
+
+    def __init__(self, kind: str, value: Any) -> None:
+        self.kind = kind  # num | str | name | kw | op
+        self.value = value
+
+    def __repr__(self) -> str:
+        return f"{self.kind}:{self.value!r}"
+
+
+def _tokenize(text: str) -> List[_Token]:
+    tokens: List[_Token] = []
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN_RE.match(text, pos)
+        if match is None:
+            raise PlanError(f"cannot tokenize at {text[pos:pos + 20]!r}",
+                            query=text, clause="lexer")
+        pos = match.end()
+        if match.lastgroup == "num":
+            raw = match.group("num")
+            value = float(raw) if "." in raw else int(raw)
+            tokens.append(_Token("num", value))
+        elif match.lastgroup == "str":
+            tokens.append(_Token("str", match.group("str")[1:-1]))
+        elif match.lastgroup == "id":
+            word = match.group("id")
+            lowered = word.lower()
+            if lowered in _KEYWORDS:
+                tokens.append(_Token("kw", lowered))
+            else:
+                tokens.append(_Token("name", lowered))
+        elif match.lastgroup == "op":
+            op = match.group("op")
+            tokens.append(_Token("op", "<>" if op == "!=" else op))
+    return tokens
+
+
+class _Parser:
+    def __init__(self, text: str) -> None:
+        self.text = text
+        self.tokens = _tokenize(text)
+        self.pos = 0
+
+    # -- token helpers --------------------------------------------------
+    def peek(self, offset: int = 0) -> Optional[_Token]:
+        index = self.pos + offset
+        return self.tokens[index] if index < len(self.tokens) else None
+
+    def next(self) -> _Token:
+        token = self.peek()
+        if token is None:
+            raise PlanError("unexpected end of query", query=self.text,
+                            clause="parser")
+        self.pos += 1
+        return token
+
+    def accept_kw(self, *words: str) -> Optional[str]:
+        token = self.peek()
+        if token is not None and token.kind == "kw" and token.value in words:
+            self.pos += 1
+            return token.value
+        return None
+
+    def accept_op(self, *ops: str) -> Optional[str]:
+        token = self.peek()
+        if token is not None and token.kind == "op" and token.value in ops:
+            self.pos += 1
+            return token.value
+        return None
+
+    def expect_kw(self, word: str, clause: str) -> None:
+        if not self.accept_kw(word):
+            raise PlanError(f"expected {word.upper()!r}, got "
+                            f"{self._describe(self.peek())}",
+                            query=self.text, clause=clause)
+
+    def expect_op(self, op: str, clause: str) -> None:
+        if not self.accept_op(op):
+            raise PlanError(f"expected {op!r}, got "
+                            f"{self._describe(self.peek())}",
+                            query=self.text, clause=clause)
+
+    def expect_name(self, clause: str) -> str:
+        token = self.peek()
+        if token is None or token.kind != "name":
+            raise PlanError(f"expected an identifier, got "
+                            f"{self._describe(token)}",
+                            query=self.text, clause=clause)
+        self.pos += 1
+        return token.value
+
+    @staticmethod
+    def _describe(token: Optional[_Token]) -> str:
+        return "end of query" if token is None else repr(token.value)
+
+    # -- grammar --------------------------------------------------------
+    def parse(self) -> SelectStmt:
+        self.expect_kw("select", "select")
+        if self.accept_kw("distinct"):
+            raise PlanError("SELECT DISTINCT is not supported",
+                            query=self.text, clause="select")
+        items = [self._select_item()]
+        while self.accept_op(","):
+            items.append(self._select_item())
+
+        self.expect_kw("from", "from")
+        tables = [self.expect_name("from")]
+        join_ons: List[Any] = []
+        while True:
+            if self.accept_op(","):
+                tables.append(self.expect_name("from"))
+                continue
+            if self.accept_kw("join") or \
+                    (self.accept_kw("inner") and
+                     (self.expect_kw("join", "join") or True)):
+                tables.append(self.expect_name("join"))
+                self.expect_kw("on", "join")
+                join_ons.append(self._expr())
+                continue
+            break
+
+        where = self._expr() if self.accept_kw("where") else None
+
+        group_by: List[Any] = []
+        if self.accept_kw("group"):
+            self.expect_kw("by", "group by")
+            group_by.append(self._expr())
+            while self.accept_op(","):
+                group_by.append(self._expr())
+
+        if self.accept_kw("having"):
+            raise PlanError("HAVING is not supported", query=self.text,
+                            clause="having")
+
+        order_by: List[Tuple[Any, bool]] = []
+        if self.accept_kw("order"):
+            self.expect_kw("by", "order by")
+            order_by.append(self._order_item())
+            while self.accept_op(","):
+                order_by.append(self._order_item())
+
+        limit: Optional[int] = None
+        if self.accept_kw("limit"):
+            token = self.next()
+            if token.kind != "num" or not isinstance(token.value, int):
+                raise PlanError("LIMIT needs an integer literal",
+                                query=self.text, clause="limit")
+            limit = token.value
+
+        self.accept_op(";")
+        if self.accept_kw("union"):
+            raise PlanError("UNION is not supported", query=self.text,
+                            clause="union")
+        trailing = self.peek()
+        if trailing is not None:
+            raise PlanError(f"unexpected trailing input "
+                            f"{self._describe(trailing)}",
+                            query=self.text, clause="parser")
+        return SelectStmt(items=items, tables=tables, join_ons=join_ons,
+                          where=where, group_by=group_by, order_by=order_by,
+                          limit=limit, text=self.text)
+
+    def _select_item(self) -> Tuple[Any, Optional[str]]:
+        expr = self._expr()
+        alias: Optional[str] = None
+        if self.accept_kw("as"):
+            alias = self.expect_name("select")
+        else:
+            token = self.peek()
+            if token is not None and token.kind == "name":
+                self.pos += 1
+                alias = token.value
+        return expr, alias
+
+    def _order_item(self) -> Tuple[Any, bool]:
+        expr = self._expr()
+        desc = False
+        if self.accept_kw("desc"):
+            desc = True
+        else:
+            self.accept_kw("asc")
+        return expr, desc
+
+    def _expr(self) -> Any:
+        return self._or_expr()
+
+    def _or_expr(self) -> Any:
+        node = self._and_expr()
+        args = [node]
+        while self.accept_kw("or"):
+            args.append(self._and_expr())
+        return node if len(args) == 1 else Logic("or", tuple(args))
+
+    def _and_expr(self) -> Any:
+        node = self._predicate()
+        args = [node]
+        while self.accept_kw("and"):
+            args.append(self._predicate())
+        return node if len(args) == 1 else Logic("and", tuple(args))
+
+    def _predicate(self) -> Any:
+        if self.accept_kw("not"):
+            raise PlanError("NOT is not supported", query=self.text,
+                            clause="where")
+        left = self._additive()
+        if self.accept_kw("between"):
+            lo = self._additive()
+            self.expect_kw("and", "between")
+            hi = self._additive()
+            return RangeTest(left, lo, hi)
+        if self.accept_kw("in"):
+            self.expect_op("(", "in")
+            values = [self._additive()]
+            while self.accept_op(","):
+                values.append(self._additive())
+            self.expect_op(")", "in")
+            return InList(left, tuple(values))
+        if self.accept_kw("like"):
+            token = self.next()
+            if token.kind != "str":
+                raise PlanError("LIKE needs a string pattern",
+                                query=self.text, clause="like")
+            return Like(left, token.value)
+        op = self.accept_op("=", "<>", "<=", ">=", "<", ">")
+        if op is not None:
+            return Cmp(op, left, self._additive())
+        return left
+
+    def _additive(self) -> Any:
+        node = self._multiplicative()
+        while True:
+            op = self.accept_op("+", "-")
+            if op is None:
+                return node
+            right = self._multiplicative()
+            node = fold_date_arith(Arith(op, node, right), self.text)
+
+    def _multiplicative(self) -> Any:
+        node = self._unary()
+        while True:
+            op = self.accept_op("*", "/")
+            if op is None:
+                return node
+            node = Arith(op, node, self._unary())
+
+    def _unary(self) -> Any:
+        if self.accept_op("-"):
+            operand = self._unary()
+            if isinstance(operand, Lit):
+                return Lit(-operand.value)
+            return Arith("-", Lit(0), operand)
+        return self._primary()
+
+    def _primary(self) -> Any:
+        token = self.peek()
+        if token is None:
+            raise PlanError("unexpected end of expression", query=self.text,
+                            clause="expression")
+        if token.kind == "num":
+            self.pos += 1
+            return Lit(token.value)
+        if token.kind == "str":
+            self.pos += 1
+            return Lit(token.value)
+        if token.kind == "op" and token.value == "(":
+            self.pos += 1
+            node = self._expr()
+            self.expect_op(")", "expression")
+            return node
+        if token.kind == "kw":
+            if token.value == "date":
+                self.pos += 1
+                return self._date_literal()
+            if token.value == "interval":
+                self.pos += 1
+                return self._interval_literal()
+            if token.value == "case":
+                self.pos += 1
+                return self._case_expr()
+            if token.value in _AGG_FNS:
+                self.pos += 1
+                return self._agg_call(token.value)
+            raise PlanError(f"unexpected keyword {token.value!r} in "
+                            "expression", query=self.text,
+                            clause="expression")
+        if token.kind == "name":
+            self.pos += 1
+            name = token.value
+            if self.accept_op("."):
+                column = self.expect_name("column reference")
+                return Col(column, table=name)
+            return Col(name)
+        raise PlanError(f"unexpected token {self._describe(token)}",
+                        query=self.text, clause="expression")
+
+    def _date_literal(self) -> Lit:
+        token = self.next()
+        if token.kind != "str":
+            raise PlanError("DATE needs a 'Y-M-D' string", query=self.text,
+                            clause="date literal")
+        try:
+            year, month, day = (int(part) for part in token.value.split("-"))
+            code = (datetime.date(year, month, day)
+                    - datetime.date(1992, 1, 1)).days
+        except ValueError:
+            raise PlanError(f"bad date literal {token.value!r}",
+                            query=self.text, clause="date literal") from None
+        return Lit(code)
+
+    def _interval_literal(self) -> Interval:
+        token = self.next()
+        if token.kind == "str":
+            try:
+                count = int(token.value)
+            except ValueError:
+                raise PlanError(f"bad interval count {token.value!r}",
+                                query=self.text, clause="interval") from None
+        elif token.kind == "num" and isinstance(token.value, int):
+            count = token.value
+        else:
+            raise PlanError("INTERVAL needs an integer count",
+                            query=self.text, clause="interval")
+        unit_token = self.next()
+        unit = str(unit_token.value).rstrip("s")
+        if unit not in ("day", "month", "year"):
+            raise PlanError(f"unsupported interval unit {unit!r}",
+                            query=self.text, clause="interval")
+        return Interval(count, unit)
+
+    def _case_expr(self) -> Case:
+        whens: List[Tuple[Any, Any]] = []
+        while self.accept_kw("when"):
+            cond = self._expr()
+            self.expect_kw("then", "case")
+            whens.append((cond, self._additive()))
+        if not whens:
+            raise PlanError("CASE needs at least one WHEN", query=self.text,
+                            clause="case")
+        default: Any = Lit(0)
+        if self.accept_kw("else"):
+            default = self._additive()
+        self.expect_kw("end", "case")
+        return Case(tuple(whens), default)
+
+    def _agg_call(self, fn: str) -> AggCall:
+        self.expect_op("(", "aggregate")
+        if fn == "count" and self.accept_op("*"):
+            self.expect_op(")", "aggregate")
+            return AggCall("count", None)
+        arg = self._expr()
+        self.expect_op(")", "aggregate")
+        return AggCall(fn, arg)
+
+
+def parse_sql(text: str) -> SelectStmt:
+    """Parse one SELECT statement into a :class:`SelectStmt`."""
+    return _Parser(text).parse()
+
+
+def load_query(name: str) -> str:
+    """Read ``queries/<name>.sql`` shipped with the package."""
+    path = os.path.join(QUERY_DIR, f"{name}.sql")
+    with open(path, "r", encoding="utf-8") as handle:
+        return handle.read()
+
+
+def compile_query(sql: str, catalog, name: str = "query"):
+    """SQL text -> executable :class:`~repro.apps.sql.physical.CompiledQuery`.
+
+    Convenience wrapper running all four layers: parse, logical
+    compile + rewrites, physical planning, lowering.
+    """
+    from .ir import compile_logical
+    from .physical import lower_plan
+
+    stmt = parse_sql(sql)
+    logical = compile_logical(stmt, catalog, name=name)
+    return lower_plan(logical, catalog)

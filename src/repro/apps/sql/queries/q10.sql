@@ -1,0 +1,22 @@
+-- TPC-H Q10: returned item reporting
+select
+    c_custkey,
+    sum(l_extendedprice * (1 - l_discount)) as revenue,
+    c_nationkey
+from
+    customer,
+    orders,
+    lineitem
+where
+    c_custkey = o_custkey
+    and l_orderkey = o_orderkey
+    and o_orderdate >= date '1993-10-01'
+    and o_orderdate < date '1993-10-01' + interval '3' month
+    and l_returnflag = 'R'
+group by
+    c_custkey,
+    c_nationkey
+order by
+    revenue desc,
+    c_custkey
+limit 20;

@@ -10,6 +10,7 @@ from .recovery import (
 )
 from .scaleout import (
     ScaleOutResult,
+    cluster_compiled_query,
     cluster_filter_count,
     cluster_groupby,
     cluster_hll,
@@ -39,6 +40,7 @@ __all__ = [
     "ScaleOutResult",
     "ShuffleRackModel",
     "ShuffleResult",
+    "cluster_compiled_query",
     "cluster_filter_count",
     "cluster_groupby",
     "cluster_hll",

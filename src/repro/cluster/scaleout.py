@@ -802,3 +802,156 @@ def cluster_tpch_q1(
         return accounting.result(value or {}, ticket, detail)
     finally:
         cluster.release_job()
+
+
+def cluster_compiled_query(
+    cluster: Cluster,
+    compiled,
+    shards: Sequence[Table],
+    strategy: Optional[str] = None,
+) -> ScaleOutResult:
+    """Run a planner-compiled SQL query
+    (:class:`~repro.apps.sql.physical.CompiledQuery`) over row-sharded
+    fact tables.
+
+    ``strategy`` defaults to the exchange the cost-based planner chose
+    (``compiled.plan["exchange"]["choice"]``):
+
+    - ``pre_aggregate``: each DPU runs the full local plan on its
+      shard and only partial group tables cross the fabric, merged
+      with :func:`~repro.apps.sql.aggregate.merge_groups` (the only
+      legal strategy for computed group keys).
+    - ``all_to_all``: shuffle the fact rows by the single-column group
+      key so each DPU owns a disjoint key set, group locally, union
+      the disjoint partials.
+
+    The coordinator applies ``compiled.finish`` (decode / gather /
+    sort / limit) to the merged groups, so the value is byte-equal to
+    ``compiled.run_dpu`` and ``compiled.run_xeon`` over the
+    concatenated shards (all aggregates are integer-valued float sums
+    below 2^53, hence order-independent)."""
+    _validate_shards(cluster, shards, "fact shards")
+    if strategy is None:
+        strategy = compiled.plan["exchange"]["choice"]
+    if strategy not in ("pre_aggregate", "all_to_all"):
+        raise ValueError(f"unknown exchange strategy {strategy!r}")
+    if strategy == "all_to_all" and compiled.key_column is None:
+        raise ValueError(
+            f"{compiled.name}: all_to_all shuffles on a single key column; "
+            "computed group keys only support pre_aggregate"
+        )
+    site = f"sql.{compiled.name}"
+    accounting = _JobAccounting(cluster, site)
+    ticket = cluster.admit_job(f"cluster.{site}")
+    record_bytes = compiled.record_bytes
+
+    def merge_partials(accumulator, partial):
+        if accumulator is None:
+            return merge_groups([partial], compiled.aggs)
+        return merge_groups([accumulator, partial], compiled.aggs)
+
+    def merge_disjoint(accumulator, partial):
+        merged = accumulator if accumulator is not None else {}
+        merged.update(partial)  # disjoint key sets: plain union
+        return merged
+
+    nbytes_of = lambda partial: max(record_bytes * len(partial), 8)  # noqa: E731
+
+    try:
+        if cluster.num_dpus == 1:
+            groups, cycles = compiled.run_local(
+                cluster.dpus[0], shards[0].columns, "shard0")
+            detail = _exchange_detail(0.0, 0.0, cycles, 0.0, 0)
+            return accounting.result(compiled.finish(groups), ticket, detail)
+
+        if cluster.recovery is not None:
+            manager = cluster.recovery
+            manager.begin_job(site)
+            try:
+                local_cycles = 0.0
+                if strategy == "all_to_all":
+                    shuffled = manager.run_exchange(
+                        site, shards, compiled.key_column,
+                        compiled.needed_columns,
+                    )
+                    owners = dict(manager.last_slot_owner)
+
+                    def compute(slot, dpu, dpu_index):
+                        nonlocal local_cycles
+                        groups, cycles = compiled.run_local(
+                            dpu, shuffled.columns[slot], f"slot{slot}")
+                        local_cycles = max(local_cycles, cycles)
+                        return groups
+
+                    value, gather_cycles = manager.run_job(
+                        site, compute, merge_disjoint,
+                        nbytes_of=nbytes_of, owners=owners,
+                    )
+                    detail = _exchange_detail(
+                        shuffled.partition_cycles,
+                        shuffled.exchange_cycles,
+                        local_cycles, gather_cycles, shuffled.rows_moved,
+                    )
+                else:
+                    def compute(shard_index, dpu, dpu_index):
+                        nonlocal local_cycles
+                        groups, cycles = compiled.run_local(
+                            dpu, shards[shard_index].columns,
+                            f"shard{shard_index}")
+                        local_cycles = max(local_cycles, cycles)
+                        return groups
+
+                    value, gather_cycles = manager.run_job(
+                        site, compute, merge_partials,
+                        nbytes_of=nbytes_of,
+                    )
+                    detail = _exchange_detail(0.0, 0.0, local_cycles,
+                                              gather_cycles, 0)
+            finally:
+                manager.end_job()
+            return accounting.result(compiled.finish(value or {}), ticket,
+                                     detail, recovery=manager.stats)
+
+        partials: List[Dict] = []
+        local_cycles = 0.0
+        if strategy == "all_to_all":
+            dtables = [
+                Table(shard.name, {
+                    name: shard.columns[name]
+                    for name in compiled.needed_columns
+                }).to_dpu(dpu)
+                for shard, dpu in zip(shards, cluster.dpus)
+            ]
+            shuffled = shuffle_exchange(
+                cluster, dtables, compiled.key_column,
+                compiled.needed_columns,
+            )
+            for index, (dpu, columns) in enumerate(
+                zip(cluster.dpus, shuffled.columns)
+            ):
+                groups, cycles = compiled.run_local(dpu, columns,
+                                                    f"slot{index}")
+                local_cycles = max(local_cycles, cycles)
+                partials.append(groups)
+            merge = merge_disjoint
+            exchange = (shuffled.partition_cycles, shuffled.exchange_cycles,
+                        shuffled.rows_moved)
+        else:
+            for index, (dpu, shard) in enumerate(
+                zip(cluster.dpus, shards)
+            ):
+                groups, cycles = compiled.run_local(dpu, shard.columns,
+                                                    f"shard{index}")
+                local_cycles = max(local_cycles, cycles)
+                partials.append(groups)
+            merge = merge_partials
+            exchange = (0.0, 0.0, 0)
+
+        value, gather_cycles = _gather_partials(
+            cluster, partials, nbytes_of=nbytes_of, merge=merge, site=site,
+        )
+        detail = _exchange_detail(exchange[0], exchange[1], local_cycles,
+                                  gather_cycles, exchange[2])
+        return accounting.result(compiled.finish(value or {}), ticket, detail)
+    finally:
+        cluster.release_job()

@@ -1,0 +1,73 @@
+"""Golden snapshots of compiled TPC-H plans (tests/goldens/plans/).
+
+The planner's observable decisions — needed columns, fused filter
+ranges, semijoin broadcasts, group-key lowering, offload and exchange
+choices — are frozen as JSON. Any planner change that shifts a plan
+shows up as a reviewable golden diff; regenerate deliberately with::
+
+    PYTHONPATH=src python -m pytest tests/test_plan_goldens.py --update-goldens
+"""
+
+import json
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.apps.sql import compile_query, load_query, tpch_catalog
+from repro.workloads.tpch import generate_tpch
+
+GOLDEN_DIR = Path(__file__).parent / "goldens" / "plans"
+QUERIES = ["q1", "q3", "q5", "q6", "q10", "q12", "q14"]
+
+
+@pytest.fixture(scope="module")
+def catalog():
+    return tpch_catalog(generate_tpch(scale=0.002, seed=11))
+
+
+def _jsonable(value):
+    """Plans hold numpy scalars and floats; normalise for stable JSON."""
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, (np.integer,)):
+        return int(value)
+    if isinstance(value, (np.floating, float)):
+        return round(float(value), 9)
+    return value
+
+
+def _observed_plan(catalog, name):
+    compiled = compile_query(load_query(name), catalog, name)
+    return _jsonable(compiled.plan)
+
+
+@pytest.mark.parametrize("name", QUERIES)
+def test_plan_golden(catalog, name, request):
+    observed = _observed_plan(catalog, name)
+    path = GOLDEN_DIR / f"{name}.json"
+    if request.config.getoption("--update-goldens"):
+        GOLDEN_DIR.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(observed, indent=2, sort_keys=True) + "\n")
+        return
+    if not path.exists():
+        pytest.fail(
+            f"no golden plan for {name!r}; generate it with "
+            f"--update-goldens and commit {path}"
+        )
+    golden = json.loads(path.read_text())
+    if golden != observed:
+        lines = [f"compiled plan for {name!r} drifted from its golden:"]
+        for key in sorted(set(golden) | set(observed)):
+            if golden.get(key) != observed.get(key):
+                lines.append(f"  {key}: golden {golden.get(key)!r}"
+                             f" != observed {observed.get(key)!r}")
+        pytest.fail("\n".join(lines), pytrace=False)
+
+
+def test_plans_are_deterministic(catalog):
+    first = _observed_plan(catalog, "q5")
+    second = _observed_plan(catalog, "q5")
+    assert first == second
