@@ -1,0 +1,188 @@
+"""Serving tail latency under 1x-16x open-loop oversubscription.
+
+The PR-10 headline experiment (docs/SERVING.md): a Zipfian
+multi-tenant TPC-H mix is offered to the QoS serving front end at
+multiples of the cluster's measured service rate. Reported per
+offered-load factor: overall p50/p99/p999 (sim cycles), cache hit
+share, and batch count — then the per-tier isolation curve at the
+highest factor, where start-time fair queueing plus per-tenant token
+buckets must hold the gold tail below the bronze tail.
+
+Invariants asserted, not just printed:
+
+* every request completes (open-loop queue drains);
+* every response is byte-equal to a standalone
+  ``cluster_compiled_query`` run of the same query — caching and
+  shared-scan batching are pure latency optimizations;
+* at 16x the gold tenant's p99 stays below the bronze tenant's.
+"""
+
+from conftest import run_once
+
+from repro.apps.sql import Table, compile_query, load_query, tpch_catalog
+from repro.cluster import Cluster, cluster_compiled_query
+from repro.serve import OpenLoopWorkload, ServingFrontend
+from repro.workloads.tpch import generate_tpch
+
+QUERIES = ["q1", "q6", "q12", "q14"]
+TENANTS = {
+    "tenant-a": "gold",
+    "tenant-b": "silver",
+    "tenant-c": "silver",
+    "tenant-d": "bronze",
+    "tenant-e": "bronze",
+    "tenant-f": "bronze",
+}
+NUM_DPUS = 4
+FACTORS = [1, 2, 4, 8, 16]
+REQUESTS_PER_FACTOR = 64
+SEED = 42
+
+
+def _dataset():
+    data = generate_tpch(scale=0.002, seed=11)
+    catalog = tpch_catalog(data)
+    queries = {name: load_query(name) for name in QUERIES}
+    fact = data.tables["lineitem"]
+    columns = list(fact)
+    total = len(fact[columns[0]])
+    bounds = [total * i // NUM_DPUS for i in range(NUM_DPUS + 1)]
+    shards = [
+        Table(f"lineitem_shard{i}",
+              {n: fact[n][bounds[i]:bounds[i + 1]] for n in columns})
+        for i in range(NUM_DPUS)
+    ]
+    return data, catalog, queries, shards
+
+
+def _reference_rows(queries, catalog, shards):
+    rows = {}
+    for name in QUERIES:
+        compiled = compile_query(queries[name], catalog, name)
+        projected = [
+            Table(s.name,
+                  {n: s.columns[n] for n in compiled.needed_columns})
+            for s in shards
+        ]
+        rows[name] = cluster_compiled_query(
+            Cluster(NUM_DPUS), compiled, projected).value
+    return rows
+
+
+def _mean_service_cycles(queries, catalog, shards):
+    """One standalone pass over the mix: the service rate the sweep's
+    offered load is a multiple of."""
+    total = 0.0
+    for name in QUERIES:
+        compiled = compile_query(queries[name], catalog, name)
+        projected = [
+            Table(s.name,
+                  {n: s.columns[n] for n in compiled.needed_columns})
+            for s in shards
+        ]
+        total += cluster_compiled_query(
+            Cluster(NUM_DPUS), compiled, projected).cycles
+    return total / len(QUERIES)
+
+
+def _serve(queries, catalog, shards, mean_interarrival, **kwargs):
+    frontend = ServingFrontend(
+        Cluster(NUM_DPUS), catalog, queries, {"lineitem": shards},
+        tenants=TENANTS, **kwargs)
+    workload = OpenLoopWorkload(TENANTS, QUERIES, seed=SEED)
+    requests = workload.generate(REQUESTS_PER_FACTOR, mean_interarrival)
+    return frontend.run(requests)
+
+
+def test_tail_latency_vs_offered_load(benchmark, report):
+    data, catalog, queries, shards = _dataset()
+    reference = _reference_rows(queries, catalog, shards)
+    service = _mean_service_cycles(queries, catalog, shards)
+
+    def sweep():
+        results = []
+        for factor in FACTORS:
+            serving = _serve(queries, catalog, shards, service / factor)
+            results.append((factor, serving))
+        return results
+
+    results = run_once(benchmark, sweep)
+
+    rows = []
+    for factor, serving in results:
+        assert len(serving.records) == REQUESTS_PER_FACTOR
+        for name in QUERIES:
+            assert serving.results[name] == reference[name]
+        q = serving.quantiles()
+        hits = serving.counters.get("cache_hits", 0)
+        rows.append(
+            f"{factor:3d}x  {q['p50']:>12.0f}  {q['p99']:>12.0f}  "
+            f"{q['p999']:>12.0f}  {100.0 * hits / REQUESTS_PER_FACTOR:>5.1f}%"
+            f"  {serving.counters.get('batches', 0):>7d}"
+        )
+    report(
+        "Serving tail latency vs offered load "
+        f"({NUM_DPUS} DPUs, {len(TENANTS)} tenants, cycles)",
+        "load       p50           p99          p999   cache  batches",
+        rows,
+    )
+
+    factor, worst = results[-1]
+    assert factor == 16
+    tier_rows = []
+    for tier in ("gold", "silver", "bronze"):
+        digest = worst.tier_digests[tier]
+        q = worst.quantiles(digest)
+        tier_rows.append(
+            f"{tier:>6}  {digest.count:>4d}  {q['p50']:>12.0f}  "
+            f"{q['p99']:>12.0f}  {q['p999']:>12.0f}"
+        )
+    report(
+        "Per-tier isolation at 16x oversubscription (cycles)",
+        "  tier     n           p50           p99          p999",
+        tier_rows,
+    )
+    gold = worst.tier_digests["gold"]
+    bronze = worst.tier_digests["bronze"]
+    assert gold.quantile(0.99) < bronze.quantile(0.99)
+
+    benchmark.extra_info["service_cycles"] = service
+    benchmark.extra_info["p99_16x"] = results[-1][1].quantiles()["p99"]
+
+
+def test_caching_and_batching_ablation(benchmark, report):
+    """The optimizations must pay for themselves: serving the same 8x
+    stream with caches and batching disabled takes strictly longer in
+    sim time and runs every query as its own cluster job."""
+    data, catalog, queries, shards = _dataset()
+    reference = _reference_rows(queries, catalog, shards)
+    service = _mean_service_cycles(queries, catalog, shards)
+    interarrival = service / 8
+
+    def sweep():
+        full = _serve(queries, catalog, shards, interarrival)
+        bare = _serve(queries, catalog, shards, interarrival,
+                      caching=False, batching=False)
+        return full, bare
+
+    full, bare = run_once(benchmark, sweep)
+    for serving in (full, bare):
+        assert len(serving.records) == REQUESTS_PER_FACTOR
+        for name in QUERIES:
+            assert serving.results[name] == reference[name]
+    assert bare.counters.get("direct", 0) == REQUESTS_PER_FACTOR
+    full_done = max(r.completion for r in full.records)
+    bare_done = max(r.completion for r in bare.records)
+    assert full_done < bare_done
+    rows = [
+        f"serving layer on   {full.quantiles()['p99']:>12.0f}  "
+        f"{full_done:>14.0f}",
+        f"serving layer off  {bare.quantiles()['p99']:>12.0f}  "
+        f"{bare_done:>14.0f}",
+    ]
+    report(
+        "Caching + batching ablation at 8x oversubscription (cycles)",
+        "configuration               p99        makespan",
+        rows,
+    )
+    benchmark.extra_info["speedup"] = bare_done / full_done

@@ -247,11 +247,45 @@ class Catalog:
         self.scales = dict(scales or {})
         self.aliases = dict(aliases or {})
         self.prefix_ranges = dict(prefix_ranges or {})
+        # Monotone data version: every mutation bumps it, so plan and
+        # result caches keyed on (query, version) go stale instead of
+        # serving answers computed against old data (see repro.serve).
+        self.version = 0
         self._stats: Dict[Tuple[str, str], ColumnStats] = {}
         self._column_table: Dict[str, List[str]] = {}
         for table, columns in tables.items():
             for column in columns:
                 self._column_table.setdefault(column, []).append(table)
+
+    def bump_version(self) -> int:
+        """Declare the underlying data changed (caches must miss).
+
+        Also drops memoized column statistics — they were computed
+        against the previous contents.
+        """
+        self.version += 1
+        self._stats.clear()
+        return self.version
+
+    def update_column(self, table: str, name: str,
+                      values: np.ndarray) -> int:
+        """Replace one column's array and bump the catalog version.
+
+        The serving layer's write path: a tenant "update" swaps the
+        column in place and every cached plan/result keyed against the
+        old version is invalidated on its next lookup.
+        """
+        columns = self.tables[table]
+        if name not in columns:
+            raise PlanError(f"unknown column {name!r} in {table!r}",
+                            clause="update")
+        if len(values) != self.num_rows(table):
+            raise PlanError(
+                f"update of {table}.{name} changes row count "
+                f"({len(values)} vs {self.num_rows(table)})",
+                clause="update")
+        columns[name] = values
+        return self.bump_version()
 
     def num_rows(self, table: str) -> int:
         columns = self.tables[table]

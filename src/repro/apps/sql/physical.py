@@ -378,6 +378,26 @@ class CompiledQuery:
     plan: Dict[str, Any]
     record_bytes: int
     logical: LogicalPlan = field(repr=False, default=None)
+    # Catalog.version at lowering time: broadcasts and finish gathers
+    # were built from that snapshot, so a plan is only valid while the
+    # catalog still carries this version (see repro.serve.PlanCache).
+    catalog_version: int = 0
+
+    @property
+    def batch_key(self) -> Tuple[str, int]:
+        """Shared-scan compatibility class.
+
+        Queries with equal keys stream the same fact table at the same
+        catalog version, so a serving batch can store the union of
+        their needed columns once per DPU and run each query's
+        group-by against that single resident copy
+        (:func:`~repro.cluster.scaleout.cluster_batched_queries`).
+        Every query can batch under ``pre_aggregate``; all-to-all
+        plans lose their planner-chosen exchange when batched, so the
+        serving layer only batches them when riding along is still a
+        win (it re-checks ``plan["exchange"]``).
+        """
+        return (self.fact, self.catalog_version)
 
     # -- execution ------------------------------------------------------
     def _fact_columns(self, data) -> Dict[str, np.ndarray]:
@@ -1002,6 +1022,7 @@ def lower_plan(plan: LogicalPlan, catalog: Catalog) -> CompiledQuery:
         plan=plan_dict,
         record_bytes=record_bytes,
         logical=plan,
+        catalog_version=catalog.version,
     )
 
     xeon_seconds = DbmsCostModel(XeonModel()).plan_seconds(

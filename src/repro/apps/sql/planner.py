@@ -73,7 +73,7 @@ class PartitionPlan:
 def plan_partitioning(
     ndv: int,
     group_record_bytes: int,
-    budget: DmemBudget = DmemBudget(),
+    budget: "DmemBudget | None" = None,
     num_cores: int = 32,
     x86_partition_target_bytes: int = 32 * 1024,
     x86_fanout: int = X86_FANOUT,
@@ -90,6 +90,8 @@ def plan_partitioning(
     (the Polychroniou-Ross radix strategy the paper cites); each pass
     achieves at most ``x86_fanout`` (TLB-limited).
     """
+    if budget is None:
+        budget = DmemBudget()
     if ndv <= 0:
         raise ValueError(f"ndv must be positive: {ndv}")
     if group_record_bytes <= 0:

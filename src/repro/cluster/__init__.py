@@ -10,6 +10,7 @@ from .recovery import (
 )
 from .scaleout import (
     ScaleOutResult,
+    cluster_batched_queries,
     cluster_compiled_query,
     cluster_filter_count,
     cluster_groupby,
@@ -40,6 +41,7 @@ __all__ = [
     "ScaleOutResult",
     "ShuffleRackModel",
     "ShuffleResult",
+    "cluster_batched_queries",
     "cluster_compiled_query",
     "cluster_filter_count",
     "cluster_groupby",

@@ -63,9 +63,14 @@ class IBFabric:
         self,
         engine: Engine,
         num_endpoints: int,
-        config: FabricConfig = FabricConfig(),
+        config: Optional[FabricConfig] = None,
         faults: Optional[FaultInjector] = None,
     ) -> None:
+        # None-sentinel, not a call default: a default evaluated once
+        # at definition time would be one shared instance across every
+        # fabric ever built (ruff B008 guards this class of bug).
+        if config is None:
+            config = FabricConfig()
         if num_endpoints < 1:
             raise SimulationError(f"need >= 1 endpoint: {num_endpoints}")
         if config.fabric_inbox_depth < 1:

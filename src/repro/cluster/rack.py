@@ -38,12 +38,14 @@ class Cluster:
         self,
         num_dpus: int,
         config: DPUConfig = DPU_40NM,
-        fabric_config: FabricConfig = FabricConfig(),
+        fabric_config: "FabricConfig | None" = None,
         fault_plan: "FaultPlan | None" = None,
         recovery_config: "RecoveryConfig | None" = None,
     ) -> None:
         if num_dpus < 1:
             raise ValueError(f"need >= 1 DPU: {num_dpus}")
+        if fabric_config is None:
+            fabric_config = FabricConfig()
         self.engine = Engine()
         self.config = config
         # One shared injector: the fault trace is cluster-global and

@@ -62,6 +62,7 @@ from .shuffle import shuffle_exchange
 
 __all__ = [
     "ScaleOutResult",
+    "cluster_batched_queries",
     "cluster_filter_count",
     "cluster_groupby",
     "cluster_hll",
@@ -953,5 +954,144 @@ def cluster_compiled_query(
         detail = _exchange_detail(exchange[0], exchange[1], local_cycles,
                                   gather_cycles, exchange[2])
         return accounting.result(compiled.finish(value or {}), ticket, detail)
+    finally:
+        cluster.release_job()
+
+
+def cluster_batched_queries(
+    cluster: Cluster,
+    batch: Sequence,
+    shards: Sequence[Table],
+) -> ScaleOutResult:
+    """Run several compiled queries over **one shared fact scan**.
+
+    The serving layer's batching primitive
+    (:mod:`repro.serve`): every
+    :class:`~repro.apps.sql.physical.CompiledQuery` in ``batch`` must
+    read the same fact table (equal
+    :attr:`~repro.apps.sql.physical.CompiledQuery.batch_key`). Each
+    DPU stores the *union* of the batch's needed columns once, then
+    runs every query's group-by against that single resident copy —
+    the DRAM image, admission ticket, and gather round-trip are paid
+    once per batch instead of once per query. Partial group tables for
+    the whole batch travel to the coordinator in one message per DPU
+    and merge per-query with
+    :func:`~repro.apps.sql.aggregate.merge_groups` (the
+    ``pre_aggregate`` exchange lifted to a query list).
+
+    ``value`` is a tuple of finished row tuples, aligned with
+    ``batch`` order; each element is byte-equal to running that query
+    alone through :func:`cluster_compiled_query` over the same shards.
+    """
+    batch = list(batch)
+    if not batch:
+        raise ValueError("empty query batch")
+    fact = batch[0].fact
+    for compiled in batch[1:]:
+        if compiled.batch_key != batch[0].batch_key:
+            raise ValueError(
+                f"{compiled.name} (fact {compiled.fact!r}, catalog "
+                f"v{compiled.catalog_version}) cannot share a scan with "
+                f"{batch[0].name} (fact {fact!r}, catalog "
+                f"v{batch[0].catalog_version})"
+            )
+    _validate_shards(cluster, shards, "fact shards")
+    union_names = list(dict.fromkeys(
+        name for compiled in batch for name in compiled.needed_columns
+    ))
+    site = "sql.batch[" + "+".join(c.name for c in batch) + "]"
+    accounting = _JobAccounting(cluster, site)
+    ticket = cluster.admit_job(f"cluster.{site}")
+
+    def shard_partials(dpu, columns, label):
+        """The shared scan: one union table stored per DPU; each
+        query's group-by streams only its own needed columns from the
+        resident copy, so per-query results and cycles match the
+        standalone plan exactly."""
+        if not columns or len(next(iter(columns.values()))) == 0:
+            return [{} for _ in batch], 0.0
+        table = Table(f"{fact}_{label}",
+                      {name: columns[name] for name in union_names})
+        dtable = table.to_dpu(dpu)
+        partials = []
+        cycles = 0.0
+        for compiled in batch:
+            local = dpu_groupby(
+                dpu, dtable, compiled.key, compiled.aggs,
+                row_filter=compiled.row_filter,
+                broadcasts=compiled._dpu_broadcasts(dpu),
+            )
+            partials.append(local.value)
+            cycles += local.cycles
+        return partials, cycles
+
+    def merge(accumulator, partials):
+        if accumulator is None:
+            return [merge_groups([partial], compiled.aggs)
+                    for partial, compiled in zip(partials, batch)]
+        return [merge_groups([merged, partial], compiled.aggs)
+                for merged, partial, compiled
+                in zip(accumulator, partials, batch)]
+
+    def nbytes_of(partials):
+        return max(8, sum(compiled.record_bytes * len(partial)
+                          for compiled, partial in zip(batch, partials)))
+
+    def finish(merged):
+        if merged is None:
+            merged = [{} for _ in batch]
+        return tuple(compiled.finish(groups or {})
+                     for compiled, groups in zip(batch, merged))
+
+    try:
+        if cluster.num_dpus == 1:
+            partials, cycles = shard_partials(
+                cluster.dpus[0], shards[0].columns, "shard0")
+            detail = _exchange_detail(0.0, 0.0, cycles, 0.0, 0)
+            detail["batch"] = float(len(batch))
+            return accounting.result(
+                tuple(compiled.finish(partial or {})
+                      for compiled, partial in zip(batch, partials)),
+                ticket, detail)
+
+        if cluster.recovery is not None:
+            manager = cluster.recovery
+            manager.begin_job(site)
+            try:
+                local_cycles = 0.0
+
+                def compute(shard_index, dpu, dpu_index):
+                    nonlocal local_cycles
+                    partials, cycles = shard_partials(
+                        dpu, shards[shard_index].columns,
+                        f"shard{shard_index}")
+                    local_cycles = max(local_cycles, cycles)
+                    return partials
+
+                value, gather_cycles = manager.run_job(
+                    site, compute, merge, nbytes_of=nbytes_of,
+                )
+            finally:
+                manager.end_job()
+            detail = _exchange_detail(0.0, 0.0, local_cycles,
+                                      gather_cycles, 0)
+            detail["batch"] = float(len(batch))
+            return accounting.result(finish(value), ticket, detail,
+                                     recovery=manager.stats)
+
+        per_dpu: List[List[Dict]] = []
+        local_cycles = 0.0
+        for index, (dpu, shard) in enumerate(zip(cluster.dpus, shards)):
+            partials, cycles = shard_partials(dpu, shard.columns,
+                                              f"shard{index}")
+            local_cycles = max(local_cycles, cycles)
+            per_dpu.append(partials)
+
+        value, gather_cycles = _gather_partials(
+            cluster, per_dpu, nbytes_of=nbytes_of, merge=merge, site=site,
+        )
+        detail = _exchange_detail(0.0, 0.0, local_cycles, gather_cycles, 0)
+        detail["batch"] = float(len(batch))
+        return accounting.result(finish(value), ticket, detail)
     finally:
         cluster.release_job()

@@ -47,7 +47,7 @@ to rack scale (2 -> 512 DPUs) analytically, the same way
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -417,16 +417,21 @@ class ShuffleRackModel:
     local_cycles_per_row: float = 10.0
     result_bytes: int = 4096
     all_to_all: bool = True
-    fabric: FabricConfig = FabricConfig()
+    # default_factory, NOT FabricConfig(): a class-level call default
+    # is evaluated once, so every model instance would share (and, were
+    # the config mutable, cross-contaminate) one object.
+    fabric: FabricConfig = field(default_factory=FabricConfig)
 
     @classmethod
     def from_sim(cls, detail: Dict[str, float], num_dpus: int,
                  total_rows: int, record_bytes: int,
                  result_bytes: int = 4096,
                  all_to_all: bool = True,
-                 fabric: FabricConfig = FabricConfig()) -> "ShuffleRackModel":
+                 fabric: Optional[FabricConfig] = None) -> "ShuffleRackModel":
         """Calibrate the per-row constants from a measured cluster
         job's ``ScaleOutResult.detail`` phase breakdown."""
+        if fabric is None:
+            fabric = FabricConfig()
         rows_local = max(1.0, total_rows / num_dpus)
         return cls(
             total_rows=total_rows,

@@ -510,6 +510,19 @@ class MetricsHub:
         """Feed one latency/size sample into the named digest."""
         self.digest(name).add(value)
 
+    def digest_table(self, prefix: str = "") -> Dict[str, Dict[str, float]]:
+        """Summaries of every digest under ``prefix``, sorted by name.
+
+        The serving layer files per-tenant latency under
+        ``serve.tenant.<name>`` and per-tier under
+        ``serve.tier.<name>``, so ``digest_table("serve.tier.")``
+        is the per-tier p50/p99/p999 isolation table."""
+        return {
+            name: digest.to_dict()
+            for name, digest in sorted(self.digests.items())
+            if name.startswith(prefix)
+        }
+
     def annotate(self, kind: str, t: Optional[float] = None,
                  **attrs: Any) -> None:
         """Mark the timeline (chaos kill, election, replay...).

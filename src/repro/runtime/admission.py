@@ -40,6 +40,7 @@ __all__ = [
     "MemoryGovernor",
     "OverloadError",
     "TokenBucket",
+    "WeightedFairQueue",
 ]
 
 
@@ -89,6 +90,13 @@ class TokenBucket:
     Refills continuously at ``rate_per_kcycle`` tokens per thousand
     cycles up to ``burst``. All arithmetic is in simulation time, so
     two identical runs make identical admission decisions.
+
+    The level is always computed as one multiply from a fixed anchor
+    (the last consumption or cap instant), never by accumulating many
+    small ``elapsed * rate`` increments: a long run of tiny refills
+    would otherwise drift away from one large refill in float and
+    admit a different number of jobs depending on how often the
+    bucket was *looked at*.
     """
 
     def __init__(self, rate_per_kcycle: float, burst: float = 1.0) -> None:
@@ -99,19 +107,29 @@ class TokenBucket:
         self.rate = rate_per_kcycle / 1000.0  # tokens per cycle
         self.burst = float(burst)
         self.tokens = float(burst)
-        self._last_refill = 0.0
+        # Level anchor: tokens held at sim time _anchor. Moves only on
+        # consumption and on hitting the burst cap, so reads between
+        # those events are pure functions of (anchor, now).
+        self._anchor_tokens = float(burst)
+        self._anchor = 0.0
 
     def _refill(self, now: float) -> None:
-        if now > self._last_refill:
-            self.tokens = min(
-                self.burst, self.tokens + (now - self._last_refill) * self.rate
-            )
-            self._last_refill = now
+        if now > self._anchor:
+            level = self._anchor_tokens + (now - self._anchor) * self.rate
+            if level >= self.burst:
+                # Cap reached: re-anchoring here is exact (the level
+                # is a constant, not an accumulated float).
+                self._anchor_tokens = self.burst
+                self._anchor = now
+                level = self.burst
+            self.tokens = level
 
     def try_take(self, now: float, cost: float = 1.0) -> bool:
         self._refill(now)
         if self.tokens >= cost:
             self.tokens -= cost
+            self._anchor_tokens = self.tokens
+            self._anchor = max(self._anchor, now)
             return True
         return False
 
@@ -150,6 +168,88 @@ class ConcurrencyLimiter:
 
     def release(self) -> None:
         self.slots.release()
+
+
+class WeightedFairQueue:
+    """Start-time fair queueing across weighted flows (SFQ).
+
+    The serving layer's replacement for a single global FIFO: each
+    flow (tenant) owns a FIFO of queued items, and the next item to
+    run is the head of the flow with the smallest virtual *finish
+    tag*. A flow of weight ``w`` accumulates virtual time at ``1/w``
+    per dequeued slot, so over any busy interval flows receive service
+    slots in proportion to their weights — a gold tenant at weight 8
+    gets ~8x the slots of a bronze tenant at weight 1 — while an idle
+    flow builds up no credit it could later burst with (its next tag
+    starts at the current virtual time, the SFQ start-time rule).
+
+    Everything is driven by explicit ``pop`` calls from a
+    deterministic scheduler loop, so two identical runs dequeue in
+    identical order; ties break on (finish tag, flow name).
+    """
+
+    def __init__(self) -> None:
+        self._weights: Dict[str, float] = {}
+        self._queues: Dict[str, list] = {}
+        self._finish: Dict[str, float] = {}
+        self._vtime = 0.0
+        self._size = 0
+
+    def register(self, flow: str, weight: float = 1.0) -> None:
+        if weight <= 0:
+            raise ValueError(f"flow weight must be positive: {weight}")
+        self._weights[flow] = float(weight)
+        self._queues.setdefault(flow, [])
+        self._finish.setdefault(flow, 0.0)
+
+    def push(self, flow: str, item) -> None:
+        if flow not in self._weights:
+            self.register(flow)
+        # SFQ tag assignment happens at enqueue: start at the current
+        # virtual time (or the flow's last finish if it is backlogged)
+        # and finish one weighted slot later. The tag sticks to the
+        # item, so a backlogged low-weight flow's claim on service
+        # ages rather than being recomputed — no starvation.
+        start = max(self._vtime, self._finish[flow])
+        finish = start + 1.0 / self._weights[flow]
+        self._finish[flow] = finish
+        self._queues[flow].append((start, finish, item))
+        self._size += 1
+
+    def __len__(self) -> int:
+        return self._size
+
+    def depth(self, flow: str) -> int:
+        return len(self._queues.get(flow, ()))
+
+    def flows(self):
+        return [flow for flow, queue in self._queues.items() if queue]
+
+    def peek(self, flow: str):
+        return self._queues[flow][0][2]
+
+    def pop(self, eligible: Optional[Dict[str, bool]] = None):
+        """Dequeue ``(flow, item)`` from the backlogged flow with the
+        smallest virtual finish tag. ``eligible`` (flow -> bool)
+        excludes flows whose head cannot run yet (e.g. an empty
+        per-tenant token bucket); ``None`` considers every flow.
+        Returns ``None`` when no eligible flow has queued work."""
+        best = None
+        for flow in sorted(self._queues):
+            if not self._queues[flow]:
+                continue
+            if eligible is not None and not eligible.get(flow, True):
+                continue
+            finish = self._queues[flow][0][1]
+            if best is None or finish < best[1]:
+                best = (flow, finish)
+        if best is None:
+            return None
+        flow, _finish = best
+        start, _finish, item = self._queues[flow].pop(0)
+        self._vtime = max(self._vtime, start)
+        self._size -= 1
+        return flow, item
 
 
 @dataclass

@@ -1,0 +1,99 @@
+"""Compiled-plan and result caches with catalog-version invalidation.
+
+Both caches key on ``(query name, catalog version)``.
+:class:`~repro.apps.sql.ir.Catalog` bumps its monotone ``version`` on
+every mutation (``update_column`` / ``bump_version``), so a cached
+plan or result can never be served against newer data: the lookup key
+simply stops matching and the entry ages out of the LRU. ``put``
+additionally drops same-query entries from older versions eagerly,
+counting them as ``invalidations`` so the serving report can show
+cache churn caused by catalog writes (as opposed to capacity
+evictions).
+
+Byte-equality contract: a result-cache hit returns the exact tuple
+the cluster produced for that (query, version) — the serving layer
+never recomputes, transcodes, or truncates it.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any, Dict, Optional, Tuple
+
+__all__ = ["PlanCache", "ResultCache"]
+
+
+class _LruCache:
+    """Version-aware LRU shared by the plan and result caches."""
+
+    def __init__(self, capacity: int) -> None:
+        if capacity <= 0:
+            raise ValueError(f"cache capacity must be positive: {capacity}")
+        self.capacity = int(capacity)
+        self._entries: "OrderedDict[Tuple[str, int], Any]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.invalidations = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, name: str, version: int) -> Optional[Any]:
+        key = (name, int(version))
+        if key in self._entries:
+            self.hits += 1
+            self._entries.move_to_end(key)
+            return self._entries[key]
+        self.misses += 1
+        return None
+
+    def put(self, name: str, version: int, value: Any) -> None:
+        version = int(version)
+        # A write at version v supersedes every older version of the
+        # same query: drop them now rather than letting stale entries
+        # squat in the LRU until capacity pressure finds them.
+        stale = [key for key in self._entries
+                 if key[0] == name and key[1] != version]
+        for key in stale:
+            del self._entries[key]
+            self.invalidations += 1
+        self._entries[(name, version)] = value
+        self._entries.move_to_end((name, version))
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "invalidations": self.invalidations,
+            "entries": len(self._entries),
+        }
+
+
+class PlanCache(_LruCache):
+    """LRU of :class:`~repro.apps.sql.physical.CompiledQuery` objects.
+
+    A hit skips the planner entirely (the front end charges
+    ``plan_compile_cycles`` only on a miss). Because
+    ``CompiledQuery.catalog_version`` is stamped at lowering time, the
+    cached plan's ``batch_key`` stays consistent with the version it
+    was compiled against.
+    """
+
+    def __init__(self, capacity: int = 128) -> None:
+        super().__init__(capacity)
+
+
+class ResultCache(_LruCache):
+    """LRU of finished result-row tuples, keyed like the plan cache.
+
+    Only whole-query results are cached (the finish step — decode /
+    sort / limit — already ran), so a hit is a pure lookup.
+    """
+
+    def __init__(self, capacity: int = 256) -> None:
+        super().__init__(capacity)

@@ -1,0 +1,296 @@
+"""Multi-tenant serving front end over a DPU cluster.
+
+One host-driven discrete-event loop ties the pieces together: an
+open-loop request stream (:mod:`repro.serve.workload`) lands in a
+per-tenant :class:`~repro.runtime.admission.WeightedFairQueue`
+weighted by QoS tier (:mod:`repro.serve.qos`); each tenant's private
+:class:`~repro.runtime.admission.TokenBucket` gates *eligibility*
+(a flow whose bucket is empty keeps its place in virtual time but
+cannot be dequeued); dequeued queries go through a compiled-plan
+cache and a result cache keyed on the catalog version
+(:mod:`repro.serve.cache`); result-cache misses that share a fact
+table at the same catalog version batch into one shared scan
+(:func:`~repro.cluster.scaleout.cluster_batched_queries`) instead of
+N separate jobs.
+
+Because cluster jobs are synchronous coordinator-side calls that
+drive the shared simulation engine internally, the front end is a
+sequential dispatcher: it advances sim time explicitly (idle waits,
+cache-hit service) or implicitly (running a job), never by wall
+clock, so a serving run is bit-reproducible and — the contract the
+tests enforce — every response is **byte-equal** to running that
+query alone through
+:func:`~repro.cluster.scaleout.cluster_compiled_query`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..apps.sql import Table, compile_query
+from ..cluster import cluster_batched_queries, cluster_compiled_query
+from ..obs import NULL_HUB, LatencyDigest
+from ..runtime.admission import TokenBucket, WeightedFairQueue
+from .cache import PlanCache, ResultCache
+from .qos import DEFAULT_TIERS, TierSpec
+from .workload import QueryRequest
+
+__all__ = ["CompletedRequest", "ServingFrontend", "ServingReport"]
+
+
+@dataclass(frozen=True)
+class CompletedRequest:
+    """One served request: when it finished, how, and how long it took."""
+
+    request: QueryRequest
+    completion: float
+    latency: float
+    source: str  # "cache" | "direct" | "batch"
+    batch_size: int = 1
+
+
+@dataclass
+class ServingReport:
+    """Everything a serving run produced, ready for assertions.
+
+    ``results`` holds the latest response rows per query name — the
+    byte-equality oracle hook — and the digests are
+    :class:`~repro.obs.metrics.LatencyDigest` objects (p50/p99/p999
+    via ``quantile``).
+    """
+
+    records: List[CompletedRequest] = field(default_factory=list)
+    overall: LatencyDigest = field(
+        default_factory=lambda: LatencyDigest("serve.latency"))
+    tenant_digests: Dict[str, LatencyDigest] = field(default_factory=dict)
+    tier_digests: Dict[str, LatencyDigest] = field(default_factory=dict)
+    results: Dict[str, Tuple] = field(default_factory=dict)
+    counters: Dict[str, int] = field(default_factory=dict)
+
+    def quantiles(self, digest: Optional[LatencyDigest] = None
+                  ) -> Dict[str, float]:
+        digest = digest if digest is not None else self.overall
+        return {
+            "p50": digest.quantile(0.50),
+            "p99": digest.quantile(0.99),
+            "p999": digest.quantile(0.999),
+        }
+
+
+class ServingFrontend:
+    """Sequential QoS-aware dispatcher over one cluster.
+
+    ``queries`` maps query name -> SQL text; ``shards`` maps fact
+    table name -> the row-sharded :class:`~repro.apps.sql.Table` list
+    (one shard per DPU, carrying at least the union of the query
+    mix's needed columns); ``tenants`` maps tenant name -> tier name.
+    """
+
+    def __init__(
+        self,
+        cluster,
+        catalog,
+        queries: Dict[str, str],
+        shards: Dict[str, Sequence[Table]],
+        tenants: Dict[str, str],
+        tiers: Optional[Dict[str, TierSpec]] = None,
+        plan_cache: Optional[PlanCache] = None,
+        result_cache: Optional[ResultCache] = None,
+        batching: bool = True,
+        caching: bool = True,
+        max_batch: int = 8,
+        cache_hit_cycles: float = 500.0,
+        plan_compile_cycles: float = 2000.0,
+        hub=NULL_HUB,
+    ) -> None:
+        self.cluster = cluster
+        self.catalog = catalog
+        self.queries = dict(queries)
+        self.shards = {fact: list(tables) for fact, tables in shards.items()}
+        self.tiers = dict(tiers) if tiers is not None else dict(DEFAULT_TIERS)
+        self.tenants = dict(tenants)
+        self.plan_cache = plan_cache if plan_cache is not None else PlanCache()
+        self.result_cache = (result_cache if result_cache is not None
+                             else ResultCache())
+        self.batching = bool(batching)
+        self.caching = bool(caching)
+        self.max_batch = int(max_batch)
+        self.cache_hit_cycles = float(cache_hit_cycles)
+        self.plan_compile_cycles = float(plan_compile_cycles)
+        self.hub = hub
+        self.queue = WeightedFairQueue()
+        self.buckets: Dict[str, TokenBucket] = {}
+        for tenant, tier_name in self.tenants.items():
+            tier = self.tiers[tier_name]
+            self.queue.register(tenant, tier.weight)
+            self.buckets[tenant] = TokenBucket(
+                tier.rate_per_kcycle, tier.burst)
+
+    # -- engine plumbing ------------------------------------------------
+    def _advance(self, cycles: float) -> None:
+        if cycles <= 0:
+            return
+        engine = self.cluster.engine
+
+        def waiter():
+            yield engine.timeout(cycles)
+
+        engine.run_until_complete(engine.process(waiter()))
+
+    # -- plan / result plumbing -----------------------------------------
+    def _compiled(self, name: str):
+        """Plan-cache lookup; a miss runs the cost-based planner and
+        charges ``plan_compile_cycles`` of frontend time."""
+        compiled = self.plan_cache.get(name, self.catalog.version)
+        if compiled is None:
+            compiled = compile_query(self.queries[name], self.catalog, name)
+            self.plan_cache.put(name, self.catalog.version, compiled)
+            self._advance(self.plan_compile_cycles)
+        return compiled
+
+    def _record(self, request: QueryRequest, source: str,
+                batch_size: int, report: ServingReport) -> None:
+        completion = self.cluster.engine.now
+        latency = completion - request.arrival
+        report.records.append(CompletedRequest(
+            request=request, completion=completion, latency=latency,
+            source=source, batch_size=batch_size))
+        report.overall.add(latency)
+        report.tenant_digests.setdefault(
+            request.tenant,
+            LatencyDigest(f"serve.tenant.{request.tenant}.latency"),
+        ).add(latency)
+        report.tier_digests.setdefault(
+            request.tier,
+            LatencyDigest(f"serve.tier.{request.tier}.latency"),
+        ).add(latency)
+        self.hub.observe(f"serve.tenant.{request.tenant}.latency", latency)
+        self.hub.observe(f"serve.tier.{request.tier}.latency", latency)
+
+    def _serve_cached(self, request: QueryRequest, rows: Tuple,
+                      report: ServingReport) -> None:
+        self._advance(self.cache_hit_cycles)
+        report.results[request.query] = rows
+        report.counters["cache_hits"] = report.counters.get(
+            "cache_hits", 0) + 1
+        self._record(request, "cache", 1, report)
+
+    # -- the serving loop -----------------------------------------------
+    def run(self, requests: Sequence[QueryRequest]) -> ServingReport:
+        pending = sorted(requests, key=lambda r: (r.arrival, r.index))
+        report = ServingReport()
+        report.counters["requests"] = len(pending)
+        engine = self.cluster.engine
+        cursor = 0
+
+        def admit_arrivals() -> int:
+            nonlocal cursor
+            while (cursor < len(pending)
+                   and pending[cursor].arrival <= engine.now):
+                request = pending[cursor]
+                self.queue.push(request.tenant, request)
+                cursor += 1
+            return cursor
+
+        while cursor < len(pending) or len(self.queue):
+            admit_arrivals()
+            now = engine.now
+            eligible = {
+                flow: self.buckets[flow].cycles_until_available(now) == 0.0
+                for flow in self.queue.flows()
+            }
+            popped = self.queue.pop(eligible)
+            if popped is None:
+                # Nothing runnable: sleep until the next arrival or
+                # the earliest backlogged tenant's bucket refills.
+                waits = []
+                if cursor < len(pending):
+                    waits.append(pending[cursor].arrival - now)
+                for flow in self.queue.flows():
+                    waits.append(
+                        self.buckets[flow].cycles_until_available(now))
+                self._advance(max(min(waits), 1.0))
+                continue
+
+            tenant, request = popped
+            self.buckets[tenant].try_take(now)
+            compiled = self._compiled(request.query)
+            if self.caching:
+                rows = self.result_cache.get(
+                    request.query, self.catalog.version)
+                if rows is not None:
+                    self._serve_cached(request, rows, report)
+                    continue
+
+            # Result-cache miss: pull compatible eligible heads into a
+            # shared-scan batch. Members that turn out to be cache
+            # hits for an already-seen query are served from cache on
+            # the spot; distinct queries dedup into one slot each.
+            members: List[Tuple[QueryRequest, int]] = [(request, 0)]
+            uniques = [compiled]
+            slot_of = {request.query: 0}
+            while self.batching and len(members) < self.max_batch:
+                now = engine.now
+                batchable = {}
+                for flow in self.queue.flows():
+                    if self.buckets[flow].cycles_until_available(now) > 0:
+                        continue
+                    head = self.queue.peek(flow)
+                    candidate = self._compiled(head.query)
+                    batchable[flow] = (
+                        candidate.batch_key == compiled.batch_key)
+                next_popped = self.queue.pop(batchable)
+                if next_popped is None:
+                    break
+                co_tenant, co_request = next_popped
+                self.buckets[co_tenant].try_take(now)
+                if co_request.query in slot_of:
+                    members.append((co_request, slot_of[co_request.query]))
+                    continue
+                slot_of[co_request.query] = len(uniques)
+                uniques.append(self._compiled(co_request.query))
+                members.append((co_request, slot_of[co_request.query]))
+
+            shards = self.shards[compiled.fact]
+            if len(uniques) == 1:
+                result = cluster_compiled_query(
+                    self.cluster, uniques[0], self._project(uniques, shards))
+                rows_by_slot = [result.value]
+                source = "direct"
+                report.counters["direct"] = report.counters.get(
+                    "direct", 0) + 1
+            else:
+                result = cluster_batched_queries(
+                    self.cluster, uniques, self._project(uniques, shards))
+                rows_by_slot = list(result.value)
+                source = "batch"
+                report.counters["batches"] = report.counters.get(
+                    "batches", 0) + 1
+                report.counters["batched_queries"] = report.counters.get(
+                    "batched_queries", 0) + len(uniques)
+
+            for slot, (unique, rows) in enumerate(
+                    zip(uniques, rows_by_slot)):
+                report.results[unique.name] = rows
+                if self.caching:
+                    self.result_cache.put(
+                        unique.name, unique.catalog_version, rows)
+            for member, slot in members:
+                self._record(member, source, len(members), report)
+
+        report.counters["plan_cache"] = self.plan_cache.stats()
+        report.counters["result_cache"] = self.result_cache.stats()
+        return report
+
+    def _project(self, uniques, shards: Sequence[Table]) -> List[Table]:
+        """Project each full-column shard down to the batch's union of
+        needed columns — the exact byte layout a standalone
+        ``cluster_compiled_query`` run would ship."""
+        union = list(dict.fromkeys(
+            name for compiled in uniques for name in compiled.needed_columns))
+        return [
+            Table(shard.name,
+                  {name: shard.columns[name] for name in union})
+            for shard in shards
+        ]

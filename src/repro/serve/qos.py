@@ -1,0 +1,56 @@
+"""QoS tiers for the multi-tenant serving layer (docs/SERVING.md).
+
+A tier bundles the two knobs the front end schedules with:
+
+* ``weight`` — the tenant's share of service slots in the
+  :class:`~repro.runtime.admission.WeightedFairQueue` (start-time
+  fair queueing: over any busy interval a gold tenant at weight 8
+  receives ~8x the slots of a bronze tenant at weight 1, with no
+  starvation — a backlogged bronze head's finish tag ages until it
+  wins);
+* ``rate_per_kcycle`` / ``burst`` — the tenant's private
+  :class:`~repro.runtime.admission.TokenBucket`, bounding how fast a
+  single tenant can *submit* work regardless of its weight, so one
+  tenant's open-loop flood cannot monopolize the queue between other
+  tenants' arrivals.
+
+Both mechanisms run on the simulation clock, so a serving run is
+bit-reproducible for a fixed workload seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+__all__ = ["BRONZE", "DEFAULT_TIERS", "GOLD", "SILVER", "TierSpec"]
+
+
+@dataclass(frozen=True)
+class TierSpec:
+    """One QoS class: scheduler weight plus submission rate limit."""
+
+    name: str
+    weight: float
+    rate_per_kcycle: float
+    burst: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.weight <= 0:
+            raise ValueError(f"tier weight must be positive: {self.weight}")
+        if self.rate_per_kcycle <= 0:
+            raise ValueError(
+                f"tier refill rate must be positive: {self.rate_per_kcycle}"
+            )
+
+
+# Default ladder: weights in the paper-ish 8:4:1 ratio; token rates
+# sized against the ~50-100 kcycle cluster query jobs the benchmarks
+# run, so bronze is submission-limited well before gold.
+GOLD = TierSpec("gold", weight=8.0, rate_per_kcycle=0.16, burst=4.0)
+SILVER = TierSpec("silver", weight=4.0, rate_per_kcycle=0.08, burst=2.0)
+BRONZE = TierSpec("bronze", weight=1.0, rate_per_kcycle=0.04, burst=1.0)
+
+DEFAULT_TIERS: Dict[str, TierSpec] = {
+    tier.name: tier for tier in (GOLD, SILVER, BRONZE)
+}
