@@ -50,11 +50,14 @@ class _LruCache:
 
     def put(self, name: str, version: int, value: Any) -> None:
         version = int(version)
-        # A write at version v supersedes every older version of the
+        # A write at version v supersedes every *older* version of the
         # same query: drop them now rather than letting stale entries
-        # squat in the LRU until capacity pressure finds them.
+        # squat in the LRU until capacity pressure finds them. Strictly
+        # older only — a put carrying an old catalog_version (a plan
+        # compiled before an interleaved catalog bump) must not evict
+        # a newer-version entry.
         stale = [key for key in self._entries
-                 if key[0] == name and key[1] != version]
+                 if key[0] == name and key[1] < version]
         for key in stale:
             del self._entries[key]
             self.invalidations += 1

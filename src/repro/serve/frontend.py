@@ -138,6 +138,17 @@ class ServingFrontend:
 
         engine.run_until_complete(engine.process(waiter()))
 
+    def _take_token(self, tenant: str, now: float) -> None:
+        """Consume one submission token; every dequeue path first
+        proved eligibility (``cycles_until_available == 0``), so a
+        failed take means the eligibility map and the bucket state
+        disagree — a rate-limit bypass that must not pass silently."""
+        if not self.buckets[tenant].try_take(now):
+            raise RuntimeError(
+                f"tenant {tenant!r} dequeued without an available token "
+                f"at cycle {now}: eligibility map out of sync with its "
+                "bucket")
+
     # -- plan / result plumbing -----------------------------------------
     def _compiled(self, name: str):
         """Plan-cache lookup; a miss runs the cost-based planner and
@@ -210,11 +221,20 @@ class ServingFrontend:
                 for flow in self.queue.flows():
                     waits.append(
                         self.buckets[flow].cycles_until_available(now))
+                # An infinite wait (a bucket that can never refill to
+                # a full token) must not reach _advance: filter it,
+                # and if nothing finite remains the loop is stalled.
+                waits = [w for w in waits if w != float("inf")]
+                if not waits:
+                    raise RuntimeError(
+                        "serving loop stalled: backlogged tenants whose "
+                        "token buckets can never refill and no pending "
+                        "arrivals")
                 self._advance(max(min(waits), 1.0))
                 continue
 
             tenant, request = popped
-            self.buckets[tenant].try_take(now)
+            self._take_token(tenant, now)
             compiled = self._compiled(request.query)
             if self.caching:
                 rows = self.result_cache.get(
@@ -234,7 +254,13 @@ class ServingFrontend:
                 now = engine.now
                 batchable = {}
                 for flow in self.queue.flows():
+                    # An empty bucket must be an *explicit* False:
+                    # WeightedFairQueue.pop treats flows missing from
+                    # the eligibility map as eligible, so skipping the
+                    # flow here would let a token-starved tenant's
+                    # head into the batch unchecked.
                     if self.buckets[flow].cycles_until_available(now) > 0:
+                        batchable[flow] = False
                         continue
                     head = self.queue.peek(flow)
                     candidate = self._compiled(head.query)
@@ -244,7 +270,7 @@ class ServingFrontend:
                 if next_popped is None:
                     break
                 co_tenant, co_request = next_popped
-                self.buckets[co_tenant].try_take(now)
+                self._take_token(co_tenant, now)
                 if co_request.query in slot_of:
                     members.append((co_request, slot_of[co_request.query]))
                     continue

@@ -42,6 +42,12 @@ class TierSpec:
             raise ValueError(
                 f"tier refill rate must be positive: {self.rate_per_kcycle}"
             )
+        # One dequeue costs one token; a bucket that can never hold a
+        # full token reports an infinite refill wait and would hang
+        # the serving loop's idle branch.
+        if self.burst < 1.0:
+            raise ValueError(
+                f"tier burst must be at least one token: {self.burst}")
 
 
 # Default ladder: weights in the paper-ish 8:4:1 ratio; token rates

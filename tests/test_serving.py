@@ -29,10 +29,13 @@ from repro.cluster import (
 from repro.faults import ChaosSpec, FaultPlan
 from repro.runtime.admission import TokenBucket, WeightedFairQueue
 from repro.serve import (
+    DEFAULT_TIERS,
     OpenLoopWorkload,
     PlanCache,
+    QueryRequest,
     ResultCache,
     ServingFrontend,
+    TierSpec,
 )
 from repro.sim import Engine
 from repro.workloads.tpch import generate_tpch
@@ -294,6 +297,16 @@ class TestCaches:
         assert cache.stats()["invalidations"] == 1
         assert len(cache) == 1
 
+    def test_stale_put_does_not_evict_newer_version(self):
+        # A put carrying an older catalog_version (a plan compiled
+        # before an interleaved catalog bump) must not invalidate the
+        # newer-version entry: eager invalidation is strictly older-only.
+        cache = ResultCache(capacity=4)
+        cache.put("q1", 1, "new")
+        cache.put("q1", 0, "stale")
+        assert cache.get("q1", 1) == "new"
+        assert cache.stats()["invalidations"] == 0
+
     def test_catalog_update_bumps_version_and_invalidates(
             self, data, query_texts):
         catalog = tpch_catalog(data)
@@ -468,6 +481,69 @@ class TestServingFrontend:
         assert sources.count("cache") == 7
 
 
+# -- rate-limit integrity --------------------------------------------------
+
+
+class TestRateLimitIntegrity:
+    """The token bucket must gate *every* dequeue path, including the
+    shared-scan batch window, and failures must be loud."""
+
+    def test_token_starved_tenant_not_batched(self, data, catalog,
+                                              query_texts):
+        # A tenant whose bucket is empty must stay queued even while a
+        # co-tenant's batch window is open: the batch-collection loop
+        # used to omit starved flows from the eligibility map, which
+        # WeightedFairQueue.pop treats as eligible — a silent
+        # rate-limit bypass.
+        tiers = dict(DEFAULT_TIERS)
+        tiers["trickle"] = TierSpec("trickle", weight=1.0,
+                                    rate_per_kcycle=0.001, burst=1.0)
+        refill_cycles = 1000.0 / 0.001  # one token per 1e6 cycles
+        tenants = {"fast": "gold", "slow": "trickle"}
+        requests = [
+            QueryRequest(0, "slow", "trickle", "q6", 0.0),
+            QueryRequest(1, "slow", "trickle", "q1", 1.0),
+            QueryRequest(2, "fast", "gold", "q12", 2.0),
+            QueryRequest(3, "fast", "gold", "q14", 3.0),
+        ]
+        frontend = _frontend(data, catalog, query_texts, tenants=tenants,
+                             tiers=tiers, caching=False)
+        report = frontend.run(requests)
+        assert len(report.records) == len(requests)
+        second = next(r for r in report.records if r.request.index == 1)
+        # The slow tenant spent its only token on request 0 near cycle
+        # 0; request 1 cannot be served before the bucket refills.
+        assert second.completion >= refill_cycles
+        for name in {r.query for r in requests}:
+            assert report.results[name] == _reference_rows(
+                query_texts, catalog, data, name)
+
+    def test_failed_token_take_raises(self, data, catalog, query_texts):
+        # If the eligibility map and a bucket ever disagree, the take
+        # must fail loudly instead of serving an unmetered request.
+        frontend = _frontend(data, catalog, query_texts)
+        assert frontend.buckets["corp"].try_take(0.0)  # drain bronze
+        with pytest.raises(RuntimeError, match="without an available"):
+            frontend._take_token("corp", 0.0)
+
+    def test_tier_rejects_sub_token_burst(self):
+        # burst < 1 makes cycles_until_available return inf forever,
+        # which used to hang the serving loop's idle branch.
+        with pytest.raises(ValueError, match="burst"):
+            TierSpec("bad", weight=1.0, rate_per_kcycle=1.0, burst=0.5)
+
+    def test_unfillable_bucket_stalls_loudly(self, data, catalog,
+                                             query_texts):
+        # Defense in depth behind the TierSpec check: a bucket that can
+        # never hold a full token must raise, not _advance(inf).
+        frontend = _frontend(data, catalog, query_texts,
+                             tenants={"solo": "gold"})
+        frontend.buckets["solo"] = TokenBucket(rate_per_kcycle=1.0,
+                                               burst=0.5)
+        with pytest.raises(RuntimeError, match="stalled"):
+            frontend.run([QueryRequest(0, "solo", "gold", "q6", 0.0)])
+
+
 # -- chaos serving ---------------------------------------------------------
 
 
@@ -475,11 +551,13 @@ class TestChaosServing:
     """Kill DPU 0 mid-run: every response stays byte-equal and the
     gold tenant's tail degrades less than bronze's."""
 
-    def _run(self, data, catalog, query_texts, fault_plan):
+    def _run(self, data, catalog, query_texts, fault_plan,
+             mean_interarrival_cycles=6_000.0, **kwargs):
         workload = OpenLoopWorkload(TENANTS, QUERIES, seed=21)
-        requests = workload.generate(48, mean_interarrival_cycles=6_000.0)
+        requests = workload.generate(
+            48, mean_interarrival_cycles=mean_interarrival_cycles)
         frontend = _frontend(data, catalog, query_texts,
-                             fault_plan=fault_plan)
+                             fault_plan=fault_plan, **kwargs)
         report = frontend.run(requests)
         return frontend, report
 
@@ -497,10 +575,19 @@ class TestChaosServing:
 
     def test_gold_tail_degrades_less_than_bronze(self, data, catalog,
                                                  query_texts):
+        # Run uncached and unbatched at moderate load: every request
+        # is a real cluster job, so the post-recovery backlog drains
+        # in weighted-fair order and the tier weights — not a shared
+        # warmup backlog or batch membership — set the tails. (With
+        # caching on, only the four unique queries ever reach the
+        # cluster and every tier's p99 sits in the same warmup queue,
+        # where the kill stall shifts gold and bronze identically.)
         plan = FaultPlan.none().with_chaos(
-            ChaosSpec("dpu.dead", (0,), at_cycle=30_000.0))
-        _, healthy = self._run(data, catalog, query_texts, None)
-        _, chaotic = self._run(data, catalog, query_texts, plan)
+            ChaosSpec("dpu.dead", (0,), at_cycle=200_000.0))
+        direct = dict(mean_interarrival_cycles=80_000.0,
+                      caching=False, batching=False)
+        _, healthy = self._run(data, catalog, query_texts, None, **direct)
+        _, chaotic = self._run(data, catalog, query_texts, plan, **direct)
         gold_delta = (chaotic.tier_digests["gold"].quantile(0.99)
                       - healthy.tier_digests["gold"].quantile(0.99))
         bronze_delta = (chaotic.tier_digests["bronze"].quantile(0.99)
